@@ -1,0 +1,328 @@
+// Package aujoin is the public API of the unified string similarity join
+// framework, a from-scratch Go implementation of
+//
+//	Pengfei Xu and Jiaheng Lu: "Towards a Unified Framework for String
+//	Similarity Joins", PVLDB 12(11), 2019.
+//
+// The framework measures how similar two strings are by combining three
+// kinds of similarity at once — syntactic (q-gram Jaccard), synonym-rule
+// based, and taxonomy (IS-A hierarchy) based — and joins large string
+// collections under that unified measure with pebble-signature filtering
+// (U-Filter and the adaptive AU-Filters) plus sampling-based selection of
+// the overlap constraint τ.
+//
+// # Quick start
+//
+//	j := aujoin.New(
+//		aujoin.WithSynonym("coffee shop", "cafe", 1.0),
+//		aujoin.WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "espresso"),
+//		aujoin.WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "latte"),
+//	)
+//	sim := j.Similarity("coffee shop latte Helsingki", "espresso cafe Helsinki")
+//	matches, _ := j.Join(left, right, aujoin.JoinOptions{Theta: 0.8, AutoTau: true})
+//
+// See the examples/ directory for complete runnable programs and
+// cmd/benchrun for the harness that regenerates the paper's tables and
+// figures.
+package aujoin
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/estimator"
+	"github.com/aujoin/aujoin/internal/join"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/synonym"
+	"github.com/aujoin/aujoin/internal/taxonomy"
+)
+
+// Filter selects the signature-selection algorithm used by Join.
+type Filter int
+
+const (
+	// UFilter is the baseline prefix filter with a single-overlap guarantee
+	// (Algorithm 2/3 of the paper).
+	UFilter Filter = iota
+	// AUFilterHeuristic is the adaptive filter with the heuristic slack
+	// bound (Algorithm 4).
+	AUFilterHeuristic
+	// AUFilterDP is the adaptive filter with the dynamic-programming slack
+	// bound (Algorithm 5); it produces the shortest signatures and is the
+	// recommended default.
+	AUFilterDP
+)
+
+// String returns the paper's name for the filter.
+func (f Filter) String() string { return f.method().String() }
+
+func (f Filter) method() pebble.Method {
+	switch f {
+	case UFilter:
+		return pebble.UFilter
+	case AUFilterHeuristic:
+		return pebble.AUHeuristic
+	default:
+		return pebble.AUDP
+	}
+}
+
+// Match is one join result: indices into the two input collections and the
+// unified similarity of the pair.
+type Match struct {
+	S, T       int
+	Similarity float64
+}
+
+// Stats summarises one join execution.
+type Stats struct {
+	// Candidates is the number of pairs that survived filtering.
+	Candidates int
+	// Results is the number of matches returned.
+	Results int
+	// SuggestedTau is the overlap constraint used (after auto-suggestion,
+	// when enabled).
+	SuggestedTau int
+	// SuggestionTime, FilterTime and VerifyTime break the total down.
+	SuggestionTime time.Duration
+	FilterTime     time.Duration
+	VerifyTime     time.Duration
+}
+
+// Total returns the total join time.
+func (s Stats) Total() time.Duration { return s.SuggestionTime + s.FilterTime + s.VerifyTime }
+
+// JoinOptions configures Join and SelfJoin.
+type JoinOptions struct {
+	// Theta is the unified-similarity threshold in [0, 1].
+	Theta float64
+	// Tau is the overlap constraint (≥ 1); ignored when AutoTau is set.
+	Tau int
+	// AutoTau runs the sampling-based estimator of Section 4 to pick τ.
+	AutoTau bool
+	// Filter selects the signature algorithm; the default is AUFilterDP.
+	Filter Filter
+	// Workers bounds verification parallelism (0 = all CPUs).
+	Workers int
+}
+
+// Option configures a Joiner at construction time.
+type Option func(*builder) error
+
+type builder struct {
+	rules    *synonym.RuleSet
+	tax      *taxonomy.Tree
+	measures sim.MeasureSet
+	q        int
+	t        float64
+	err      error
+}
+
+// WithSynonym adds one synonym (or abbreviation) rule lhs → rhs with the
+// given closeness in (0, 1].
+func WithSynonym(lhs, rhs string, closeness float64) Option {
+	return func(b *builder) error {
+		_, err := b.rules.Add(lhs, rhs, closeness)
+		return err
+	}
+}
+
+// WithSynonymsFrom loads tab-separated "lhs<TAB>rhs[<TAB>closeness]" rules.
+func WithSynonymsFrom(r io.Reader) Option {
+	return func(b *builder) error {
+		rs, err := synonym.Read(r)
+		if err != nil {
+			return err
+		}
+		for _, rule := range rs.Rules() {
+			if _, err := b.rules.Add(rule.LHSText(), rule.RHSText(), rule.C); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WithTaxonomyPath adds a root-to-leaf path of IS-A entities, creating any
+// missing intermediate nodes. The first element must always be the same
+// root name.
+func WithTaxonomyPath(path ...string) Option {
+	return func(b *builder) error {
+		if len(path) == 0 {
+			return fmt.Errorf("aujoin: empty taxonomy path")
+		}
+		if b.tax == nil {
+			b.tax = taxonomy.NewTree(path[0])
+		} else if _, ok := b.tax.Lookup(path[0]); !ok {
+			return fmt.Errorf("aujoin: taxonomy path must start at the existing root %q", b.tax.Name(b.tax.Root()))
+		}
+		parent := b.tax.Root()
+		for _, name := range path[1:] {
+			id, err := b.tax.AddChild(parent, name)
+			if err != nil {
+				return err
+			}
+			parent = id
+		}
+		return nil
+	}
+}
+
+// WithTaxonomyFrom loads a taxonomy in the "node<TAB>parent" format
+// produced by the datagen tool.
+func WithTaxonomyFrom(r io.Reader) Option {
+	return func(b *builder) error {
+		t, err := taxonomy.Read(r)
+		if err != nil {
+			return err
+		}
+		b.tax = t
+		return nil
+	}
+}
+
+// WithMeasures restricts the unified similarity to a combination of the
+// base measures, given in the paper's letter notation ("J", "TS", "TJS",
+// …). The default is all three.
+func WithMeasures(combo string) Option {
+	return func(b *builder) error {
+		b.measures = sim.ParseMeasureSet(combo)
+		return nil
+	}
+}
+
+// WithGramLength sets the q-gram length of the Jaccard measure (default 2).
+func WithGramLength(q int) Option {
+	return func(b *builder) error {
+		if q < 1 {
+			return fmt.Errorf("aujoin: gram length %d < 1", q)
+		}
+		b.q = q
+		return nil
+	}
+}
+
+// WithApproximationT sets the t parameter of Algorithm 1 (larger t = finer
+// local improvements, more work; default 50).
+func WithApproximationT(t float64) Option {
+	return func(b *builder) error {
+		if t <= 1 {
+			return fmt.Errorf("aujoin: t must be > 1")
+		}
+		b.t = t
+		return nil
+	}
+}
+
+// Joiner computes unified similarities and joins string collections. It is
+// safe for concurrent use once constructed.
+type Joiner struct {
+	ctx    *sim.Context
+	calc   *core.Calculator
+	joiner *join.Joiner
+}
+
+// New constructs a Joiner from the given options. Invalid options are
+// reported by Err on the returned Joiner; NewStrict returns them eagerly.
+func New(opts ...Option) *Joiner {
+	j, err := NewStrict(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("aujoin.New: %v", err))
+	}
+	return j
+}
+
+// NewStrict is New with explicit error reporting.
+func NewStrict(opts ...Option) (*Joiner, error) {
+	b := &builder{rules: synonym.NewRuleSet(), measures: sim.SetAll, q: sim.DefaultQ, t: core.DefaultT}
+	for _, opt := range opts {
+		if err := opt(b); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &sim.Context{Q: b.q, Rules: b.rules, Tax: b.tax, Measures: b.measures}
+	if b.tax != nil {
+		b.tax.Finalize()
+	}
+	calc := core.NewCalculator(ctx)
+	calc.T = b.t
+	return &Joiner{ctx: ctx, calc: calc, joiner: join.NewJoiner(ctx)}, nil
+}
+
+// Similarity computes the unified similarity of two strings with the
+// polynomial-time approximation (Algorithm 1).
+func (j *Joiner) Similarity(s, t string) float64 { return j.calc.Similarity(s, t) }
+
+// SimilarityExact computes the exact unified similarity by enumerating all
+// well-defined partitions. The boolean reports whether the enumeration
+// completed within its budget; when false the value is a lower bound.
+func (j *Joiner) SimilarityExact(s, t string) (float64, bool) {
+	res := j.calc.SimilarityExact(s, t)
+	return res.Similarity, res.Complete
+}
+
+// Join finds all pairs (i from s, j from t) whose unified similarity
+// reaches opts.Theta.
+func (j *Joiner) Join(s, t []string, opts JoinOptions) ([]Match, Stats) {
+	recsS := strutil.NewCollection(s)
+	recsT := strutil.NewCollection(t)
+	return j.joinRecords(recsS, recsT, opts, false)
+}
+
+// SelfJoin finds all unordered pairs within one collection.
+func (j *Joiner) SelfJoin(s []string, opts JoinOptions) ([]Match, Stats) {
+	recs := strutil.NewCollection(s)
+	return j.joinRecords(recs, recs, opts, true)
+}
+
+// SuggestTau runs the sampling-based estimator of Section 4 and returns the
+// overlap constraint with the minimal estimated join cost.
+func (j *Joiner) SuggestTau(s, t []string, theta float64) int {
+	recsS := strutil.NewCollection(s)
+	recsT := strutil.NewCollection(t)
+	rec := estimator.Suggest(j.joiner, recsS, recsT,
+		join.Options{Theta: theta, Method: pebble.AUHeuristic}, estimator.Config{Seed: 1})
+	return rec.BestTau
+}
+
+func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, self bool) ([]Match, Stats) {
+	var stats Stats
+	tau := opts.Tau
+	if tau < 1 {
+		tau = 1
+	}
+	if opts.AutoTau {
+		start := time.Now()
+		rec := estimator.Suggest(j.joiner, recsS, recsT,
+			join.Options{Theta: opts.Theta, Method: opts.Filter.method()}, estimator.Config{Seed: 1})
+		tau = rec.BestTau
+		stats.SuggestionTime = time.Since(start)
+	}
+	stats.SuggestedTau = tau
+	jopts := join.Options{
+		Theta:   opts.Theta,
+		Tau:     tau,
+		Method:  opts.Filter.method(),
+		Workers: opts.Workers,
+	}
+	var pairs []join.Pair
+	var jstats join.Stats
+	if self {
+		pairs, jstats = j.joiner.SelfJoin(recsS, jopts)
+	} else {
+		pairs, jstats = j.joiner.Join(recsS, recsT, jopts)
+	}
+	stats.Candidates = jstats.Candidates
+	stats.Results = len(pairs)
+	stats.FilterTime = jstats.SignatureTime + jstats.FilterTime
+	stats.VerifyTime = jstats.VerifyTime
+	out := make([]Match, len(pairs))
+	for i, p := range pairs {
+		out[i] = Match{S: p.S, T: p.T, Similarity: p.Similarity}
+	}
+	return out, stats
+}

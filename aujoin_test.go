@@ -1,0 +1,170 @@
+package aujoin
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func paperJoiner(t *testing.T) *Joiner {
+	t.Helper()
+	j, err := NewStrict(
+		WithSynonym("coffee shop", "cafe", 1),
+		WithSynonym("cake", "gateau", 1),
+		WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "espresso"),
+		WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "latte"),
+		WithTaxonomyPath("wikipedia", "food", "cake", "apple cake"),
+	)
+	if err != nil {
+		t.Fatalf("NewStrict: %v", err)
+	}
+	return j
+}
+
+func TestSimilarityPOIExample(t *testing.T) {
+	j := paperJoiner(t)
+	got := j.Similarity("coffee shop latte Helsingki", "espresso cafe Helsinki")
+	want := (1 + 0.8 + 2.0/3.0) / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Similarity = %v, want %v", got, want)
+	}
+	exact, complete := j.SimilarityExact("coffee shop latte Helsingki", "espresso cafe Helsinki")
+	if !complete || math.Abs(exact-want) > 1e-9 {
+		t.Errorf("SimilarityExact = %v (complete=%v), want %v", exact, complete, want)
+	}
+}
+
+func TestJoinAndSelfJoin(t *testing.T) {
+	j := paperJoiner(t)
+	left := []string{"coffee shop latte Helsingki", "apple cake bakery", "nothing in common"}
+	right := []string{"espresso cafe Helsinki", "cake gateau bakery", "completely different"}
+	matches, stats := j.Join(left, right, JoinOptions{Theta: 0.75, Tau: 2, Filter: AUFilterDP})
+	found := false
+	for _, m := range matches {
+		if m.S == 0 && m.T == 0 && m.Similarity >= 0.75 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("POI pair missing from matches %v", matches)
+	}
+	if stats.Results != len(matches) || stats.Candidates < len(matches) {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+	if stats.Total() <= 0 {
+		t.Error("total time should be positive")
+	}
+
+	self, _ := j.SelfJoin([]string{"latte art", "latte art", "espresso bar"}, JoinOptions{Theta: 0.9})
+	dup := false
+	for _, m := range self {
+		if m.S == 0 && m.T == 1 {
+			dup = true
+		}
+		if m.S >= m.T {
+			t.Errorf("self-join pair not ordered: %+v", m)
+		}
+	}
+	if !dup {
+		t.Errorf("duplicate pair missing from self-join %v", self)
+	}
+}
+
+func TestAutoTauAndSuggestTau(t *testing.T) {
+	j := paperJoiner(t)
+	var left, right []string
+	for i := 0; i < 30; i++ {
+		left = append(left, "coffee shop latte Helsingki")
+		right = append(right, "espresso cafe Helsinki")
+		left = append(left, "apple cake bakery")
+		right = append(right, "cake gateau corner")
+	}
+	tau := j.SuggestTau(left, right, 0.8)
+	if tau < 1 {
+		t.Errorf("SuggestTau = %d", tau)
+	}
+	matches, stats := j.Join(left, right, JoinOptions{Theta: 0.8, AutoTau: true})
+	if stats.SuggestedTau < 1 {
+		t.Errorf("SuggestedTau = %d", stats.SuggestedTau)
+	}
+	if len(matches) == 0 {
+		t.Error("auto-τ join found nothing")
+	}
+}
+
+func TestMeasureRestrictionOption(t *testing.T) {
+	full := paperJoiner(t)
+	jOnly := New(WithMeasures("J"))
+	s, u := "coffee shop latte Helsingki", "espresso cafe Helsinki"
+	if jOnly.Similarity(s, u) >= full.Similarity(s, u) {
+		t.Error("Jaccard-only similarity should be below the unified one on the POI pair")
+	}
+}
+
+func TestLoadersAndErrors(t *testing.T) {
+	j, err := NewStrict(
+		WithSynonymsFrom(strings.NewReader("coffee shop\tcafe\t1\n")),
+		WithTaxonomyFrom(strings.NewReader("root\t\ndrinks\troot\nespresso\tdrinks\n")),
+	)
+	if err != nil {
+		t.Fatalf("NewStrict with loaders: %v", err)
+	}
+	if got := j.Similarity("coffee shop", "cafe"); got != 1 {
+		t.Errorf("loaded synonym similarity = %v", got)
+	}
+
+	if _, err := NewStrict(WithSynonym("", "x", 1)); err == nil {
+		t.Error("expected error for empty synonym side")
+	}
+	if _, err := NewStrict(WithGramLength(0)); err == nil {
+		t.Error("expected error for zero gram length")
+	}
+	if _, err := NewStrict(WithApproximationT(0.5)); err == nil {
+		t.Error("expected error for t ≤ 1")
+	}
+	if _, err := NewStrict(WithTaxonomyPath()); err == nil {
+		t.Error("expected error for empty taxonomy path")
+	}
+	if _, err := NewStrict(
+		WithTaxonomyPath("rootA", "x"),
+		WithTaxonomyPath("rootB", "y"),
+	); err == nil {
+		t.Error("expected error for inconsistent taxonomy roots")
+	}
+	if _, err := NewStrict(WithSynonymsFrom(strings.NewReader("bad-line\n"))); err == nil {
+		t.Error("expected error for malformed synonym file")
+	}
+	if _, err := NewStrict(WithTaxonomyFrom(strings.NewReader("child\tmissing\n"))); err == nil {
+		t.Error("expected error for malformed taxonomy file")
+	}
+}
+
+func TestNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New should panic on invalid options")
+		}
+	}()
+	New(WithGramLength(-1))
+}
+
+func TestFilterNames(t *testing.T) {
+	if UFilter.String() != "U-Filter" {
+		t.Error("UFilter name")
+	}
+	if AUFilterHeuristic.String() != "AU-Filter (heuristics)" {
+		t.Error("heuristic name")
+	}
+	if AUFilterDP.String() != "AU-Filter (DP)" {
+		t.Error("DP name")
+	}
+}
+
+func TestJoinOptionsDefaults(t *testing.T) {
+	j := paperJoiner(t)
+	// Tau < 1 and default filter must still work.
+	matches, stats := j.Join([]string{"espresso"}, []string{"espresso"}, JoinOptions{Theta: 0.9})
+	if len(matches) != 1 || stats.SuggestedTau != 1 {
+		t.Errorf("defaults broken: %v %+v", matches, stats)
+	}
+}

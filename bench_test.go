@@ -1,0 +1,174 @@
+package aujoin
+
+// bench_test.go hosts one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 5), each delegating to the corresponding
+// runner in internal/experiments at a reduced scale so that
+// `go test -bench=. -benchmem` finishes on a laptop. The full-scale runs
+// are available through cmd/benchrun.
+
+import (
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/experiments"
+)
+
+// benchConfig is the scaled-down configuration shared by the benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.MEDSize = 100
+	cfg.WIKISize = 130
+	cfg.Thetas = []float64{0.85, 0.95}
+	cfg.Taus = []int{1, 2, 3}
+	return cfg
+}
+
+func BenchmarkTable8Effectiveness(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable8(cfg, []float64{0.8})
+		if len(res.Cells) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable9Approximation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable9(cfg, []int{3, 4}, 25)
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig3OverlapConstraint(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig3(cfg)
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig4JoinTime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig4(cfg, 2)
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig5FilteringPower(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig5(cfg, 0.85)
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig6MeasureJoinTime(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Thetas = []float64{0.85}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig6(cfg, 2)
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig7Scalability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig7(cfg, []int{80, 150}, 0.9, 2)
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable10Breakdown(b *testing.B) {
+	// Table 10 is the per-stage breakdown of the Figure 7 runs with the
+	// suggestion stage included; RunFig7 records the same breakdown.
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig7(cfg, []int{150}, 0.9, 3)
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable11ParameterChoice(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Thetas = []float64{0.9}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable11(cfg)
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable12SuggestionAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Thetas = []float64{0.9}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable12(cfg, 3)
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig8SamplingProbability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig8(cfg, []float64{0.1, 0.3})
+		if len(res.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable13BaselineEffectiveness(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable13(cfg, []float64{0.8})
+		if len(res.Cells) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable14BaselineJoinTime(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Thetas = []float64{0.9}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable14(cfg, 2)
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSimilarity measures the unified-similarity hot path on the
+// paper's running example.
+func BenchmarkSimilarity(b *testing.B) {
+	j := New(
+		WithSynonym("coffee shop", "cafe", 1),
+		WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "espresso"),
+		WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "latte"),
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Similarity("coffee shop latte Helsingki", "espresso cafe Helsinki")
+	}
+}

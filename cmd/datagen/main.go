@@ -1,0 +1,90 @@
+// Command datagen writes a synthetic join benchmark to disk: two record
+// files, a taxonomy file, a synonym-rule file and a ground-truth file, in
+// the formats the aujoin command and the experiment harness consume.
+//
+// Usage:
+//
+//	datagen -preset med -size 20000 -seed 1 -out ./data/med
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/aujoin/aujoin/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	var (
+		preset = flag.String("preset", "med", "dataset preset: med or wiki")
+		size   = flag.Int("size", 10000, "number of records per collection")
+		seed   = flag.Int64("seed", 1, "random seed")
+		outDir = flag.String("out", "./data", "output directory")
+	)
+	flag.Parse()
+
+	var cfg datagen.Config
+	switch *preset {
+	case "wiki":
+		cfg = datagen.WIKILike(*size, *seed)
+	default:
+		cfg = datagen.MEDLike(*size, *seed)
+	}
+	gen := datagen.New(cfg)
+	ds := gen.Generate()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	writeLines(filepath.Join(*outDir, "left.txt"), func(w *bufio.Writer) {
+		for _, r := range ds.S {
+			fmt.Fprintln(w, r.Raw)
+		}
+	})
+	writeLines(filepath.Join(*outDir, "right.txt"), func(w *bufio.Writer) {
+		for _, r := range ds.T {
+			fmt.Fprintln(w, r.Raw)
+		}
+	})
+	writeLines(filepath.Join(*outDir, "truth.tsv"), func(w *bufio.Writer) {
+		for pair, prov := range ds.Truth {
+			fmt.Fprintf(w, "%d\t%d\ttypo=%v syn=%v tax=%v\n", pair[0], pair[1], prov.Typo, prov.SynonymSwap, prov.TaxonomySwap)
+		}
+	})
+	writeFile(filepath.Join(*outDir, "taxonomy.tsv"), func(f *os.File) error { return ds.Tax.Write(f) })
+	writeFile(filepath.Join(*outDir, "synonyms.tsv"), func(f *os.File) error { return ds.Rules.Write(f) })
+
+	log.Printf("wrote %s dataset (%d + %d records, %d truth pairs, %d taxonomy nodes, %d rules) to %s",
+		ds.Name, len(ds.S), len(ds.T), len(ds.Truth), ds.Tax.Len(), ds.Rules.Len(), *outDir)
+}
+
+func writeLines(path string, fill func(*bufio.Writer)) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fill(w)
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeFile(path string, fill func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		log.Fatal(err)
+	}
+}

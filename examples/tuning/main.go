@@ -1,0 +1,48 @@
+// tuning demonstrates the parameter-recommendation framework of Section 4:
+// it compares the join time obtained with the estimator-suggested overlap
+// constraint τ against every fixed τ in the candidate universe.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/datagen"
+)
+
+func main() {
+	gen := datagen.New(datagen.WIKILike(600, 11))
+	ds := gen.Generate()
+
+	left := make([]string, len(ds.S))
+	for i, r := range ds.S {
+		left[i] = r.Raw
+	}
+	right := make([]string, len(ds.T))
+	for i, r := range ds.T {
+		right[i] = r.Raw
+	}
+
+	j := aujoin.New() // plain syntactic matching is enough to show the trade-off
+	theta := 0.85
+
+	fmt.Println("fixed τ sweep (AU-Filter DP):")
+	bestFixed := time.Duration(0)
+	for tau := 1; tau <= 5; tau++ {
+		start := time.Now()
+		matches, stats := j.Join(left, right, aujoin.JoinOptions{Theta: theta, Tau: tau})
+		elapsed := time.Since(start)
+		if bestFixed == 0 || elapsed < bestFixed {
+			bestFixed = elapsed
+		}
+		fmt.Printf("  τ=%d: %4d candidates, %3d results, %8v\n", tau, stats.Candidates, len(matches), elapsed)
+	}
+
+	suggested := j.SuggestTau(left, right, theta)
+	start := time.Now()
+	matches, stats := j.Join(left, right, aujoin.JoinOptions{Theta: theta, Tau: suggested})
+	elapsed := time.Since(start)
+	fmt.Printf("\nestimator suggests τ=%d: %d candidates, %d results, %v (best fixed: %v)\n",
+		suggested, stats.Candidates, len(matches), elapsed, bestFixed)
+}

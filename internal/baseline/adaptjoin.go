@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// AdaptJoin is the gram-based syntactic baseline modelled after Wang et
+// al.'s adaptive prefix framework (SIGMOD 2012): records are compared with
+// whole-string q-gram Jaccard, candidates are generated with an ℓ-prefix
+// scheme over globally ordered grams, and ℓ is chosen adaptively by
+// estimating the candidate volume of each prefix length on a sample of the
+// indexed collection.
+type AdaptJoin struct {
+	// Q is the gram length; zero means sim.DefaultQ.
+	Q int
+	// MaxL bounds the adaptive prefix extension; zero means 3.
+	MaxL int
+	// SampleSize is the number of indexed records used to estimate the best
+	// ℓ; zero means 200.
+	SampleSize int
+}
+
+// Name implements Algorithm.
+func (a *AdaptJoin) Name() string { return "AdaptJoin" }
+
+func (a *AdaptJoin) q() int {
+	if a.Q > 0 {
+		return a.Q
+	}
+	return sim.DefaultQ
+}
+
+func (a *AdaptJoin) maxL() int {
+	if a.MaxL > 0 {
+		return a.MaxL
+	}
+	return 3
+}
+
+func (a *AdaptJoin) sampleSize() int {
+	if a.SampleSize > 0 {
+		return a.SampleSize
+	}
+	return 200
+}
+
+// Join implements Algorithm.
+func (a *AdaptJoin) Join(s, t []strutil.Record, theta float64) []Pair {
+	q := a.q()
+	gramsS := make([][]string, len(s))
+	gramsT := make([][]string, len(t))
+	for i, r := range s {
+		gramsS[i] = strutil.QGrams(strutil.Normalize(r.Raw), q)
+	}
+	for i, r := range t {
+		gramsT[i] = strutil.QGrams(strutil.Normalize(r.Raw), q)
+	}
+	freq := tokenFrequencies([][][]string{gramsS, gramsT})
+	sortedS := make([][]string, len(s))
+	sortedT := make([][]string, len(t))
+	for i := range gramsS {
+		sortedS[i] = sortByFrequency(dedupe(gramsS[i]), freq)
+	}
+	for i := range gramsT {
+		sortedT[i] = sortByFrequency(dedupe(gramsT[i]), freq)
+	}
+
+	ell := a.chooseL(sortedS, sortedT, theta)
+	candidates := a.candidatesWithL(sortedS, sortedT, theta, ell)
+
+	var out []Pair
+	for _, c := range candidates {
+		i, j := c[0], c[1]
+		v := sim.JaccardGrams(strutil.Normalize(s[i].Raw), strutil.Normalize(t[j].Raw), q)
+		if v >= theta {
+			out = append(out, Pair{S: s[i].ID, T: t[j].ID, Similarity: v})
+		}
+	}
+	return sortPairs(out)
+}
+
+// chooseL estimates, for each prefix extension ℓ, the candidate volume on a
+// sample of the indexed side and picks the ℓ with the lowest estimated cost
+// (the adaptive step of the original framework, simplified to a single
+// global ℓ).
+func (a *AdaptJoin) chooseL(sortedS, sortedT [][]string, theta float64) int {
+	limit := a.sampleSize()
+	sampleS := sortedS
+	sampleT := sortedT
+	if len(sampleS) > limit {
+		sampleS = sampleS[:limit]
+	}
+	if len(sampleT) > limit {
+		sampleT = sampleT[:limit]
+	}
+	bestL, bestCost := 1, int(^uint(0)>>1)
+	for ell := 1; ell <= a.maxL(); ell++ {
+		cands := a.candidatesWithL(sampleS, sampleT, theta, ell)
+		// Cost model: candidates dominate (verification), longer prefixes
+		// add indexing cost proportional to ℓ.
+		cost := len(cands)*4 + ell*(len(sampleS)+len(sampleT))
+		if cost < bestCost {
+			bestCost = cost
+			bestL = ell
+		}
+	}
+	return bestL
+}
+
+// candidatesWithL generates candidates under the ℓ-prefix scheme: prefixes
+// are extended by ℓ−1 extra grams and a candidate must share at least ℓ
+// prefix grams.
+func (a *AdaptJoin) candidatesWithL(sortedS, sortedT [][]string, theta float64, ell int) [][2]int {
+	index := map[string][]int{}
+	for i, sig := range sortedS {
+		keep := prefixLength(len(sig), theta) + ell - 1
+		if keep > len(sig) {
+			keep = len(sig)
+		}
+		for _, g := range sig[:keep] {
+			index[g] = append(index[g], i)
+		}
+	}
+	counts := map[[2]int]int{}
+	for j, sig := range sortedT {
+		keep := prefixLength(len(sig), theta) + ell - 1
+		if keep > len(sig) {
+			keep = len(sig)
+		}
+		for _, g := range sig[:keep] {
+			for _, i := range index[g] {
+				counts[[2]int{i, j}]++
+			}
+		}
+	}
+	var out [][2]int
+	for key, c := range counts {
+		if c >= ell {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// dedupe removes duplicate grams while preserving order.
+func dedupe(grams []string) []string {
+	seen := map[string]struct{}{}
+	out := grams[:0:0]
+	for _, g := range grams {
+		if _, ok := seen[g]; ok {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}

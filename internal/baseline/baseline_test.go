@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/synonym"
+	"github.com/aujoin/aujoin/internal/taxonomy"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func testTaxonomy() *taxonomy.Tree {
+	tax := taxonomy.NewTree("root")
+	food := tax.MustAddChild(tax.Root(), "food")
+	coffee := tax.MustAddChild(food, "coffee")
+	drinks := tax.MustAddChild(coffee, "coffee drinks")
+	tax.MustAddChild(drinks, "espresso")
+	tax.MustAddChild(drinks, "latte")
+	cake := tax.MustAddChild(food, "cake")
+	tax.MustAddChild(cake, "apple cake")
+	return tax
+}
+
+func testRules() *synonym.RuleSet {
+	rules := synonym.NewRuleSet()
+	rules.MustAdd("coffee shop", "cafe", 1)
+	rules.MustAdd("db", "database", 1)
+	rules.MustAdd("cake", "gateau", 1)
+	return rules
+}
+
+func pairSet(pairs []Pair) map[[2]int]bool {
+	m := map[[2]int]bool{}
+	for _, p := range pairs {
+		m[[2]int{p.S, p.T}] = true
+	}
+	return m
+}
+
+func TestPrefixLength(t *testing.T) {
+	tests := []struct {
+		n     int
+		theta float64
+		want  int
+	}{
+		{0, 0.8, 0},
+		{10, 0.8, 3},
+		{10, 0.95, 1},
+		{10, 0.0, 10},
+		{1, 0.9, 1},
+	}
+	for _, tt := range tests {
+		if got := prefixLength(tt.n, tt.theta); got != tt.want {
+			t.Errorf("prefixLength(%d, %v) = %d, want %d", tt.n, tt.theta, got, tt.want)
+		}
+	}
+}
+
+func TestAdaptJoinFindsTypos(t *testing.T) {
+	a := &AdaptJoin{}
+	s := strutil.NewCollection([]string{"helsinki city center", "espresso bar", "database systems"})
+	u := strutil.NewCollection([]string{"helsingki city center", "dataabse systems", "unrelated"})
+	pairs := a.Join(s, u, 0.6)
+	got := pairSet(pairs)
+	if !got[[2]int{0, 0}] {
+		t.Error("typo pair (helsinki, helsingki) missing")
+	}
+	if !got[[2]int{2, 1}] {
+		t.Error("typo pair (database systems, dataabse systems) missing")
+	}
+	for _, p := range pairs {
+		if p.Similarity < 0.6 || p.Similarity > 1 {
+			t.Errorf("similarity out of range: %+v", p)
+		}
+	}
+	if a.Name() != "AdaptJoin" {
+		t.Error("name")
+	}
+}
+
+func TestAdaptJoinCannotSeeSemantics(t *testing.T) {
+	a := &AdaptJoin{}
+	s := strutil.NewCollection([]string{"coffee shop"})
+	u := strutil.NewCollection([]string{"cafe"})
+	pairs := a.Join(s, u, 0.7)
+	if len(pairs) != 0 {
+		t.Errorf("gram-based baseline should not match synonym-only pair, got %v", pairs)
+	}
+}
+
+func TestKJoinSimilarityAndJoin(t *testing.T) {
+	k := NewKJoin(testTaxonomy())
+	if k.Name() != "K-Join" {
+		t.Error("name")
+	}
+	// latte vs espresso relate through "coffee drinks": 4/5.
+	got := k.Similarity([]string{"latte"}, []string{"espresso"})
+	if !approxEq(got, 0.8) {
+		t.Errorf("Similarity(latte, espresso) = %v, want 0.8", got)
+	}
+	// Mixed record: shared token "helsinki" plus related entities.
+	got = k.Similarity(strutil.Tokenize("latte helsinki"), strutil.Tokenize("espresso helsinki"))
+	if !approxEq(got, (0.8+1)/2) {
+		t.Errorf("Similarity = %v, want 0.9", got)
+	}
+	// Entirely unrelated tokens score 0.
+	if got := k.Similarity([]string{"xyz"}, []string{"abc"}); got != 0 {
+		t.Errorf("unrelated = %v, want 0", got)
+	}
+	if got := k.Similarity(nil, nil); got != 1 {
+		t.Errorf("empty-empty = %v, want 1", got)
+	}
+	if got := k.Similarity([]string{"a"}, nil); got != 0 {
+		t.Errorf("empty one side = %v, want 0", got)
+	}
+
+	s := strutil.NewCollection([]string{"latte helsinki", "apple cake bakery", "plain words"})
+	u := strutil.NewCollection([]string{"espresso helsinki", "cake bakery", "other words"})
+	pairs := k.Join(s, u, 0.75)
+	got2 := pairSet(pairs)
+	if !got2[[2]int{0, 0}] {
+		t.Errorf("taxonomy pair missing from K-Join results %v", pairs)
+	}
+}
+
+func TestKJoinWithoutTaxonomy(t *testing.T) {
+	k := &KJoin{}
+	got := k.Similarity([]string{"same", "words"}, []string{"same", "words"})
+	if !approxEq(got, 1) {
+		t.Errorf("token-equality similarity = %v, want 1", got)
+	}
+	s := strutil.NewCollection([]string{"same words"})
+	u := strutil.NewCollection([]string{"same words"})
+	if pairs := k.Join(s, u, 0.9); len(pairs) != 1 {
+		t.Errorf("expected 1 pair, got %v", pairs)
+	}
+}
+
+func TestPKDuckSimilarityAndJoin(t *testing.T) {
+	p := NewPKDuck(testRules())
+	if p.Name() != "PKduck" {
+		t.Error("name")
+	}
+	// "coffee shop" rewrites to "cafe" → Jaccard 1.
+	got := p.Similarity(strutil.Tokenize("coffee shop"), strutil.Tokenize("cafe"))
+	if !approxEq(got, 1) {
+		t.Errorf("Similarity(coffee shop, cafe) = %v, want 1", got)
+	}
+	// Partial rewrite inside a longer record.
+	got = p.Similarity(strutil.Tokenize("best coffee shop downtown"), strutil.Tokenize("best cafe downtown"))
+	if !approxEq(got, 1) {
+		t.Errorf("Similarity with context = %v, want 1", got)
+	}
+	// Without an applicable rule the similarity is plain token Jaccard.
+	got = p.Similarity(strutil.Tokenize("alpha beta"), strutil.Tokenize("alpha gamma"))
+	if !approxEq(got, 1.0/3.0) {
+		t.Errorf("token Jaccard = %v, want 1/3", got)
+	}
+
+	s := strutil.NewCollection([]string{"coffee shop downtown", "db lecture notes", "unrelated stuff"})
+	u := strutil.NewCollection([]string{"cafe downtown", "database lecture notes", "different things"})
+	pairs := p.Join(s, u, 0.9)
+	got2 := pairSet(pairs)
+	if !got2[[2]int{0, 0}] || !got2[[2]int{1, 1}] {
+		t.Errorf("synonym pairs missing from PKduck results %v", pairs)
+	}
+	if got2[[2]int{2, 2}] {
+		t.Error("unrelated pair should not match")
+	}
+}
+
+func TestPKDuckWithoutRules(t *testing.T) {
+	p := &PKDuck{}
+	got := p.Similarity([]string{"a", "b"}, []string{"a", "b"})
+	if !approxEq(got, 1) {
+		t.Errorf("similarity = %v, want 1", got)
+	}
+	if got := p.Similarity(nil, nil); got != 1 {
+		t.Errorf("empty = %v, want 1", got)
+	}
+}
+
+func TestCombinationUnionsResults(t *testing.T) {
+	tax := testTaxonomy()
+	rules := testRules()
+	comb := NewCombination(&AdaptJoin{}, NewKJoin(tax), NewPKDuck(rules))
+	if comb.Name() != "Combination" {
+		t.Error("name")
+	}
+	s := strutil.NewCollection([]string{
+		"helsinki city",        // typo pair
+		"latte helsinki",       // taxonomy pair
+		"coffee shop downtown", // synonym pair
+	})
+	u := strutil.NewCollection([]string{
+		"helsingki city",
+		"espresso helsinki",
+		"cafe downtown",
+	})
+	pairs := comb.Join(s, u, 0.66)
+	got := pairSet(pairs)
+	for _, want := range [][2]int{{0, 0}, {1, 1}, {2, 2}} {
+		if !got[want] {
+			t.Errorf("Combination missing pair %v (got %v)", want, pairs)
+		}
+	}
+	// Every individual algorithm finds at most as many pairs.
+	for _, alg := range comb.Algorithms {
+		if n := len(alg.Join(s, u, 0.66)); n > len(pairs) {
+			t.Errorf("%s returned %d pairs, more than the combination's %d", alg.Name(), n, len(pairs))
+		}
+	}
+}
+
+func TestReplaceSpanAndTokenJaccard(t *testing.T) {
+	out := replaceSpan([]string{"a", "b", "c"}, 1, 1, []string{"x", "y"})
+	want := []string{"a", "x", "y", "c"}
+	if len(out) != len(want) {
+		t.Fatalf("replaceSpan = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("replaceSpan = %v, want %v", out, want)
+		}
+	}
+	if got := tokenJaccard([]string{"a"}, nil); got != 0 {
+		t.Errorf("tokenJaccard with empty = %v, want 0", got)
+	}
+	if got := tokenJaccard(nil, nil); got != 1 {
+		t.Errorf("tokenJaccard empty-empty = %v, want 1", got)
+	}
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"github.com/aujoin/aujoin/internal/matching"
+	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/taxonomy"
+)
+
+// KJoin is the taxonomy-aware baseline modelled after Shang et al.'s K-Join
+// (TKDE 2016): record similarity is a knowledge-aware token matching where
+// tokens (or multi-token spans) mapped to taxonomy entities are scored by
+// the depth of their lowest common ancestor, other tokens require exact
+// equality, and the matching score is normalised by the larger token count.
+// Filtering uses a prefix filter over a signature consisting of the
+// record's tokens plus the ancestors of every matched taxonomy entity
+// (related entities always share their LCA's ancestor element).
+type KJoin struct {
+	Tax *taxonomy.Tree
+	// MaxSpan bounds the entity span length probed during matching; zero
+	// means the taxonomy's maximal entity token count.
+	MaxSpan int
+}
+
+// NewKJoin builds a K-Join baseline over the given taxonomy.
+func NewKJoin(tax *taxonomy.Tree) *KJoin { return &KJoin{Tax: tax} }
+
+// Name implements Algorithm.
+func (k *KJoin) Name() string { return "K-Join" }
+
+func (k *KJoin) maxSpan() int {
+	if k.MaxSpan > 0 {
+		return k.MaxSpan
+	}
+	if k.Tax != nil {
+		return k.Tax.MaxEntityTokens()
+	}
+	return 1
+}
+
+// Join implements Algorithm.
+func (k *KJoin) Join(s, t []strutil.Record, theta float64) []Pair {
+	sigS := make([][]string, len(s))
+	sigT := make([][]string, len(t))
+	for i, r := range s {
+		sigS[i] = k.signatureElements(r.Tokens)
+	}
+	for i, r := range t {
+		sigT[i] = k.signatureElements(r.Tokens)
+	}
+	freq := tokenFrequencies([][][]string{sigS, sigT})
+	prefS := make([][]string, len(sigS))
+	for i := range sigS {
+		prefS[i] = k.prefix(sigS[i], freq, theta)
+	}
+	prefT := make([][]string, len(sigT))
+	for i := range sigT {
+		prefT[i] = k.prefix(sigT[i], freq, theta)
+	}
+	candidates := candidatesByPrefix(prefS, prefT)
+	var out []Pair
+	for _, c := range candidates {
+		i, j := c[0], c[1]
+		v := k.Similarity(s[i].Tokens, t[j].Tokens)
+		if v >= theta {
+			out = append(out, Pair{S: s[i].ID, T: t[j].ID, Similarity: v})
+		}
+	}
+	return sortPairs(out)
+}
+
+// prefix computes the probe set of a record: the (1−θ)-fraction prefix of
+// its plain tokens (ordered by ascending frequency) plus every taxonomy
+// ancestor element. Entity-related pairs always share an ancestor element,
+// so the knowledge-aware similarity never loses a candidate to the token
+// prefix being too short.
+func (k *KJoin) prefix(signature []string, freq map[string]int, theta float64) []string {
+	var tokens, tax []string
+	for _, e := range signature {
+		if len(e) > 4 && e[:4] == "tax:" {
+			tax = append(tax, e)
+		} else {
+			tokens = append(tokens, e)
+		}
+	}
+	tokens = sortByFrequency(tokens, freq)
+	keep := prefixLength(len(tokens), theta)
+	out := append([]string(nil), tokens[:keep]...)
+	return append(out, tax...)
+}
+
+// signatureElements returns the prefix-filter signature of a record: its
+// distinct tokens plus the names of every taxonomy node on the ancestor
+// path of every entity the record mentions.
+func (k *KJoin) signatureElements(tokens []string) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	add := func(e string) {
+		if _, ok := seen[e]; ok {
+			return
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	for _, tok := range tokens {
+		add(tok)
+	}
+	if k.Tax == nil {
+		return out
+	}
+	maxSpan := k.maxSpan()
+	for start := 0; start < len(tokens); start++ {
+		limit := maxSpan
+		if rem := len(tokens) - start; rem < limit {
+			limit = rem
+		}
+		for length := 1; length <= limit; length++ {
+			if node, ok := k.Tax.LookupTokens(tokens[start : start+length]); ok {
+				for _, anc := range k.Tax.Ancestors(node) {
+					add("tax:" + k.Tax.Name(anc))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Similarity computes the knowledge-aware similarity of two token
+// sequences: segments (greedy longest entity spans, singletons otherwise)
+// are matched with maximum-weight bipartite matching where entity pairs
+// score LCA-depth / max-depth and plain tokens score 1 on equality; the
+// total is divided by the larger segment count.
+func (k *KJoin) Similarity(a, b []string) float64 {
+	segA := k.segments(a)
+	segB := k.segments(b)
+	if len(segA) == 0 || len(segB) == 0 {
+		if len(segA) == 0 && len(segB) == 0 {
+			return 1
+		}
+		return 0
+	}
+	w := make([][]float64, len(segA))
+	for i, sa := range segA {
+		w[i] = make([]float64, len(segB))
+		for j, sb := range segB {
+			w[i][j] = k.segmentSim(sa, sb)
+		}
+	}
+	total := matching.MaxWeight(w).Total
+	den := len(segA)
+	if len(segB) > den {
+		den = len(segB)
+	}
+	return total / float64(den)
+}
+
+type kSegment struct {
+	text string
+	node taxonomy.NodeID
+	ok   bool
+}
+
+// segments splits tokens into greedy longest entity spans and singleton
+// tokens.
+func (k *KJoin) segments(tokens []string) []kSegment {
+	var out []kSegment
+	maxSpan := k.maxSpan()
+	for pos := 0; pos < len(tokens); {
+		bestLen := 1
+		bestNode := taxonomy.InvalidNode
+		found := false
+		if k.Tax != nil {
+			limit := maxSpan
+			if rem := len(tokens) - pos; rem < limit {
+				limit = rem
+			}
+			for length := limit; length >= 1; length-- {
+				if node, ok := k.Tax.LookupTokens(tokens[pos : pos+length]); ok {
+					bestLen, bestNode, found = length, node, true
+					break
+				}
+			}
+		}
+		out = append(out, kSegment{
+			text: strutil.JoinTokens(tokens[pos : pos+bestLen]),
+			node: bestNode,
+			ok:   found,
+		})
+		pos += bestLen
+	}
+	return out
+}
+
+// segmentSim scores a pair of segments: entity pairs via LCA depth, other
+// pairs by exact text equality.
+func (k *KJoin) segmentSim(a, b kSegment) float64 {
+	if a.ok && b.ok {
+		return k.Tax.Similarity(a.node, b.node)
+	}
+	if a.text == b.text {
+		return 1
+	}
+	return 0
+}

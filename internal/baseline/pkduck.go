@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/synonym"
+)
+
+// PKDuck is the synonym/abbreviation baseline modelled after Tao et al.'s
+// pkduck (PVLDB 2017): record similarity is the best token-set Jaccard
+// achievable after rewriting one record with applicable synonym rules
+// (lhs → rhs applied on consecutive token spans, non-overlapping). The
+// filter is a prefix filter over the record's tokens extended with every
+// token derivable through an applicable rule, so two records related by a
+// rule always share a signature element.
+type PKDuck struct {
+	Rules *synonym.RuleSet
+	// MaxRewrites bounds the number of rules applied to one record during
+	// verification; zero means 4 (abbreviation chains are short).
+	MaxRewrites int
+}
+
+// NewPKDuck builds the baseline over the given rule set.
+func NewPKDuck(rules *synonym.RuleSet) *PKDuck { return &PKDuck{Rules: rules} }
+
+// Name implements Algorithm.
+func (p *PKDuck) Name() string { return "PKduck" }
+
+func (p *PKDuck) maxRewrites() int {
+	if p.MaxRewrites > 0 {
+		return p.MaxRewrites
+	}
+	return 4
+}
+
+// Join implements Algorithm.
+func (p *PKDuck) Join(s, t []strutil.Record, theta float64) []Pair {
+	sigS := make([][]string, len(s))
+	sigT := make([][]string, len(t))
+	for i, r := range s {
+		sigS[i] = p.signatureElements(r.Tokens)
+	}
+	for i, r := range t {
+		sigT[i] = p.signatureElements(r.Tokens)
+	}
+	freq := tokenFrequencies([][][]string{sigS, sigT})
+	prefS := make([][]string, len(sigS))
+	for i := range sigS {
+		sorted := sortByFrequency(sigS[i], freq)
+		prefS[i] = sorted[:prefixLength(len(sorted), theta)]
+	}
+	prefT := make([][]string, len(sigT))
+	for i := range sigT {
+		sorted := sortByFrequency(sigT[i], freq)
+		prefT[i] = sorted[:prefixLength(len(sorted), theta)]
+	}
+	candidates := candidatesByPrefix(prefS, prefT)
+	var out []Pair
+	for _, c := range candidates {
+		i, j := c[0], c[1]
+		v := p.Similarity(s[i].Tokens, t[j].Tokens)
+		if v >= theta {
+			out = append(out, Pair{S: s[i].ID, T: t[j].ID, Similarity: v})
+		}
+	}
+	return sortPairs(out)
+}
+
+// signatureElements returns the record's tokens plus every token of the
+// opposite side of any rule whose side matches a span of the record.
+func (p *PKDuck) signatureElements(tokens []string) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	add := func(e string) {
+		if _, ok := seen[e]; ok {
+			return
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	for _, tok := range tokens {
+		add(tok)
+	}
+	if p.Rules == nil {
+		return out
+	}
+	maxSpan := p.Rules.MaxSideTokens()
+	for start := 0; start < len(tokens); start++ {
+		limit := maxSpan
+		if rem := len(tokens) - start; rem < limit {
+			limit = rem
+		}
+		for length := 1; length <= limit; length++ {
+			span := tokens[start : start+length]
+			for _, id := range p.Rules.ByLHS(span) {
+				for _, tok := range p.Rules.Rule(id).RHS {
+					add(tok)
+				}
+			}
+			for _, id := range p.Rules.ByRHS(span) {
+				for _, tok := range p.Rules.Rule(id).LHS {
+					add(tok)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Similarity computes the pkduck-style similarity: the maximum token-set
+// Jaccard between any rule-rewriting of a and the original b, or of b and
+// the original a. Rewritings are explored greedily, applying at each step
+// the rule application that most improves the Jaccard, up to MaxRewrites
+// applications.
+func (p *PKDuck) Similarity(a, b []string) float64 {
+	base := tokenJaccard(a, b)
+	best := base
+	if p.Rules != nil {
+		if v := p.bestRewriteJaccard(a, b); v > best {
+			best = v
+		}
+		if v := p.bestRewriteJaccard(b, a); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bestRewriteJaccard greedily rewrites `from` with applicable rules to
+// maximise its token Jaccard against `to`.
+func (p *PKDuck) bestRewriteJaccard(from, to []string) float64 {
+	current := append([]string(nil), from...)
+	best := tokenJaccard(current, to)
+	for step := 0; step < p.maxRewrites(); step++ {
+		improved := false
+		bestTokens := current
+		maxSpan := p.Rules.MaxSideTokens()
+		for start := 0; start < len(current); start++ {
+			limit := maxSpan
+			if rem := len(current) - start; rem < limit {
+				limit = rem
+			}
+			for length := 1; length <= limit; length++ {
+				span := current[start : start+length]
+				for _, id := range p.Rules.ByLHS(span) {
+					cand := replaceSpan(current, start, length, p.Rules.Rule(id).RHS)
+					if v := tokenJaccard(cand, to); v > best {
+						best, bestTokens, improved = v, cand, true
+					}
+				}
+				for _, id := range p.Rules.ByRHS(span) {
+					cand := replaceSpan(current, start, length, p.Rules.Rule(id).LHS)
+					if v := tokenJaccard(cand, to); v > best {
+						best, bestTokens, improved = v, cand, true
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+		current = bestTokens
+	}
+	return best
+}
+
+// replaceSpan substitutes tokens[start:start+length] with the replacement.
+func replaceSpan(tokens []string, start, length int, replacement []string) []string {
+	out := make([]string, 0, len(tokens)-length+len(replacement))
+	out = append(out, tokens[:start]...)
+	out = append(out, replacement...)
+	out = append(out, tokens[start+length:]...)
+	return out
+}
+
+// tokenJaccard is the Jaccard coefficient of two token sets.
+func tokenJaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := strutil.TokenSet(a)
+	sb := strutil.TokenSet(b)
+	inter := strutil.OverlapCount(sa, sb)
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

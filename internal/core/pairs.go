@@ -1,0 +1,151 @@
+package core
+
+import (
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/wmis"
+)
+
+// PairKind classifies how a candidate segment pair was generated.
+type PairKind int
+
+const (
+	// PairRule links a segment of S and a segment of T through a synonym
+	// rule in either direction.
+	PairRule PairKind = iota
+	// PairTaxonomy links two segments that both map to taxonomy entities.
+	PairTaxonomy
+	// PairSingle links two single-token segments (used only by the exact
+	// solver's bipartite matching; such pairs are not graph vertices, see
+	// the package comment).
+	PairSingle
+)
+
+// String returns a short human-readable label.
+func (k PairKind) String() string {
+	switch k {
+	case PairRule:
+		return "rule"
+	case PairTaxonomy:
+		return "taxonomy"
+	case PairSingle:
+		return "single"
+	default:
+		return "unknown"
+	}
+}
+
+// SegmentPair is a candidate pairing of a segment of S with a segment of T,
+// weighted by msim (Eq. 4). SegmentPairs are the vertices of the conflict
+// graph of Section 2.3.
+type SegmentPair struct {
+	S, T   strutil.Span
+	Weight float64
+	Kind   PairKind
+}
+
+// CandidatePairs enumerates the segment pairs used as conflict-graph
+// vertices for strings with token slices sTokens and tTokens:
+//
+//   - every (P_S, P_T) linked by a synonym rule (in either direction), and
+//   - every (P_S, P_T) where both segments map to taxonomy entities,
+//
+// restricted to pairs where at least one side spans two or more tokens
+// (singleton-singleton pairs are handled exactly by the bipartite matching
+// in GetSim and are deliberately excluded from the w-MIS graph; see the
+// package comment).
+func (sg *Segmenter) CandidatePairs(sTokens, tTokens []string) []SegmentPair {
+	sSegs := sg.Segments(sTokens)
+	tSegs := sg.Segments(tTokens)
+	var out []SegmentPair
+	for _, ps := range sSegs {
+		for _, pt := range tSegs {
+			if ps.Span.Len() < 2 && pt.Span.Len() < 2 {
+				continue
+			}
+			kind, w := sg.pairWeight(ps, pt)
+			if w <= 0 {
+				continue
+			}
+			out = append(out, SegmentPair{S: ps.Span, T: pt.Span, Weight: w, Kind: kind})
+		}
+	}
+	return out
+}
+
+// pairWeight determines whether a segment pair is a candidate vertex and
+// returns its kind and msim weight. Rule pairs and taxonomy pairs qualify;
+// a pair qualifying as both keeps the larger weight.
+func (sg *Segmenter) pairWeight(ps, pt Segment) (PairKind, float64) {
+	kind, weight := PairKind(-1), 0.0
+	if sg.Ctx.SynonymEnabled() && (ps.Rule || pt.Rule) {
+		if c, ok := sg.Ctx.Rules.MatchPair(ps.Tokens, pt.Tokens); ok && c > weight {
+			kind, weight = PairRule, c
+		}
+	}
+	if sg.Ctx.TaxonomyEnabled() && ps.Entity && pt.Entity {
+		if v := sg.Ctx.SegmentTaxonomy(ps.Tokens, pt.Tokens); v > weight {
+			kind, weight = PairTaxonomy, v
+		}
+	}
+	if weight <= 0 {
+		return PairSingle, 0
+	}
+	return kind, weight
+}
+
+// ConflictGraph bundles the conflict graph with its vertex pairs so that
+// independent sets (vertex index slices) can be mapped back to segment
+// selections.
+type ConflictGraph struct {
+	Graph *wmis.Graph
+	Pairs []SegmentPair
+}
+
+// BuildConflictGraph constructs the conflict graph of Section 2.3 for the
+// given candidate pairs: one vertex per pair, weighted by msim, and an edge
+// between any two pairs whose S-segments or T-segments overlap in token
+// positions.
+func BuildConflictGraph(pairs []SegmentPair) *ConflictGraph {
+	g := wmis.NewGraph(len(pairs))
+	for i, p := range pairs {
+		g.SetWeight(i, p.Weight)
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			if pairs[i].S.Overlaps(pairs[j].S) || pairs[i].T.Overlaps(pairs[j].T) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return &ConflictGraph{Graph: g, Pairs: pairs}
+}
+
+// selectedSegments maps an independent set of vertex indices to the
+// multi-token segments it selects on the S side and the T side.
+func (cg *ConflictGraph) selectedSegments(set []int, sTokens, tTokens []string) (sSel, tSel []Segment) {
+	for _, v := range set {
+		p := cg.Pairs[v]
+		if p.S.Len() >= 2 {
+			sSel = append(sSel, Segment{Span: p.S, Tokens: p.S.Slice(sTokens)})
+		}
+		if p.T.Len() >= 2 {
+			tSel = append(tSel, Segment{Span: p.T, Tokens: p.T.Slice(tTokens)})
+		}
+	}
+	return sSel, tSel
+}
+
+// MSimMatrix computes the full msim weight matrix between the segments of
+// two partitions; entry [i][j] = msim(P_S i, P_T j).
+func MSimMatrix(ctx *sim.Context, ps, pt Partition) [][]float64 {
+	w := make([][]float64, len(ps.Segments))
+	for i, a := range ps.Segments {
+		row := make([]float64, len(pt.Segments))
+		for j, b := range pt.Segments {
+			row[j] = ctx.MSim(a.Tokens, b.Tokens)
+		}
+		w[i] = row
+	}
+	return w
+}

@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := MEDLike(50, 7)
+	a := New(cfg).Generate()
+	b := New(cfg).Generate()
+	if len(a.S) != len(b.S) || len(a.T) != len(b.T) {
+		t.Fatal("sizes differ between identically seeded runs")
+	}
+	for i := range a.S {
+		if a.S[i].Raw != b.S[i].Raw {
+			t.Fatalf("record %d differs: %q vs %q", i, a.S[i].Raw, b.S[i].Raw)
+		}
+	}
+	for i := range a.T {
+		if a.T[i].Raw != b.T[i].Raw {
+			t.Fatalf("variant %d differs", i)
+		}
+	}
+	if len(a.Truth) != len(b.Truth) {
+		t.Fatal("ground truth differs")
+	}
+}
+
+func TestGeneratedDatasetShape(t *testing.T) {
+	for _, cfg := range []Config{MEDLike(80, 3), WIKILike(80, 4)} {
+		g := New(cfg)
+		ds := g.Generate()
+		if ds.Name != cfg.Name {
+			t.Errorf("name = %q", ds.Name)
+		}
+		if len(ds.S) != 80 || len(ds.T) != 80 {
+			t.Fatalf("sizes = %d/%d, want 80/80", len(ds.S), len(ds.T))
+		}
+		if len(ds.Truth) == 0 {
+			t.Fatal("no ground truth pairs")
+		}
+		eff := g.Config()
+		for _, r := range ds.S {
+			n := len(r.Tokens)
+			if n < eff.MinTokens {
+				t.Fatalf("record %q has %d tokens, min is %d", r.Raw, n, eff.MinTokens)
+			}
+			// Entity mentions may push a record a few tokens over MaxTokens.
+			if n > eff.MaxTokens+3 {
+				t.Fatalf("record %q has %d tokens, far above max %d", r.Raw, n, eff.MaxTokens)
+			}
+		}
+		// Variant records may shrink when a multi-token rule side is
+		// replaced by a shorter one, but they must never be empty.
+		for _, r := range ds.T {
+			if len(r.Tokens) == 0 {
+				t.Fatalf("empty variant record")
+			}
+		}
+		_ = strutil.JoinTokens
+		// Ground-truth indices must be valid and the referenced variant must
+		// not be identical to its source too often (transformations applied).
+		changed := 0
+		for pair, prov := range ds.Truth {
+			if pair[0] < 0 || pair[0] >= len(ds.S) || pair[1] < 0 || pair[1] >= len(ds.T) {
+				t.Fatalf("truth pair out of range: %v", pair)
+			}
+			if ds.S[pair[0]].Raw != ds.T[pair[1]].Raw {
+				changed++
+			}
+			_ = prov
+		}
+		if changed == 0 {
+			t.Error("no variant was actually transformed")
+		}
+		// Knowledge sources exist and are non-trivial.
+		if ds.Tax.Len() < 10 {
+			t.Errorf("taxonomy only has %d nodes", ds.Tax.Len())
+		}
+		if ds.Rules.Len() < 10 {
+			t.Errorf("rule set only has %d rules", ds.Rules.Len())
+		}
+		if ds.Context() == nil {
+			t.Error("context is nil")
+		}
+		if len(ds.TruthPairs()) != len(ds.Truth) {
+			t.Error("TruthPairs length mismatch")
+		}
+	}
+}
+
+func TestTaxonomyStatsWithinConfig(t *testing.T) {
+	cfg := MEDLike(10, 11)
+	g := New(cfg)
+	st := g.Taxonomy().Stats()
+	if st.Nodes > cfg.TaxonomyNodes+cfg.TaxonomyFanout {
+		t.Errorf("taxonomy grew to %d nodes, budget %d", st.Nodes, cfg.TaxonomyNodes)
+	}
+	if st.MaxHeight > cfg.TaxonomyDepth {
+		t.Errorf("max height %d exceeds configured depth %d", st.MaxHeight, cfg.TaxonomyDepth)
+	}
+	if g.Rules().Len() < cfg.SynonymRules {
+		t.Errorf("rules = %d, want ≥ %d", g.Rules().Len(), cfg.SynonymRules)
+	}
+}
+
+func TestVariantProvenance(t *testing.T) {
+	g := New(Config{Seed: 21, Size: 10, TypoRate: 1, SynonymSwapRate: 1, TaxonomySwapRate: 1})
+	typos, syns, taxs := 0, 0, 0
+	for i := 0; i < 200; i++ {
+		base := g.BaseRecord()
+		variant, prov := g.Variant(base)
+		if prov.Typo {
+			typos++
+		}
+		if prov.SynonymSwap {
+			syns++
+		}
+		if prov.TaxonomySwap {
+			taxs++
+		}
+		if variant == "" {
+			t.Fatal("empty variant")
+		}
+	}
+	if typos == 0 {
+		t.Error("no typos injected despite rate 1")
+	}
+	if syns == 0 {
+		t.Error("no synonym swaps injected despite rate 1")
+	}
+	if taxs == 0 {
+		t.Error("no taxonomy swaps injected despite rate 1")
+	}
+}
+
+func TestApplyTypoChangesString(t *testing.T) {
+	g := New(Config{Seed: 5, Size: 1})
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if g.applyTypo("keyword") != "keyword" {
+			changed++
+		}
+	}
+	if changed < 80 {
+		t.Errorf("typo only changed the token %d/100 times", changed)
+	}
+	if got := g.applyTypo("a"); got != "a" {
+		t.Errorf("single-letter token should be untouched, got %q", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Size <= 0 || cfg.VocabSize <= 0 || cfg.MaxTokens < cfg.MinTokens {
+		t.Errorf("bad defaults: %+v", cfg)
+	}
+	if cfg.Name != "synthetic" {
+		t.Errorf("default name = %q", cfg.Name)
+	}
+	g := New(Config{Seed: 1})
+	if g.Config().Size != 1000 {
+		t.Errorf("default size = %d", g.Config().Size)
+	}
+}
+
+func TestSpliceTokens(t *testing.T) {
+	out := spliceTokens([]string{"a", "b", "c", "d"}, 1, 2, []string{"x"})
+	if strutil.JoinTokens(out) != "a x d" {
+		t.Errorf("spliceTokens = %v", out)
+	}
+}

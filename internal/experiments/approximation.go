@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/datagen"
+	"github.com/aujoin/aujoin/internal/metrics"
+	"github.com/aujoin/aujoin/internal/sim"
+)
+
+// Table9Row holds the approximation-accuracy percentiles for one maximal
+// rule size k on one dataset.
+type Table9Row struct {
+	Dataset     string
+	K           int
+	Percentiles []float64 // 2nd, 25th, 50th, 75th, 98th
+	Pairs       int
+}
+
+// Table9Result reproduces Table 9: accuracy of Algorithm 1 against the
+// exact (exponential) unified similarity, grouped by the maximal rule size.
+type Table9Result struct {
+	Rows []Table9Row
+}
+
+// RunTable9 generates, for every k in ks, a rule set whose longest side has
+// k tokens, draws string pairs that exercise those rules, and reports the
+// percentile distribution of approximate / exact similarity.
+func RunTable9(cfg Config, ks []int, pairsPerK int) *Table9Result {
+	cfg = cfg.withDefaults()
+	if len(ks) == 0 {
+		ks = []int{3, 4, 5, 6}
+	}
+	if pairsPerK <= 0 {
+		pairsPerK = 60
+	}
+	res := &Table9Result{}
+	for wi, preset := range []datagen.Config{datagen.MEDLike(cfg.MEDSize, cfg.Seed), datagen.WIKILike(cfg.WIKISize, cfg.Seed+1)} {
+		for _, k := range ks {
+			gen := datagen.New(datagen.Config{
+				Name: preset.Name, Seed: cfg.Seed + int64(wi*100+k),
+				Size: pairsPerK, VocabSize: 120,
+				MinTokens: k + 1, MaxTokens: k + 4,
+				TaxonomyNodes: 80, TaxonomyFanout: 5, TaxonomyDepth: 5,
+				SynonymRules: 60, MaxRuleTokens: k, EntityRate: 0.35, SynonymTermRate: 0.35,
+				TypoRate: 0.5, SynonymSwapRate: 0.8, TaxonomySwapRate: 0.5,
+			})
+			calc := core.NewCalculator(sim.NewContext(gen.Rules(), gen.Taxonomy()))
+			calc.ExactBudget = 50000
+			var ratios []float64
+			for i := 0; i < pairsPerK; i++ {
+				base := gen.BaseRecord()
+				variant, _ := gen.Variant(base)
+				r, complete := calc.ApproximationRatio(base, variant)
+				if !complete {
+					continue
+				}
+				ratios = append(ratios, r)
+			}
+			res.Rows = append(res.Rows, Table9Row{
+				Dataset:     preset.Name,
+				K:           k,
+				Percentiles: metrics.Percentiles(ratios, 2, 25, 50, 75, 98),
+				Pairs:       len(ratios),
+			})
+		}
+	}
+	return res
+}
+
+// String renders the result in the layout of Table 9.
+func (r *Table9Result) String() string {
+	t := newTable("Dataset", "k", "2%", "25%", "50%", "75%", "98%", "pairs")
+	for _, row := range r.Rows {
+		cells := []string{row.Dataset, fi(row.K)}
+		for _, p := range row.Percentiles {
+			cells = append(cells, f2(p))
+		}
+		cells = append(cells, fi(row.Pairs))
+		t.addRow(cells...)
+	}
+	return "Table 9: approximation accuracy w.r.t. longest rule size k\n" + t.String()
+}
+
+// MedianByK returns the median accuracy per (dataset, k), used by the
+// benchmark assertions on the result shape.
+func (r *Table9Result) MedianByK() map[string]float64 {
+	out := map[string]float64{}
+	for _, row := range r.Rows {
+		if len(row.Percentiles) >= 3 {
+			out[fmt.Sprintf("%s/k=%d", row.Dataset, row.K)] = row.Percentiles[2]
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/aujoin/aujoin/internal/baseline"
+	"github.com/aujoin/aujoin/internal/join"
+	"github.com/aujoin/aujoin/internal/metrics"
+	"github.com/aujoin/aujoin/internal/pebble"
+)
+
+// EffectivenessCell is one (dataset, θ, measure/algorithm) entry of
+// Tables 8 and 13.
+type EffectivenessCell struct {
+	Dataset string
+	Theta   float64
+	Label   string
+	Scores  metrics.PRF
+}
+
+// Table8Result reproduces Table 8: precision / recall / F-measure of every
+// measure combination of the unified similarity.
+type Table8Result struct {
+	Cells []EffectivenessCell
+}
+
+// RunTable8 joins each workload with every measure combination and scores
+// the results against the generated ground truth.
+func RunTable8(cfg Config, thetas []float64) *Table8Result {
+	cfg = cfg.withDefaults()
+	if len(thetas) == 0 {
+		thetas = []float64{0.70, 0.75}
+	}
+	res := &Table8Result{}
+	for _, w := range BuildWorkloads(cfg) {
+		for _, combo := range measureCombos {
+			// A dedicated joiner whose context is restricted to the measure
+			// combination: signatures, filters and verification all see only
+			// the selected measures, exactly as in the paper's per-measure runs.
+			restricted := join.NewJoiner(w.Context().WithMeasures(combo))
+			for _, theta := range thetas {
+				pairs, _ := restricted.Join(w.Dataset.S, w.Dataset.T,
+					defaultOptions(theta, 2, pebble.AUDP, cfg.Workers))
+				res.Cells = append(res.Cells, EffectivenessCell{
+					Dataset: w.Dataset.Name,
+					Theta:   theta,
+					Label:   combo.String(),
+					Scores:  metrics.Evaluate(pairsToSlice(pairs), w.Labels, false),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// String renders the result in the layout of Table 8.
+func (r *Table8Result) String() string {
+	t := newTable("Measure", "Dataset", "Theta", "P", "R", "F")
+	for _, c := range r.Cells {
+		t.addRow(c.Label, c.Dataset, f2(c.Theta), f2(c.Scores.Precision), f2(c.Scores.Recall), f2(c.Scores.F1))
+	}
+	return "Table 8: effectiveness w.r.t. similarity measures\n" + t.String()
+}
+
+// BestByF returns, per dataset and θ, the label with the highest F-measure;
+// the paper's headline claim is that TJS wins everywhere.
+func (r *Table8Result) BestByF() map[string]string {
+	best := map[string]EffectivenessCell{}
+	for _, c := range r.Cells {
+		key := fmt.Sprintf("%s@%.2f", c.Dataset, c.Theta)
+		if cur, ok := best[key]; !ok || c.Scores.F1 > cur.Scores.F1 {
+			best[key] = c
+		}
+	}
+	out := map[string]string{}
+	for k, c := range best {
+		out[k] = c.Label
+	}
+	return out
+}
+
+// Table13Result reproduces Table 13: our unified join against the
+// single-measure baselines and their combination.
+type Table13Result struct {
+	Cells []EffectivenessCell
+}
+
+// RunTable13 scores K-Join, AdaptJoin, PKduck, Combination and the unified
+// join against ground truth.
+func RunTable13(cfg Config, thetas []float64) *Table13Result {
+	cfg = cfg.withDefaults()
+	if len(thetas) == 0 {
+		thetas = []float64{0.70, 0.75}
+	}
+	res := &Table13Result{}
+	for _, w := range BuildWorkloads(cfg) {
+		kjoin := baseline.NewKJoin(w.Dataset.Tax)
+		adapt := &baseline.AdaptJoin{}
+		pkduck := baseline.NewPKDuck(w.Dataset.Rules)
+		comb := baseline.NewCombination(kjoin, adapt, pkduck)
+		algorithms := []baseline.Algorithm{kjoin, adapt, pkduck, comb}
+		for _, theta := range thetas {
+			for _, alg := range algorithms {
+				pairs := alg.Join(w.Dataset.S, w.Dataset.T, theta)
+				idx := make([][2]int, len(pairs))
+				for i, p := range pairs {
+					idx[i] = [2]int{p.S, p.T}
+				}
+				res.Cells = append(res.Cells, EffectivenessCell{
+					Dataset: w.Dataset.Name,
+					Theta:   theta,
+					Label:   alg.Name(),
+					Scores:  metrics.Evaluate(idx, w.Labels, false),
+				})
+			}
+			ours, _ := w.Joiner.Join(w.Dataset.S, w.Dataset.T, defaultOptions(theta, 2, pebble.AUDP, cfg.Workers))
+			res.Cells = append(res.Cells, EffectivenessCell{
+				Dataset: w.Dataset.Name,
+				Theta:   theta,
+				Label:   "Ours",
+				Scores:  metrics.Evaluate(pairsToSlice(ours), w.Labels, false),
+			})
+		}
+	}
+	return res
+}
+
+// String renders the result in the layout of Table 13.
+func (r *Table13Result) String() string {
+	t := newTable("Method", "Dataset", "Theta", "P", "R", "F")
+	for _, c := range r.Cells {
+		t.addRow(c.Label, c.Dataset, f2(c.Theta), f2(c.Scores.Precision), f2(c.Scores.Recall), f2(c.Scores.F1))
+	}
+	return "Table 13: effectiveness of our measure vs existing algorithms\n" + t.String()
+}
+
+// OursBeatsCombination reports, per dataset/θ, whether the unified join's
+// F-measure is at least that of the Combination baseline — the shape the
+// paper reports.
+func (r *Table13Result) OursBeatsCombination() map[string]bool {
+	type key struct {
+		ds    string
+		theta float64
+	}
+	ours := map[key]float64{}
+	comb := map[key]float64{}
+	for _, c := range r.Cells {
+		k := key{c.Dataset, c.Theta}
+		switch c.Label {
+		case "Ours":
+			ours[k] = c.Scores.F1
+		case "Combination":
+			comb[k] = c.Scores.F1
+		}
+	}
+	out := map[string]bool{}
+	for k, f := range ours {
+		out[fmt.Sprintf("%s@%.2f", k.ds, k.theta)] = f >= comb[k]
+	}
+	return out
+}

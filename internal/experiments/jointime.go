@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/aujoin/aujoin/internal/join"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/sim"
+)
+
+// TauSweepPoint is one measurement of Figures 3 and 5: the effect of the
+// overlap constraint τ on signature length, candidate count and join time.
+type TauSweepPoint struct {
+	Dataset      string
+	Method       pebble.Method
+	Theta        float64
+	Tau          int
+	AvgSignature float64
+	Candidates   int
+	Results      int
+	JoinTime     time.Duration
+}
+
+// TauSweepResult holds a τ sweep (Figure 3 uses several θ at fixed method;
+// Figure 5 uses several methods at fixed θ).
+type TauSweepResult struct {
+	Title  string
+	Points []TauSweepPoint
+}
+
+// RunFig3 reproduces Figure 3: for each θ, sweep τ with the AU-Filter
+// (heuristics) and record signature length, candidates and join time.
+func RunFig3(cfg Config) *TauSweepResult {
+	cfg = cfg.withDefaults()
+	res := &TauSweepResult{Title: "Figure 3: overlap constraint trade-off (AU-Filter heuristics, MED-like)"}
+	w := BuildWorkloads(cfg)[0] // MED-like, as in the paper's motivation plot
+	for _, theta := range cfg.Thetas {
+		for _, tau := range cfg.Taus {
+			pairs, stats := w.Joiner.Join(w.Dataset.S, w.Dataset.T,
+				defaultOptions(theta, tau, pebble.AUHeuristic, cfg.Workers))
+			res.Points = append(res.Points, TauSweepPoint{
+				Dataset: w.Dataset.Name, Method: pebble.AUHeuristic, Theta: theta, Tau: tau,
+				AvgSignature: (stats.AvgSignatureS + stats.AvgSignatureT) / 2,
+				Candidates:   stats.Candidates,
+				Results:      len(pairs),
+				JoinTime:     stats.TotalTime(),
+			})
+		}
+	}
+	return res
+}
+
+// RunFig5 reproduces Figure 5: filtering power of U-Filter, AU-Filter
+// (heuristics) and AU-Filter (DP) across τ at a fixed θ = 0.85.
+func RunFig5(cfg Config, theta float64) *TauSweepResult {
+	cfg = cfg.withDefaults()
+	if theta <= 0 {
+		theta = 0.85
+	}
+	res := &TauSweepResult{Title: "Figure 5: filtering power of the filters"}
+	for _, w := range BuildWorkloads(cfg) {
+		for _, method := range []pebble.Method{pebble.UFilter, pebble.AUHeuristic, pebble.AUDP} {
+			for _, tau := range cfg.Taus {
+				if method == pebble.UFilter && tau != cfg.Taus[0] {
+					continue // U-Filter ignores τ; record it once
+				}
+				pairs, stats := w.Joiner.Join(w.Dataset.S, w.Dataset.T,
+					defaultOptions(theta, tau, method, cfg.Workers))
+				res.Points = append(res.Points, TauSweepPoint{
+					Dataset: w.Dataset.Name, Method: method, Theta: theta, Tau: tau,
+					AvgSignature: (stats.AvgSignatureS + stats.AvgSignatureT) / 2,
+					Candidates:   stats.Candidates,
+					Results:      len(pairs),
+					JoinTime:     stats.TotalTime(),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// String renders the sweep as a table.
+func (r *TauSweepResult) String() string {
+	t := newTable("Dataset", "Method", "Theta", "Tau", "AvgSig", "Candidates", "Results", "Time(s)")
+	for _, p := range r.Points {
+		t.addRow(p.Dataset, p.Method.String(), f2(p.Theta), fi(p.Tau),
+			f2(p.AvgSignature), fi(p.Candidates), fi(p.Results), f3(p.JoinTime.Seconds()))
+	}
+	return r.Title + "\n" + t.String()
+}
+
+// JoinTimePoint is one measurement of Figures 4, 6 and 7.
+type JoinTimePoint struct {
+	Dataset    string
+	Label      string // method name or measure combination or size label
+	Theta      float64
+	Size       int
+	Candidates int
+	Results    int
+	Suggestion time.Duration
+	Filtering  time.Duration
+	Verify     time.Duration
+}
+
+// Total returns the total join time of the point.
+func (p JoinTimePoint) Total() time.Duration { return p.Suggestion + p.Filtering + p.Verify }
+
+// JoinTimeResult is a collection of join-time measurements.
+type JoinTimeResult struct {
+	Title  string
+	Points []JoinTimePoint
+}
+
+// String renders the measurements as a table.
+func (r *JoinTimeResult) String() string {
+	t := newTable("Dataset", "Label", "Theta", "Size", "Candidates", "Results", "Suggest(s)", "Filter(s)", "Verify(s)", "Total(s)")
+	for _, p := range r.Points {
+		t.addRow(p.Dataset, p.Label, f2(p.Theta), fi(p.Size), fi(p.Candidates), fi(p.Results),
+			f3(p.Suggestion.Seconds()), f3(p.Filtering.Seconds()), f3(p.Verify.Seconds()), f3(p.Total().Seconds()))
+	}
+	return r.Title + "\n" + t.String()
+}
+
+// RunFig4 reproduces Figure 4: join time of the three proposed algorithms
+// across join thresholds on both datasets.
+func RunFig4(cfg Config, tau int) *JoinTimeResult {
+	cfg = cfg.withDefaults()
+	if tau <= 0 {
+		tau = 3
+	}
+	res := &JoinTimeResult{Title: "Figure 4: join time of the proposed algorithms"}
+	for _, w := range BuildWorkloads(cfg) {
+		for _, theta := range cfg.Thetas {
+			for _, method := range []pebble.Method{pebble.UFilter, pebble.AUHeuristic, pebble.AUDP} {
+				pairs, stats := w.Joiner.Join(w.Dataset.S, w.Dataset.T,
+					defaultOptions(theta, tau, method, cfg.Workers))
+				res.Points = append(res.Points, JoinTimePoint{
+					Dataset: w.Dataset.Name, Label: method.String(), Theta: theta,
+					Size: len(w.Dataset.S), Candidates: stats.Candidates, Results: len(pairs),
+					Filtering: stats.SignatureTime + stats.FilterTime, Verify: stats.VerifyTime,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// RunFig6 reproduces Figure 6: AU-Filter (DP) join time per measure
+// combination.
+func RunFig6(cfg Config, tau int) *JoinTimeResult {
+	cfg = cfg.withDefaults()
+	if tau <= 0 {
+		tau = 3
+	}
+	res := &JoinTimeResult{Title: "Figure 6: join time of AU-Filter (DP) by similarity measures"}
+	for _, w := range BuildWorkloads(cfg) {
+		for _, combo := range measureCombos {
+			restricted := join.NewJoiner(w.Context().WithMeasures(combo))
+			for _, theta := range cfg.Thetas {
+				pairs, stats := restricted.Join(w.Dataset.S, w.Dataset.T,
+					defaultOptions(theta, tau, pebble.AUDP, cfg.Workers))
+				res.Points = append(res.Points, JoinTimePoint{
+					Dataset: w.Dataset.Name, Label: combo.String(), Theta: theta,
+					Size: len(w.Dataset.S), Candidates: stats.Candidates, Results: len(pairs),
+					Filtering: stats.SignatureTime + stats.FilterTime, Verify: stats.VerifyTime,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// RunFig7 reproduces Figure 7 and Table 10: scalability of the three join
+// algorithms with growing dataset size, including the per-stage breakdown
+// for AU-Filter (DP).
+func RunFig7(cfg Config, sizes []int, theta float64, tau int) *JoinTimeResult {
+	cfg = cfg.withDefaults()
+	if theta <= 0 {
+		theta = 0.9
+	}
+	if tau <= 0 {
+		tau = 3
+	}
+	res := &JoinTimeResult{Title: "Figure 7 / Table 10: scalability and time breakdown"}
+	workloads := BuildWorkloads(cfg)
+	for _, w := range workloads {
+		maxSize := len(w.Dataset.S)
+		if len(sizes) == 0 {
+			sizes = []int{maxSize / 3, 2 * maxSize / 3, maxSize}
+		}
+		for _, size := range sizes {
+			if size <= 0 || size > maxSize {
+				continue
+			}
+			s := subset(w.Dataset.S, size)
+			t := subset(w.Dataset.T, size)
+			for _, method := range []pebble.Method{pebble.UFilter, pebble.AUHeuristic, pebble.AUDP} {
+				pairs, stats := w.Joiner.Join(s, t, defaultOptions(theta, tau, method, cfg.Workers))
+				res.Points = append(res.Points, JoinTimePoint{
+					Dataset: w.Dataset.Name, Label: method.String(), Theta: theta,
+					Size: size, Candidates: stats.Candidates, Results: len(pairs),
+					Filtering: stats.SignatureTime + stats.FilterTime, Verify: stats.VerifyTime,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// MeanTimeByLabel aggregates the mean total join time per label; the
+// benchmarks use it to assert shape properties such as "AU-Filter (DP) is
+// not slower than U-Filter on average".
+func (r *JoinTimeResult) MeanTimeByLabel() map[string]time.Duration {
+	sums := map[string]time.Duration{}
+	counts := map[string]int{}
+	for _, p := range r.Points {
+		sums[p.Label] += p.Total()
+		counts[p.Label]++
+	}
+	out := map[string]time.Duration{}
+	for k, v := range sums {
+		out[k] = v / time.Duration(counts[k])
+	}
+	return out
+}
+
+var _ = sim.SetAll

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/baseline"
+	"github.com/aujoin/aujoin/internal/estimator"
+	"github.com/aujoin/aujoin/internal/join"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/sim"
+)
+
+// Table11Row compares join time under the suggested, a random and the
+// worst τ for one dataset and threshold.
+type Table11Row struct {
+	Dataset       string
+	Theta         float64
+	SuggestedTau  int
+	SuggestedTime time.Duration
+	RandomTime    time.Duration
+	WorstTime     time.Duration
+}
+
+// Table11Result reproduces Table 11.
+type Table11Result struct {
+	Rows []Table11Row
+}
+
+// RunTable11 measures the AU-Filter (heuristics) join time with the τ the
+// estimator suggests, a random τ, and the worst τ of the universe.
+func RunTable11(cfg Config) *Table11Result {
+	cfg = cfg.withDefaults()
+	res := &Table11Result{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, w := range BuildWorkloads(cfg) {
+		for _, theta := range cfg.Thetas {
+			base := defaultOptions(theta, 1, pebble.AUHeuristic, cfg.Workers)
+			rec := estimator.Suggest(w.Joiner, w.Dataset.S, w.Dataset.T, base, estimator.Config{
+				Universe: cfg.Taus, Seed: cfg.Seed + int64(theta*100), BurnIn: 5, MaxIterations: 30,
+			})
+			timeFor := func(tau int) time.Duration {
+				opts := base
+				opts.Tau = tau
+				_, stats := w.Joiner.Join(w.Dataset.S, w.Dataset.T, opts)
+				return stats.TotalTime()
+			}
+			suggested := timeFor(rec.BestTau)
+			randomTau := cfg.Taus[rng.Intn(len(cfg.Taus))]
+			randomTime := timeFor(randomTau)
+			worst := time.Duration(0)
+			for _, tau := range cfg.Taus {
+				if d := timeFor(tau); d > worst {
+					worst = d
+				}
+			}
+			res.Rows = append(res.Rows, Table11Row{
+				Dataset: w.Dataset.Name, Theta: theta,
+				SuggestedTau: rec.BestTau, SuggestedTime: suggested,
+				RandomTime: randomTime, WorstTime: worst,
+			})
+		}
+	}
+	return res
+}
+
+// String renders Table 11.
+func (r *Table11Result) String() string {
+	t := newTable("Dataset", "Theta", "SuggestedTau", "Suggested(s)", "Random(s)", "Worst(s)")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, f2(row.Theta), fi(row.SuggestedTau),
+			f3(row.SuggestedTime.Seconds()), f3(row.RandomTime.Seconds()), f3(row.WorstTime.Seconds()))
+	}
+	return "Table 11: join time w.r.t. parameter selection method\n" + t.String()
+}
+
+// Table12Row reports suggestion accuracy and its share of the join time.
+type Table12Row struct {
+	Dataset      string
+	Theta        float64
+	Accuracy     float64
+	TimeFraction float64
+	Runs         int
+}
+
+// Table12Result reproduces Table 12.
+type Table12Result struct {
+	Rows []Table12Row
+}
+
+// RunTable12 runs the suggestion procedure `runs` times per (dataset, θ),
+// compares the recommendations with the exhaustively determined optimum
+// (by true cost), and reports the accuracy and the fraction of total join
+// time spent on suggestion.
+func RunTable12(cfg Config, runs int) *Table12Result {
+	cfg = cfg.withDefaults()
+	if runs <= 0 {
+		runs = 10
+	}
+	res := &Table12Result{}
+	for _, w := range BuildWorkloads(cfg) {
+		for _, theta := range cfg.Thetas {
+			base := defaultOptions(theta, 1, pebble.AUHeuristic, cfg.Workers)
+			// Exhaustive ground truth: the τ minimising the true cost-model
+			// value on the full data.
+			bestTau, bestCost := 0, 0.0
+			for i, tau := range cfg.Taus {
+				opts := base
+				opts.Tau = tau
+				pt, pv := w.Joiner.FilterStats(w.Dataset.S, w.Dataset.T, opts)
+				cost := float64(pt) + 40*float64(pv)
+				if i == 0 || cost < bestCost {
+					bestTau, bestCost = tau, cost
+				}
+			}
+			// One representative full join to measure the total join time.
+			opts := base
+			opts.Tau = bestTau
+			_, joinStats := w.Joiner.Join(w.Dataset.S, w.Dataset.T, opts)
+
+			hits := 0
+			var suggestTotal time.Duration
+			for run := 0; run < runs; run++ {
+				rec := estimator.Suggest(w.Joiner, w.Dataset.S, w.Dataset.T, base, estimator.Config{
+					Universe: cfg.Taus, Seed: cfg.Seed + int64(run*977+int(theta*100)),
+					BurnIn: 5, MaxIterations: 30,
+				})
+				suggestTotal += rec.Duration
+				if rec.BestTau == bestTau {
+					hits++
+				}
+			}
+			avgSuggest := suggestTotal / time.Duration(runs)
+			frac := 0.0
+			if total := joinStats.TotalTime() + avgSuggest; total > 0 {
+				frac = float64(avgSuggest) / float64(total)
+			}
+			res.Rows = append(res.Rows, Table12Row{
+				Dataset: w.Dataset.Name, Theta: theta,
+				Accuracy: float64(hits) / float64(runs), TimeFraction: frac, Runs: runs,
+			})
+		}
+	}
+	return res
+}
+
+// String renders Table 12.
+func (r *Table12Result) String() string {
+	t := newTable("Dataset", "Theta", "Accuracy", "TimeFraction", "Runs")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, f2(row.Theta), f2(row.Accuracy), f3(row.TimeFraction), fi(row.Runs))
+	}
+	return "Table 12: suggestion accuracy and fraction of join time\n" + t.String()
+}
+
+// Fig8Point records the behaviour of the suggestion procedure for one
+// sampling probability.
+type Fig8Point struct {
+	Dataset     string
+	Probability float64
+	Iterations  int
+	Duration    time.Duration
+}
+
+// Fig8Result reproduces Figure 8: iterations and suggestion time as a
+// function of the sampling probability.
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// RunFig8 sweeps the sampling probability at θ = 0.8 (the paper's setting)
+// and records the number of iterations and the suggestion time.
+func RunFig8(cfg Config, probabilities []float64) *Fig8Result {
+	cfg = cfg.withDefaults()
+	if len(probabilities) == 0 {
+		probabilities = []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	}
+	res := &Fig8Result{}
+	for _, w := range BuildWorkloads(cfg) {
+		base := defaultOptions(0.8, 1, pebble.AUHeuristic, cfg.Workers)
+		for _, p := range probabilities {
+			rec := estimator.Suggest(w.Joiner, w.Dataset.S, w.Dataset.T, base, estimator.Config{
+				Universe: cfg.Taus, SampleProbS: p, SampleProbT: p,
+				Seed: cfg.Seed + int64(p*1e4), BurnIn: 10, MaxIterations: 300, TQuantile: 1.036,
+			})
+			res.Points = append(res.Points, Fig8Point{
+				Dataset: w.Dataset.Name, Probability: p,
+				Iterations: rec.Iterations, Duration: rec.Duration,
+			})
+		}
+	}
+	return res
+}
+
+// String renders Figure 8 as a table.
+func (r *Fig8Result) String() string {
+	t := newTable("Dataset", "SampleProb", "Iterations", "Time(s)")
+	for _, p := range r.Points {
+		t.addRow(p.Dataset, f3(p.Probability), fi(p.Iterations), f3(p.Duration.Seconds()))
+	}
+	return "Figure 8: parameter suggestion vs sampling probability (θ=0.8)\n" + t.String()
+}
+
+// Table14Row is one (dataset, θ, method) join-time entry of Table 14.
+type Table14Row struct {
+	Dataset string
+	Theta   float64
+	Method  string
+	Group   string // which measure group the comparison belongs to
+	Time    time.Duration
+	Results int
+}
+
+// Table14Result reproduces Table 14: join time of the baselines against the
+// unified join restricted to the corresponding measure.
+type Table14Result struct {
+	Rows []Table14Row
+}
+
+// RunTable14 times K-Join vs Ours(T), AdaptJoin vs Ours(J), PKduck vs
+// Ours(S) and Combination vs Ours(TJS).
+func RunTable14(cfg Config, tau int) *Table14Result {
+	cfg = cfg.withDefaults()
+	if tau <= 0 {
+		tau = 3
+	}
+	res := &Table14Result{}
+	for _, w := range BuildWorkloads(cfg) {
+		kjoin := baseline.NewKJoin(w.Dataset.Tax)
+		adapt := &baseline.AdaptJoin{}
+		pkduck := baseline.NewPKDuck(w.Dataset.Rules)
+		comb := baseline.NewCombination(kjoin, adapt, pkduck)
+		groups := []struct {
+			group   string
+			alg     baseline.Algorithm
+			measure sim.MeasureSet
+			ours    string
+		}{
+			{"taxonomy", kjoin, sim.SetTaxonomy, "Ours (T)"},
+			{"jaccard", adapt, sim.SetJaccard, "Ours (J)"},
+			{"synonym", pkduck, sim.SetSynonym, "Ours (S)"},
+			{"all", comb, sim.SetAll, "Ours (TJS)"},
+		}
+		for _, theta := range cfg.Thetas {
+			for _, g := range groups {
+				start := time.Now()
+				basePairs := g.alg.Join(w.Dataset.S, w.Dataset.T, theta)
+				baseTime := time.Since(start)
+				res.Rows = append(res.Rows, Table14Row{
+					Dataset: w.Dataset.Name, Theta: theta, Method: g.alg.Name(),
+					Group: g.group, Time: baseTime, Results: len(basePairs),
+				})
+				restricted := join.NewJoiner(w.Context().WithMeasures(g.measure))
+				ourPairs, stats := restricted.Join(w.Dataset.S, w.Dataset.T,
+					defaultOptions(theta, tau, pebble.AUDP, cfg.Workers))
+				res.Rows = append(res.Rows, Table14Row{
+					Dataset: w.Dataset.Name, Theta: theta, Method: g.ours,
+					Group: g.group, Time: stats.TotalTime(), Results: len(ourPairs),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// String renders Table 14.
+func (r *Table14Result) String() string {
+	t := newTable("Dataset", "Group", "Method", "Theta", "Results", "Time(s)")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, row.Group, row.Method, f2(row.Theta), fi(row.Results), f3(row.Time.Seconds()))
+	}
+	return "Table 14: join time of our algorithm vs existing methods\n" + t.String()
+}

@@ -1,0 +1,92 @@
+// Package invindex provides the inverted index used by the join algorithms
+// of Section 3: keys are pebble identities, postings are record identifiers.
+// A record appears in a key's posting list once per signature pebble
+// carrying that key, which is what the overlap counting of Algorithm 6
+// requires.
+package invindex
+
+import "sort"
+
+// Posting is one entry of a posting list: a record and how many of its
+// signature pebbles carry the key.
+type Posting struct {
+	Record int
+	Count  int
+}
+
+// Index is an inverted index from pebble keys to posting lists. The zero
+// value is not usable; create indexes with New. Index is safe for
+// concurrent reads after all Add calls have completed.
+type Index struct {
+	lists   map[string][]Posting
+	records int
+}
+
+// New creates an empty index.
+func New() *Index {
+	return &Index{lists: make(map[string][]Posting)}
+}
+
+// Add registers the signature keys of one record. Keys may repeat; repeats
+// increase the record's count in that key's posting list.
+func (ix *Index) Add(record int, keys []string) {
+	ix.records++
+	counts := make(map[string]int, len(keys))
+	for _, k := range keys {
+		counts[k]++
+	}
+	for k, c := range counts {
+		ix.lists[k] = append(ix.lists[k], Posting{Record: record, Count: c})
+	}
+}
+
+// Records returns the number of records added to the index.
+func (ix *Index) Records() int { return ix.records }
+
+// KeyCount returns the number of distinct keys.
+func (ix *Index) KeyCount() int { return len(ix.lists) }
+
+// Postings returns the posting list of a key (nil when absent). The
+// returned slice must not be modified.
+func (ix *Index) Postings(key string) []Posting { return ix.lists[key] }
+
+// ListLength returns the length of a key's posting list.
+func (ix *Index) ListLength(key string) int { return len(ix.lists[key]) }
+
+// Keys returns all distinct keys in sorted order; intended for diagnostics
+// and deterministic iteration in tests, not hot paths.
+func (ix *Index) Keys() []string {
+	out := make([]string, 0, len(ix.lists))
+	for k := range ix.lists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CommonKeys returns the keys present in both indexes.
+func CommonKeys(a, b *Index) []string {
+	small, large := a, b
+	if len(small.lists) > len(large.lists) {
+		small, large = large, small
+	}
+	var out []string
+	for k := range small.lists {
+		if _, ok := large.lists[k]; ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPairs returns Σ over common keys of |ℓ_a(key)|·|ℓ_b(key)| — the
+// number of pairs the filtering stage touches, i.e. the quantity T_τ of the
+// cost model in Section 4 (Eq. 16).
+func TotalPairs(a, b *Index) int64 {
+	total := int64(0)
+	for _, k := range CommonKeys(a, b) {
+		total += int64(len(a.Postings(k))) * int64(len(b.Postings(k)))
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+package invindex
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	ix := New()
+	ix.Add(0, []string{"g:ab", "g:bc", "g:ab"})
+	ix.Add(1, []string{"g:bc", "s:rule"})
+	if ix.Records() != 2 {
+		t.Errorf("Records = %d, want 2", ix.Records())
+	}
+	if ix.KeyCount() != 3 {
+		t.Errorf("KeyCount = %d, want 3", ix.KeyCount())
+	}
+	ab := ix.Postings("g:ab")
+	if len(ab) != 1 || ab[0].Record != 0 || ab[0].Count != 2 {
+		t.Errorf("Postings(g:ab) = %+v", ab)
+	}
+	bc := ix.Postings("g:bc")
+	if len(bc) != 2 {
+		t.Errorf("Postings(g:bc) = %+v", bc)
+	}
+	if ix.ListLength("g:bc") != 2 || ix.ListLength("missing") != 0 {
+		t.Error("ListLength wrong")
+	}
+	if ix.Postings("missing") != nil {
+		t.Error("missing key should have nil postings")
+	}
+	want := []string{"g:ab", "g:bc", "s:rule"}
+	if got := ix.Keys(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestCommonKeysAndTotalPairs(t *testing.T) {
+	a := New()
+	a.Add(0, []string{"x", "y"})
+	a.Add(1, []string{"y", "z"})
+	b := New()
+	b.Add(0, []string{"y"})
+	b.Add(1, []string{"z"})
+	b.Add(2, []string{"w"})
+	common := CommonKeys(a, b)
+	if !reflect.DeepEqual(common, []string{"y", "z"}) {
+		t.Errorf("CommonKeys = %v", common)
+	}
+	// y: 2×1, z: 1×1 → 3 pairs.
+	if got := TotalPairs(a, b); got != 3 {
+		t.Errorf("TotalPairs = %d, want 3", got)
+	}
+	// Symmetric.
+	if got := TotalPairs(b, a); got != 3 {
+		t.Errorf("TotalPairs reversed = %d, want 3", got)
+	}
+	empty := New()
+	if got := TotalPairs(a, empty); got != 0 {
+		t.Errorf("TotalPairs with empty = %d, want 0", got)
+	}
+	if got := CommonKeys(a, empty); len(got) != 0 {
+		t.Errorf("CommonKeys with empty = %v", got)
+	}
+}

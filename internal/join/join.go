@@ -1,0 +1,367 @@
+// Package join implements the unified string similarity join of Section 3:
+// filter-and-verification joins that generate pebble signatures for both
+// collections, find candidate pairs sharing enough signature pebbles
+// (Algorithm 3 for U-Filter, Algorithm 6 for AU-Filter), and verify the
+// survivors with the unified similarity measure of internal/core.
+//
+// The Joiner supports R×S joins between two different collections as well
+// as self-joins, per-stage timing breakdowns (used by Tables 10–12 of the
+// paper), and parallel verification.
+package join
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/invindex"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// Pair is one join result: the identifiers of the matched records and their
+// unified similarity.
+type Pair struct {
+	S, T       int
+	Similarity float64
+}
+
+// Stats records what happened during one join execution; the experiment
+// harness uses it to regenerate the paper's tables and figures.
+type Stats struct {
+	// SignatureTime, FilterTime and VerifyTime are the wall-clock durations
+	// of signature generation + indexing, candidate generation, and
+	// verification.
+	SignatureTime time.Duration
+	FilterTime    time.Duration
+	VerifyTime    time.Duration
+	// ProcessedPairs is T_τ of the cost model: the number of (S, T)
+	// occurrences touched while traversing common posting lists.
+	ProcessedPairs int64
+	// Candidates is V_τ: the number of distinct pairs that reached
+	// verification.
+	Candidates int
+	// Results is the number of pairs whose unified similarity reached θ.
+	Results int
+	// AvgSignatureS / AvgSignatureT are the mean signature lengths.
+	AvgSignatureS float64
+	AvgSignatureT float64
+}
+
+// TotalTime returns the end-to-end join time recorded in the stats.
+func (s Stats) TotalTime() time.Duration {
+	return s.SignatureTime + s.FilterTime + s.VerifyTime
+}
+
+// Options configures a join execution.
+type Options struct {
+	// Theta is the join threshold θ ∈ [0, 1].
+	Theta float64
+	// Tau is the overlap constraint τ ≥ 1 (ignored by the U-Filter method,
+	// which always uses 1).
+	Tau int
+	// Method selects the signature-selection algorithm.
+	Method pebble.Method
+	// Workers is the number of verification goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Calculator overrides the unified-similarity calculator; nil means a
+	// default calculator over the joiner's context.
+	Calculator *core.Calculator
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) tau() int {
+	if o.Method == pebble.UFilter || o.Tau < 1 {
+		return 1
+	}
+	return o.Tau
+}
+
+// Joiner joins two collections of records under a fixed similarity context.
+type Joiner struct {
+	Ctx *sim.Context
+
+	gen  *pebble.Generator
+	calc *core.Calculator
+}
+
+// NewJoiner creates a Joiner for the given context.
+func NewJoiner(ctx *sim.Context) *Joiner {
+	if ctx != nil && ctx.Tax != nil {
+		// Build the LCA index up front so that concurrent verification
+		// goroutines only ever read the taxonomy.
+		ctx.Tax.Finalize()
+	}
+	return &Joiner{Ctx: ctx, gen: pebble.NewGenerator(ctx), calc: core.NewCalculator(ctx)}
+}
+
+// Generator exposes the pebble generator (shared with the estimator).
+func (j *Joiner) Generator() *pebble.Generator { return j.gen }
+
+// Calculator exposes the unified-similarity calculator.
+func (j *Joiner) Calculator() *core.Calculator { return j.calc }
+
+// Join executes the filter-and-verification join between two record
+// collections and returns the matching pairs together with execution
+// statistics. The result pairs are sorted by (S, T) identifiers.
+func (j *Joiner) Join(s, t []strutil.Record, opts Options) ([]Pair, Stats) {
+	var stats Stats
+	calc := opts.Calculator
+	if calc == nil {
+		calc = j.calc
+	}
+	tau := opts.tau()
+
+	// ---- Signature generation and indexing -------------------------------
+	start := time.Now()
+	order := j.BuildOrder(s, t)
+	sel := pebble.NewSelector(j.gen, order, opts.Theta)
+
+	sigS := j.signatures(s, sel, opts.Method, tau)
+	sigT := j.signatures(t, sel, opts.Method, tau)
+
+	idxS := invindex.New()
+	totalLenS := 0
+	for i, sig := range sigS {
+		idxS.Add(i, signatureKeys(sig))
+		totalLenS += sig.Len()
+	}
+	idxT := invindex.New()
+	totalLenT := 0
+	for i, sig := range sigT {
+		idxT.Add(i, signatureKeys(sig))
+		totalLenT += sig.Len()
+	}
+	if len(s) > 0 {
+		stats.AvgSignatureS = float64(totalLenS) / float64(len(s))
+	}
+	if len(t) > 0 {
+		stats.AvgSignatureT = float64(totalLenT) / float64(len(t))
+	}
+	stats.SignatureTime = time.Since(start)
+
+	// ---- Filtering --------------------------------------------------------
+	start = time.Now()
+	candidates, processed := candidatePairs(idxS, idxT, tau)
+	stats.ProcessedPairs = processed
+	stats.Candidates = len(candidates)
+	stats.FilterTime = time.Since(start)
+
+	// ---- Verification -----------------------------------------------------
+	start = time.Now()
+	results := j.verify(s, t, candidates, calc, opts)
+	stats.VerifyTime = time.Since(start)
+	stats.Results = len(results)
+
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].S != results[b].S {
+			return results[a].S < results[b].S
+		}
+		return results[a].T < results[b].T
+	})
+	return results, stats
+}
+
+// SelfJoin joins a collection with itself, returning each unordered pair
+// (i < j) at most once and never pairing a record with itself.
+func (j *Joiner) SelfJoin(s []strutil.Record, opts Options) ([]Pair, Stats) {
+	pairs, stats := j.Join(s, s, opts)
+	out := pairs[:0]
+	for _, p := range pairs {
+		if p.S < p.T {
+			out = append(out, p)
+		}
+	}
+	stats.Results = len(out)
+	return out, stats
+}
+
+// BuildOrder constructs the global pebble frequency order over both
+// collections.
+func (j *Joiner) BuildOrder(collections ...[]strutil.Record) *pebble.Order {
+	order := pebble.NewOrder()
+	for _, coll := range collections {
+		for _, rec := range coll {
+			p, _ := j.gen.Pebbles(rec.Tokens)
+			order.Add(p)
+		}
+	}
+	return order
+}
+
+// signatures computes signatures for every record in parallel.
+func (j *Joiner) signatures(recs []strutil.Record, sel *pebble.Selector, method pebble.Method, tau int) []pebble.Signature {
+	out := make([]pebble.Signature, len(recs))
+	parallelFor(len(recs), 0, func(i int) {
+		out[i] = sel.Signature(recs[i].Tokens, method, tau)
+	})
+	return out
+}
+
+// signatureKeys returns one key per signature pebble (duplicates retained),
+// matching the posting-list semantics the overlap count relies on.
+func signatureKeys(sig pebble.Signature) []string {
+	keys := make([]string, len(sig.Pebbles))
+	for i, p := range sig.Pebbles {
+		keys[i] = p.Key
+	}
+	return keys
+}
+
+// pairKey packs two record identifiers into one map key.
+type pairKey struct{ s, t int }
+
+// candidatePairs walks the common keys of the two indexes and returns every
+// record pair whose signature-pebble overlap count reaches τ, together with
+// the number of processed (S, T) posting combinations (T_τ).
+func candidatePairs(idxS, idxT *invindex.Index, tau int) ([]pairKey, int64) {
+	counts := make(map[pairKey]int)
+	processed := int64(0)
+	for _, key := range invindex.CommonKeys(idxS, idxT) {
+		ls := idxS.Postings(key)
+		lt := idxT.Postings(key)
+		processed += int64(len(ls)) * int64(len(lt))
+		for _, ps := range ls {
+			for _, pt := range lt {
+				counts[pairKey{ps.Record, pt.Record}] += ps.Count * pt.Count
+			}
+		}
+	}
+	var out []pairKey
+	for pk, c := range counts {
+		if c >= tau {
+			out = append(out, pk)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].s != out[b].s {
+			return out[a].s < out[b].s
+		}
+		return out[a].t < out[b].t
+	})
+	return out, processed
+}
+
+// verify computes the unified similarity of every candidate pair in
+// parallel and keeps those reaching θ.
+func (j *Joiner) verify(s, t []strutil.Record, candidates []pairKey, calc *core.Calculator, opts Options) []Pair {
+	results := make([]Pair, len(candidates))
+	keep := make([]bool, len(candidates))
+	parallelFor(len(candidates), opts.workers(), func(i int) {
+		c := candidates[i]
+		if c.s >= len(s) || c.t >= len(t) {
+			return
+		}
+		v := calc.SimilarityTokens(s[c.s].Tokens, t[c.t].Tokens)
+		if v >= opts.Theta {
+			results[i] = Pair{S: s[c.s].ID, T: t[c.t].ID, Similarity: v}
+			keep[i] = true
+		}
+	})
+	out := make([]Pair, 0, len(candidates))
+	for i, ok := range keep {
+		if ok {
+			out = append(out, results[i])
+		}
+	}
+	return out
+}
+
+// FilterStats runs only the signature and filtering stages of the join
+// (Lines 1–8 of Algorithm 6) and returns the number of processed posting
+// pairs (T_τ) and the number of candidates (V_τ). The parameter-suggestion
+// estimator of Section 4 runs this on small Bernoulli samples for every τ
+// in its universe.
+func (j *Joiner) FilterStats(s, t []strutil.Record, opts Options) (processed int64, candidates int) {
+	tau := opts.tau()
+	order := j.BuildOrder(s, t)
+	sel := pebble.NewSelector(j.gen, order, opts.Theta)
+	sigS := j.signatures(s, sel, opts.Method, tau)
+	sigT := j.signatures(t, sel, opts.Method, tau)
+	idxS := invindex.New()
+	for i, sig := range sigS {
+		idxS.Add(i, signatureKeys(sig))
+	}
+	idxT := invindex.New()
+	for i, sig := range sigT {
+		idxT.Add(i, signatureKeys(sig))
+	}
+	cands, processed := candidatePairs(idxS, idxT, tau)
+	return processed, len(cands)
+}
+
+// BruteForce computes the join by verifying every pair; it is the oracle
+// the integration tests compare the filtered joins against and the
+// degenerate baseline of the scalability experiments.
+func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Calculator) []Pair {
+	if calc == nil {
+		calc = j.calc
+	}
+	type cell struct {
+		pair Pair
+		ok   bool
+	}
+	cells := make([]cell, len(s)*len(t))
+	parallelFor(len(s)*len(t), 0, func(k int) {
+		i, l := k/len(t), k%len(t)
+		v := calc.SimilarityTokens(s[i].Tokens, t[l].Tokens)
+		if v >= theta {
+			cells[k] = cell{pair: Pair{S: s[i].ID, T: t[l].ID, Similarity: v}, ok: true}
+		}
+	})
+	var out []Pair
+	for _, c := range cells {
+		if c.ok {
+			out = append(out, c.pair)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].S != out[b].S {
+			return out[a].S < out[b].S
+		}
+		return out[a].T < out[b].T
+	})
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the given number of workers
+// (GOMAXPROCS when workers ≤ 0). It runs inline when n is small.
+func parallelFor(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n <= 1 || workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,231 @@
+// Package matching implements maximum-weight bipartite matching, the
+// building block of Eq. (6) in the paper: the numerator of SIM(P_S, P_T) is
+// the maximum-weight matching of the segment bipartite graph, which the
+// paper computes with the Hungarian algorithm.
+//
+// The solver works on dense weight matrices (rows = segments of S, columns
+// = segments of T). Weights must be non-negative; missing edges are encoded
+// as weight 0 and never decrease the optimum because leaving a vertex
+// unmatched contributes exactly 0.
+package matching
+
+import "math"
+
+// epsilon guards floating-point comparisons inside the Hungarian algorithm.
+const epsilon = 1e-12
+
+// Assignment describes one matched pair of the optimal matching.
+type Assignment struct {
+	Row, Col int
+	Weight   float64
+}
+
+// Result is the outcome of a maximum-weight matching computation.
+type Result struct {
+	// Total is the sum of matched edge weights.
+	Total float64
+	// Pairs lists the matched (row, col) pairs with non-zero weight.
+	Pairs []Assignment
+	// RowMatch[i] is the column matched to row i, or -1.
+	RowMatch []int
+	// ColMatch[j] is the row matched to column j, or -1.
+	ColMatch []int
+}
+
+// MaxWeight computes a maximum-weight bipartite matching of the given
+// weight matrix using the Jonker–Volgenant style O(n^3) Hungarian algorithm
+// (the same asymptotics as [38] in the paper). weights[i][j] is the weight
+// of matching row i with column j; all rows must have equal length.
+//
+// Negative weights are treated as 0 (an unmatched pair is always at least
+// as good), so the returned Total is always ≥ 0.
+func MaxWeight(weights [][]float64) Result {
+	n := len(weights)
+	m := 0
+	if n > 0 {
+		m = len(weights[0])
+	}
+	res := Result{
+		RowMatch: make([]int, n),
+		ColMatch: make([]int, m),
+	}
+	for i := range res.RowMatch {
+		res.RowMatch[i] = -1
+	}
+	for j := range res.ColMatch {
+		res.ColMatch[j] = -1
+	}
+	if n == 0 || m == 0 {
+		return res
+	}
+
+	// The assignment algorithm below solves a *minimisation* over a square
+	// cost matrix; convert max-weight to min-cost by negating against the
+	// maximum weight and padding to square with zero-benefit cells.
+	size := n
+	if m > size {
+		size = m
+	}
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			w := weights[i][j]
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			w := 0.0
+			if i < n && j < m && weights[i][j] > 0 {
+				w = weights[i][j]
+			}
+			cost[i][j] = maxW - w
+		}
+	}
+
+	rowSol := hungarianMin(cost)
+
+	for i := 0; i < n; i++ {
+		j := rowSol[i]
+		if j < 0 || j >= m {
+			continue
+		}
+		w := weights[i][j]
+		if w <= epsilon {
+			continue // matched to a padding / zero edge: treat as unmatched
+		}
+		res.RowMatch[i] = j
+		res.ColMatch[j] = i
+		res.Total += w
+		res.Pairs = append(res.Pairs, Assignment{Row: i, Col: j, Weight: w})
+	}
+	return res
+}
+
+// hungarianMin solves the square min-cost assignment problem and returns,
+// for every row, the assigned column. Implementation follows the classic
+// shortest augmenting path formulation with potentials (u, v).
+func hungarianMin(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row assigned to column j (1-based), 0 = none
+	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowSol := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowSol[p[j]-1] = j - 1
+		}
+	}
+	return rowSol
+}
+
+// MaxWeightGreedy computes a 2-approximate matching by repeatedly taking the
+// heaviest remaining edge. It exists as a fast verification-stage fallback
+// and as an oracle-free cross-check in tests; the join pipeline uses
+// MaxWeight.
+func MaxWeightGreedy(weights [][]float64) Result {
+	n := len(weights)
+	m := 0
+	if n > 0 {
+		m = len(weights[0])
+	}
+	res := Result{RowMatch: make([]int, n), ColMatch: make([]int, m)}
+	for i := range res.RowMatch {
+		res.RowMatch[i] = -1
+	}
+	for j := range res.ColMatch {
+		res.ColMatch[j] = -1
+	}
+	type edge struct {
+		i, j int
+		w    float64
+	}
+	edges := make([]edge, 0, n*m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if weights[i][j] > epsilon {
+				edges = append(edges, edge{i, j, weights[i][j]})
+			}
+		}
+	}
+	// Simple selection of the best edge each round; the edge count in
+	// verification is tiny (segments per string), so O(E^2) is fine.
+	usedRow := make([]bool, n)
+	usedCol := make([]bool, m)
+	for {
+		best := -1
+		bestW := 0.0
+		for k, e := range edges {
+			if usedRow[e.i] || usedCol[e.j] {
+				continue
+			}
+			if e.w > bestW {
+				bestW = e.w
+				best = k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := edges[best]
+		usedRow[e.i] = true
+		usedCol[e.j] = true
+		res.RowMatch[e.i] = e.j
+		res.ColMatch[e.j] = e.i
+		res.Total += e.w
+		res.Pairs = append(res.Pairs, Assignment{Row: e.i, Col: e.j, Weight: e.w})
+	}
+	return res
+}

@@ -1,0 +1,125 @@
+// Package metrics provides the evaluation measures used throughout Section
+// 5 of the paper: precision / recall / F-measure against ground truth,
+// percentiles for the approximation-accuracy table, and small helpers for
+// aggregating timings.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PRF holds precision, recall and F-measure.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String renders the triple the way the paper's tables do.
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F=%.2f", p.Precision, p.Recall, p.F1)
+}
+
+// Evaluate compares a set of predicted pairs against the ground-truth pairs
+// and returns precision, recall and F-measure. Predicted pairs that ground
+// truth says nothing about count against precision only when strict is
+// true; the paper's crowd-sourced evaluation judges only labelled pairs, so
+// the default (strict=false) restricts precision to pairs with a label.
+func Evaluate(predicted [][2]int, truth map[[2]int]bool, strict bool) PRF {
+	if len(truth) == 0 {
+		return PRF{}
+	}
+	tp, fp := 0, 0
+	for _, p := range predicted {
+		if label, ok := truth[p]; ok {
+			if label {
+				tp++
+			} else {
+				fp++
+			}
+		} else if strict {
+			fp++
+		}
+	}
+	positives := 0
+	for _, label := range truth {
+		if label {
+			positives++
+		}
+	}
+	var prf PRF
+	if tp+fp > 0 {
+		prf.Precision = float64(tp) / float64(tp+fp)
+	}
+	if positives > 0 {
+		prf.Recall = float64(tp) / float64(positives)
+	}
+	if prf.Precision+prf.Recall > 0 {
+		prf.F1 = 2 * prf.Precision * prf.Recall / (prf.Precision + prf.Recall)
+	}
+	return prf
+}
+
+// Percentile returns the p-th percentile (0–100) of the values using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Percentiles evaluates several percentiles at once.
+func Percentiles(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = Percentile(values, p)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return total / float64(len(values))
+}
+
+// Seconds converts a duration to float seconds; convenient for tables.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Accuracy returns the fraction of trials in which got equals want.
+func Accuracy(got, want []int) float64 {
+	if len(got) == 0 || len(got) != len(want) {
+		return 0
+	}
+	hit := 0
+	for i := range got {
+		if got[i] == want[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(got))
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEvaluate(t *testing.T) {
+	truth := map[[2]int]bool{
+		{0, 0}: true,
+		{1, 1}: true,
+		{2, 2}: true,
+		{3, 3}: false, // labelled dissimilar
+	}
+	predicted := [][2]int{{0, 0}, {1, 1}, {3, 3}, {9, 9}}
+	prf := Evaluate(predicted, truth, false)
+	// tp = 2, fp = 1 (the labelled-negative pair), unlabelled ignored.
+	if !approxEq(prf.Precision, 2.0/3.0) {
+		t.Errorf("precision = %v, want 2/3", prf.Precision)
+	}
+	if !approxEq(prf.Recall, 2.0/3.0) {
+		t.Errorf("recall = %v, want 2/3", prf.Recall)
+	}
+	if !approxEq(prf.F1, 2.0/3.0) {
+		t.Errorf("F1 = %v, want 2/3", prf.F1)
+	}
+	strict := Evaluate(predicted, truth, true)
+	if !approxEq(strict.Precision, 0.5) {
+		t.Errorf("strict precision = %v, want 0.5", strict.Precision)
+	}
+	if prf.String() == "" {
+		t.Error("String empty")
+	}
+	empty := Evaluate(nil, nil, false)
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Errorf("empty truth should give zeros: %+v", empty)
+	}
+	noPred := Evaluate(nil, truth, false)
+	if noPred.Recall != 0 || noPred.F1 != 0 {
+		t.Errorf("no predictions should give zero recall: %+v", noPred)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{0.1, 0.9, 0.5, 0.3, 0.7}
+	if got := Percentile(vals, 50); !approxEq(got, 0.5) {
+		t.Errorf("median = %v, want 0.5", got)
+	}
+	if got := Percentile(vals, 0); !approxEq(got, 0.1) {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(vals, 100); !approxEq(got, 0.9) {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	ps := Percentiles(vals, 2, 25, 50, 75, 98)
+	if len(ps) != 5 {
+		t.Fatalf("Percentiles returned %d values", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Errorf("percentiles not monotone: %v", ps)
+		}
+	}
+	// Input slice must not be reordered.
+	if vals[0] != 0.1 || vals[1] != 0.9 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanSecondsAccuracy(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !approxEq(got, 2) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); !approxEq(got, 1.5) {
+		t.Errorf("Seconds = %v", got)
+	}
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 9, 3}); !approxEq(got, 2.0/3.0) {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Errorf("Accuracy(nil) = %v", got)
+	}
+	if got := Accuracy([]int{1}, []int{1, 2}); got != 0 {
+		t.Errorf("Accuracy with length mismatch = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package pebble
+
+import "github.com/aujoin/aujoin/internal/sim"
+
+// groupKey identifies a (segment, measure) pebble group, the granularity at
+// which the accumulated similarity (Definition 4) takes its inner maximum.
+type groupKey struct {
+	segment int
+	measure sim.Measure
+}
+
+// AccTable holds the accumulated-similarity suffix sums of a sorted pebble
+// list: AS(i) for every 1-based position i, where
+//
+//	AS(i, S) = Σ_P max_f W(B_{P,f}[i, n])          (Definition 4)
+//
+// i.e. the maximal similarity the pebbles from position i to the end could
+// still contribute, assuming every one of them also occurs in the partner
+// string.
+type AccTable struct {
+	pebbles []Pebble
+	// as[i] = AS(i+1) in the 1-based notation of the paper, for i in [0, n);
+	// as[n] = 0.
+	as []float64
+}
+
+// NewAccTable computes the accumulated-similarity table of a pebble list
+// already sorted by the global order.
+func NewAccTable(sorted []Pebble) *AccTable {
+	n := len(sorted)
+	t := &AccTable{pebbles: sorted, as: make([]float64, n+1)}
+	groupSum := map[groupKey]float64{}
+	segMax := map[int]float64{}
+	total := 0.0
+	for i := n - 1; i >= 0; i-- {
+		p := sorted[i]
+		gk := groupKey{segment: p.Segment, measure: p.Measure}
+		groupSum[gk] += p.Weight
+		if groupSum[gk] > segMax[p.Segment] {
+			total += groupSum[gk] - segMax[p.Segment]
+			segMax[p.Segment] = groupSum[gk]
+		}
+		t.as[i] = total
+	}
+	return t
+}
+
+// Len returns the number of pebbles.
+func (t *AccTable) Len() int { return len(t.pebbles) }
+
+// AS returns AS(i, S) for a 1-based position i in [1, n+1]; AS(n+1) = 0
+// (an empty suffix contributes nothing).
+func (t *AccTable) AS(i int) float64 {
+	if i < 1 {
+		i = 1
+	}
+	if i > len(t.pebbles) {
+		return 0
+	}
+	return t.as[i-1]
+}
+
+// Total returns AS(1): the maximal similarity contribution of all pebbles.
+func (t *AccTable) Total() float64 { return t.AS(1) }
+
+// TopWeights returns the sum of the c heaviest pebble weights among the
+// first `prefix` pebbles (1-based count), i.e. TW_c(B[1, prefix]) of Eq. (8).
+func (t *AccTable) TopWeights(prefix, c int) float64 {
+	if c <= 0 || prefix <= 0 {
+		return 0
+	}
+	if prefix > len(t.pebbles) {
+		prefix = len(t.pebbles)
+	}
+	weights := make([]float64, 0, prefix)
+	for i := 0; i < prefix; i++ {
+		weights = append(weights, t.pebbles[i].Weight)
+	}
+	return sumTopK(weights, c)
+}
+
+// TopWeightsGroup returns TW_c over the first `prefix` pebbles restricted to
+// one (segment, measure) group — the quantity the DP's accessory table
+// needs (Eq. 14, second term).
+func (t *AccTable) TopWeightsGroup(prefix, c, segment int, measure sim.Measure) float64 {
+	if c <= 0 || prefix <= 0 {
+		return 0
+	}
+	if prefix > len(t.pebbles) {
+		prefix = len(t.pebbles)
+	}
+	var weights []float64
+	for i := 0; i < prefix; i++ {
+		p := t.pebbles[i]
+		if p.Segment == segment && p.Measure == measure {
+			weights = append(weights, p.Weight)
+		}
+	}
+	return sumTopK(weights, c)
+}
+
+// SuffixWeightGroup returns W(B_{P,f}[i, n]) for a 1-based position i: the
+// total weight of the group's pebbles from position i to the end (Eq. 14,
+// first term).
+func (t *AccTable) SuffixWeightGroup(i, segment int, measure sim.Measure) float64 {
+	if i < 1 {
+		i = 1
+	}
+	total := 0.0
+	for idx := i - 1; idx < len(t.pebbles); idx++ {
+		p := t.pebbles[idx]
+		if p.Segment == segment && p.Measure == measure {
+			total += p.Weight
+		}
+	}
+	return total
+}
+
+// sumTopK returns the sum of the k largest values (all values if k ≥ len).
+func sumTopK(values []float64, k int) float64 {
+	if k >= len(values) {
+		total := 0.0
+		for _, v := range values {
+			total += v
+		}
+		return total
+	}
+	// Partial selection sort: k is tiny (τ−1), values are few dozen.
+	total := 0.0
+	used := make([]bool, len(values))
+	for picked := 0; picked < k; picked++ {
+		best, bestIdx := -1.0, -1
+		for i, v := range values {
+			if used[i] {
+				continue
+			}
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		total += best
+	}
+	return total
+}

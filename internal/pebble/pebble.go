@@ -1,0 +1,233 @@
+// Package pebble implements the unified signature structure of Section 3 of
+// the paper and the three signature-selection algorithms built on it:
+//
+//   - U-Filter (Algorithm 2): prefix signatures guaranteeing ≥ 1 common
+//     pebble between any pair of strings whose unified similarity reaches θ.
+//   - AU-Filter with heuristics (Algorithm 4): signatures guaranteeing ≥ τ
+//     common pebbles, using the top-(τ−1) heaviest remaining pebbles as the
+//     slack bound (Inequality 10).
+//   - AU-Filter with dynamic programming (Algorithm 5): the same guarantee
+//     with a tighter per-segment slack bound, yielding shorter signatures.
+//
+// A pebble is the unified signature unit: a q-gram (Jaccard), the left-hand
+// side of a synonym rule (synonym), or a taxonomy node or one of its
+// ancestors (taxonomy); see Table 2 of the paper. Pebble keys are
+// namespaced by measure ("g:", "s:", "t:") so that a gram can never collide
+// with a rule side or an entity name in the inverted index.
+package pebble
+
+import (
+	"sort"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// Pebble is a single signature unit generated from one segment of a string
+// by one similarity measure.
+type Pebble struct {
+	// Key is the namespaced identity of the pebble, used as the inverted
+	// index key ("g:fe", "s:coffee shop", "t:coffee drinks").
+	Key string
+	// Weight is the pebble's contribution to the similarity of its segment
+	// (Table 2: 1/|G(P,q)| for grams, C(R) for rules, 1/|n| for taxonomy
+	// nodes).
+	Weight float64
+	// Segment is the index of the segment (within the generation partition
+	// of the string) this pebble was generated from.
+	Segment int
+	// Measure is the similarity measure that generated the pebble.
+	Measure sim.Measure
+}
+
+// Generator produces pebbles for strings under a fixed similarity context.
+// It is safe for concurrent use.
+type Generator struct {
+	Ctx *sim.Context
+	seg *core.Segmenter
+}
+
+// NewGenerator returns a Generator over the given context.
+func NewGenerator(ctx *sim.Context) *Generator {
+	return &Generator{Ctx: ctx, seg: core.NewSegmenter(ctx)}
+}
+
+// Segmenter exposes the underlying segment enumerator.
+func (g *Generator) Segmenter() *core.Segmenter { return g.seg }
+
+// Partition returns the deterministic greedy partition used for pebble
+// generation: scanning left to right, the longest well-defined segment
+// starting at each position is taken. For "coffee shop latte Helsingki"
+// this yields {coffee shop, latte, Helsingki}, matching the segments used
+// in Examples 6–8 of the paper.
+func (g *Generator) Partition(tokens []string) []core.Segment {
+	segs := g.seg.Segments(tokens)
+	// Index the longest segment starting at each position.
+	bestAt := make(map[int]core.Segment, len(tokens))
+	for _, s := range segs {
+		cur, ok := bestAt[s.Span.Start]
+		if !ok || s.Span.Len() > cur.Span.Len() {
+			bestAt[s.Span.Start] = s
+		}
+	}
+	var out []core.Segment
+	for pos := 0; pos < len(tokens); {
+		s, ok := bestAt[pos]
+		if !ok {
+			s = core.Segment{Span: strutil.Span{Start: pos, End: pos + 1}, Tokens: tokens[pos : pos+1]}
+		}
+		out = append(out, s)
+		pos = s.Span.End
+	}
+	return out
+}
+
+// Pebbles generates all pebbles of the token sequence, one group per
+// well-defined segment (Line 1 of Algorithms 2, 4 and 5 — "all pebbles of
+// S"). The returned segment slice indexes the pebbles' Segment field. The
+// pebbles are in generation order; callers sort them with an Order before
+// selecting signatures.
+//
+// Generating pebbles for every well-defined segment (rather than one fixed
+// partition) is what keeps the accumulated-similarity bound valid no matter
+// which partition the verification step ends up using: the bound is a sum
+// over a superset of any partition's segments. On the paper's Example 6
+// string "espresso cafe Helsinki" this yields exactly the 23 pebbles the
+// paper reports.
+func (g *Generator) Pebbles(tokens []string) ([]Pebble, []core.Segment) {
+	segments := g.seg.Segments(tokens)
+	var out []Pebble
+	for idx, seg := range segments {
+		out = append(out, g.segmentPebbles(seg, idx)...)
+	}
+	return out, segments
+}
+
+// segmentPebbles generates the pebbles of one segment per Table 2.
+func (g *Generator) segmentPebbles(seg core.Segment, idx int) []Pebble {
+	var out []Pebble
+	text := strutil.JoinTokens(seg.Tokens)
+
+	if g.Ctx.JaccardEnabled() {
+		grams := strutil.QGrams(text, g.Ctx.GramQ())
+		if len(grams) > 0 {
+			w := 1 / float64(len(grams))
+			for _, gram := range grams {
+				out = append(out, Pebble{Key: "g:" + gram, Weight: w, Segment: idx, Measure: sim.Jaccard})
+			}
+		}
+	}
+
+	if g.Ctx.SynonymEnabled() {
+		// The synonym pebble is always the *lhs* of the rule, no matter
+		// which side the segment matches, so the two sides of a rule
+		// produce the same pebble key (Table 2).
+		seen := map[string]float64{}
+		for _, id := range g.Ctx.Rules.ByLHS(seg.Tokens) {
+			r := g.Ctx.Rules.Rule(id)
+			if c, ok := seen[r.LHSText()]; !ok || r.C > c {
+				seen[r.LHSText()] = r.C
+			}
+		}
+		for _, id := range g.Ctx.Rules.ByRHS(seg.Tokens) {
+			r := g.Ctx.Rules.Rule(id)
+			if c, ok := seen[r.LHSText()]; !ok || r.C > c {
+				seen[r.LHSText()] = r.C
+			}
+		}
+		keys := make([]string, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, Pebble{Key: "s:" + k, Weight: seen[k], Segment: idx, Measure: sim.Synonym})
+		}
+	}
+
+	if g.Ctx.TaxonomyEnabled() {
+		if node, ok := g.Ctx.Tax.LookupTokens(seg.Tokens); ok {
+			depth := g.Ctx.Tax.Depth(node)
+			w := 1 / float64(depth)
+			for _, anc := range g.Ctx.Tax.Ancestors(node) {
+				out = append(out, Pebble{Key: "t:" + g.Ctx.Tax.Name(anc), Weight: w, Segment: idx, Measure: sim.Taxonomy})
+			}
+		}
+	}
+	return out
+}
+
+// Order is the global pebble order required by prefix filtering: pebbles
+// are sorted by ascending document frequency (rare pebbles first), with the
+// key as tie-breaker so the order is total and identical across both join
+// collections.
+type Order struct {
+	freq map[string]int
+}
+
+// NewOrder creates an empty frequency order.
+func NewOrder() *Order { return &Order{freq: make(map[string]int)} }
+
+// Add registers one string's pebbles: every distinct key counts once
+// (document frequency).
+func (o *Order) Add(pebbles []Pebble) {
+	seen := map[string]struct{}{}
+	for _, p := range pebbles {
+		if _, ok := seen[p.Key]; ok {
+			continue
+		}
+		seen[p.Key] = struct{}{}
+		o.freq[p.Key]++
+	}
+}
+
+// Frequency returns the recorded document frequency of a key (0 if unseen).
+func (o *Order) Frequency(key string) int { return o.freq[key] }
+
+// Less reports whether pebble a precedes pebble b in the global order.
+func (o *Order) Less(a, b Pebble) bool {
+	fa, fb := o.freq[a.Key], o.freq[b.Key]
+	if fa != fb {
+		return fa < fb
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	// Same key generated by different segments: order by segment for
+	// determinism.
+	return a.Segment < b.Segment
+}
+
+// Sort sorts the pebbles in place by the global order.
+func (o *Order) Sort(pebbles []Pebble) {
+	sort.Slice(pebbles, func(i, j int) bool { return o.Less(pebbles[i], pebbles[j]) })
+}
+
+// BuildOrder constructs a frequency order over entire collections of
+// token sequences using the given generator.
+func BuildOrder(gen *Generator, collections ...[][]string) *Order {
+	o := NewOrder()
+	for _, coll := range collections {
+		for _, tokens := range coll {
+			p, _ := gen.Pebbles(tokens)
+			o.Add(p)
+		}
+	}
+	return o
+}
+
+// Keys returns the distinct keys of a pebble list, preserving first-seen
+// order. Used when inserting signatures into the inverted index.
+func Keys(pebbles []Pebble) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, p := range pebbles {
+		if _, ok := seen[p.Key]; ok {
+			continue
+		}
+		seen[p.Key] = struct{}{}
+		out = append(out, p.Key)
+	}
+	return out
+}

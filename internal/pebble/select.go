@@ -1,0 +1,188 @@
+package pebble
+
+import (
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/sim"
+)
+
+// Method identifies a signature-selection algorithm.
+type Method int
+
+const (
+	// UFilter is Algorithm 2: prefix signatures with a ≥ 1 overlap
+	// guarantee (equivalent to AUHeuristic with τ = 1).
+	UFilter Method = iota
+	// AUHeuristic is Algorithm 4: the top-(τ−1)-heaviest slack bound.
+	AUHeuristic
+	// AUDP is Algorithm 5: the dynamic-programming slack bound.
+	AUDP
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case UFilter:
+		return "U-Filter"
+	case AUHeuristic:
+		return "AU-Filter (heuristics)"
+	case AUDP:
+		return "AU-Filter (DP)"
+	default:
+		return "unknown"
+	}
+}
+
+// Signature is the selected pebble prefix of one string together with the
+// bookkeeping the join algorithms need.
+type Signature struct {
+	// Pebbles is the selected prefix of the globally ordered pebble list.
+	Pebbles []Pebble
+	// AllPebbles is the complete sorted pebble list (used by diagnostics
+	// and by the adaptive estimator to re-derive signatures for other τ).
+	AllPebbles []Pebble
+	// MinPartition is MP(S), the lower bound on the partition size.
+	MinPartition int
+	// Segments is the generation partition.
+	Segments []core.Segment
+}
+
+// Len returns the signature length in pebbles.
+func (s Signature) Len() int { return len(s.Pebbles) }
+
+// Keys returns the distinct pebble keys of the signature.
+func (s Signature) Keys() []string { return Keys(s.Pebbles) }
+
+// Selector generates signatures for strings given a generator, a global
+// order, and a join threshold θ. It is safe for concurrent use.
+type Selector struct {
+	Gen   *Generator
+	Order *Order
+	Theta float64
+}
+
+// NewSelector creates a Selector.
+func NewSelector(gen *Generator, order *Order, theta float64) *Selector {
+	return &Selector{Gen: gen, Order: order, Theta: theta}
+}
+
+// Signature computes the pebble signature of the token sequence with the
+// given method and overlap constraint τ (τ is ignored by UFilter, which
+// always uses τ = 1).
+func (sel *Selector) Signature(tokens []string, method Method, tau int) Signature {
+	if tau < 1 {
+		tau = 1
+	}
+	pebbles, segments := sel.Gen.Pebbles(tokens)
+	sel.Order.Sort(pebbles)
+	mp := sel.Gen.Segmenter().MinPartitionSize(tokens)
+	sig := Signature{AllPebbles: pebbles, MinPartition: mp, Segments: segments}
+	if len(pebbles) == 0 {
+		return sig
+	}
+	target := sel.Theta * float64(mp)
+
+	var cut int
+	switch method {
+	case UFilter:
+		cut = selectPrefixHeuristic(pebbles, target, 1)
+	case AUHeuristic:
+		cut = selectPrefixHeuristic(pebbles, target, tau)
+	case AUDP:
+		cut = selectPrefixDP(pebbles, segments, target, tau)
+	default:
+		cut = selectPrefixHeuristic(pebbles, target, tau)
+	}
+	sig.Pebbles = pebbles[:cut]
+	return sig
+}
+
+// selectPrefixHeuristic implements Algorithms 2 and 4: find the largest
+// 1-based index i such that AS(i) + TW_{τ-1}(B[1, i-1]) ≥ target and return
+// i (the signature length). Returns 0 when even the whole pebble list
+// cannot reach the target.
+func selectPrefixHeuristic(sorted []Pebble, target float64, tau int) int {
+	acc := NewAccTable(sorted)
+	for i := len(sorted); i >= 1; i-- {
+		bound := acc.AS(i) + acc.TopWeights(i-1, tau-1)
+		if bound >= target-1e-12 {
+			return i
+		}
+	}
+	return 0
+}
+
+// selectPrefixDP implements Algorithm 5: the slack for inserting τ−1
+// pebbles from the prefix is bounded per segment by the dynamic program of
+// Equations (12)–(14), which is never larger than the heuristic's
+// TW_{τ-1} bound, so the resulting signatures are never longer.
+func selectPrefixDP(sorted []Pebble, segments []core.Segment, target float64, tau int) int {
+	acc := NewAccTable(sorted)
+	t := len(segments)
+	measures := []sim.Measure{sim.Jaccard, sim.Synonym, sim.Taxonomy}
+
+	for i := len(sorted); i >= 1; i-- {
+		if acc.AS(i) >= target-1e-12 {
+			return i
+		}
+		// W[p][d]: maximal similarity increment achievable by inserting d
+		// pebbles of the first p segments from B[1, i-1].
+		w := make([][]float64, t+1)
+		for p := range w {
+			w[p] = make([]float64, tau)
+		}
+		reached := false
+		for p := 1; p <= t && !reached; p++ {
+			segIdx := p - 1
+			// Accessory table row V[p][c] per Eq. (13)-(14).
+			v := make([]float64, tau)
+			r0 := rValue(acc, i, 0, segIdx, measures)
+			for c := 1; c < tau; c++ {
+				v[c] = rValue(acc, i, c, segIdx, measures) - r0
+			}
+			for d := 1; d < tau; d++ {
+				best := 0.0
+				for c := 0; c <= d; c++ {
+					cand := w[p-1][d-c] + v[c]
+					if cand > best {
+						best = cand
+					}
+				}
+				w[p][d] = best
+				if acc.AS(i)+w[p][d] >= target-1e-12 {
+					reached = true
+					break
+				}
+			}
+			// Carry forward d = 0 (always 0) implicitly; also make sure
+			// W[p][d] is monotone in p by taking the previous row when the
+			// current segment adds nothing.
+			for d := 1; d < tau; d++ {
+				if w[p-1][d] > w[p][d] {
+					w[p][d] = w[p-1][d]
+				}
+			}
+		}
+		if reached {
+			return i
+		}
+		// Check the completed table too (covers tau == 1, where the inner
+		// loops never run).
+		if acc.AS(i)+w[t][tau-1] >= target-1e-12 {
+			return i
+		}
+	}
+	return 0
+}
+
+// rValue computes R(P, i, c) of Eq. (14): the best single-measure bound for
+// segment P when c extra pebbles from the prefix B[1, i-1] may be used.
+func rValue(acc *AccTable, i, c, segment int, measures []sim.Measure) float64 {
+	best := 0.0
+	for _, f := range measures {
+		v := acc.SuffixWeightGroup(i, segment, f) + acc.TopWeightsGroup(i-1, c, segment, f)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

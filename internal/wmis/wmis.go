@@ -1,0 +1,487 @@
+// Package wmis implements weighted maximum independent set (w-MIS) solvers
+// on conflict graphs, the machinery behind the approximation algorithm of
+// Section 2.3.
+//
+// The conflict graphs produced by the unified similarity measure are
+// (k+1)-claw-free, where k is the maximal number of tokens on one side of a
+// synonym rule or taxonomy entity. On such graphs the SquareImp algorithm
+// (Berman, SWAT 2000 — reference [10] of the paper) approximates w-MIS by
+// local claw improvements measured in *squared* vertex weight.
+//
+// The package provides three solvers:
+//
+//   - Greedy: heaviest-vertex-first; the classic baseline and SquareImp's
+//     starting point.
+//   - SquareImp: greedy followed by squared-weight claw-swap improvements.
+//   - Exact: branch-and-bound over all independent sets, used by the
+//     approximation-accuracy experiment (Table 9) and by tests as an oracle.
+//
+// Vertex sets are represented as sorted []int slices; the graph uses
+// bitset adjacency so conflict checks inside local search are O(n/64).
+package wmis
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Graph is an undirected vertex-weighted graph. Vertices are indexed
+// 0..N-1. The zero value is an empty graph; use NewGraph to pre-size.
+type Graph struct {
+	weights []float64
+	adj     []bitset
+}
+
+// NewGraph creates a graph with n isolated vertices of weight 0.
+func NewGraph(n int) *Graph {
+	g := &Graph{
+		weights: make([]float64, n),
+		adj:     make([]bitset, n),
+	}
+	words := (n + 63) / 64
+	for i := range g.adj {
+		g.adj[i] = make(bitset, words)
+	}
+	return g
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.weights) }
+
+// SetWeight assigns a weight to vertex v.
+func (g *Graph) SetWeight(v int, w float64) { g.weights[v] = w }
+
+// Weight returns the weight of vertex v.
+func (g *Graph) Weight(v int) float64 { return g.weights[v] }
+
+// AddEdge inserts an undirected edge between u and v. Self-loops are
+// ignored. Adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u].set(v)
+	g.adj[v].set(u)
+}
+
+// HasEdge reports whether u and v conflict.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.adj[u].has(v)
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return g.adj[v].count() }
+
+// Neighbors returns the sorted neighbour list of v.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v].elements() }
+
+// WeightOf sums the weights of the given vertex set.
+func (g *Graph) WeightOf(set []int) float64 {
+	total := 0.0
+	for _, v := range set {
+		total += g.weights[v]
+	}
+	return total
+}
+
+// SquaredWeightOf sums the squared weights of the given vertex set; the
+// quantity SquareImp's improvement criterion is defined on.
+func (g *Graph) SquaredWeightOf(set []int) float64 {
+	total := 0.0
+	for _, v := range set {
+		total += g.weights[v] * g.weights[v]
+	}
+	return total
+}
+
+// IsIndependent reports whether no two vertices of the set conflict.
+func (g *Graph) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NeighborsInSet returns N(v, A): the members of A adjacent to v (v itself
+// is included if it belongs to A), matching the definition used in
+// Algorithm 1 Line 2 of the paper.
+func (g *Graph) NeighborsInSet(v int, set []int) []int {
+	var out []int
+	for _, u := range set {
+		if u == v || g.HasEdge(u, v) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// NeighborsOfSetInSet returns N(T, A) = ∪_{v∈T} N(v, A) without duplicates.
+func (g *Graph) NeighborsOfSetInSet(talons, set []int) []int {
+	seen := map[int]struct{}{}
+	var out []int
+	for _, v := range talons {
+		for _, u := range g.NeighborsInSet(v, set) {
+			if _, ok := seen[u]; !ok {
+				seen[u] = struct{}{}
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Swap returns set ∪ talons \ removed as a fresh sorted slice.
+func Swap(set, talons, removed []int) []int {
+	drop := map[int]struct{}{}
+	for _, v := range removed {
+		drop[v] = struct{}{}
+	}
+	out := make([]int, 0, len(set)+len(talons))
+	for _, v := range set {
+		if _, ok := drop[v]; !ok {
+			out = append(out, v)
+		}
+	}
+	out = append(out, talons...)
+	sort.Ints(out)
+	return out
+}
+
+// Greedy computes an independent set by repeatedly taking the heaviest
+// remaining vertex and discarding its neighbours. Ties are broken by vertex
+// index for determinism.
+func (g *Graph) Greedy() []int {
+	n := g.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if g.weights[order[a]] != g.weights[order[b]] {
+			return g.weights[order[a]] > g.weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	blocked := make(bitset, (n+63)/64)
+	var set []int
+	for _, v := range order {
+		if g.weights[v] <= 0 || blocked.has(v) {
+			continue
+		}
+		set = append(set, v)
+		blocked.set(v)
+		blocked.or(g.adj[v])
+	}
+	sort.Ints(set)
+	return set
+}
+
+// SquareImpOptions tunes the SquareImp local search.
+type SquareImpOptions struct {
+	// MaxTalons bounds the size of the talon sets considered in a single
+	// improvement step; claw-freeness bounds the useful size by k, but in
+	// practice talon sets of size ≤ 3 capture nearly all improvements.
+	// Zero means 3.
+	MaxTalons int
+	// MaxIterations caps the number of improvement rounds; zero means 4·n,
+	// a generous bound that the squared-weight potential argument never
+	// reaches on real inputs.
+	MaxIterations int
+	// MinImprove is the minimal relative squared-weight gain (corresponding
+	// to the 1/t threshold of the paper); zero means 1e-9.
+	MinImprove float64
+}
+
+func (o SquareImpOptions) withDefaults(n int) SquareImpOptions {
+	if o.MaxTalons <= 0 {
+		o.MaxTalons = 3
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 4*n + 8
+	}
+	if o.MinImprove <= 0 {
+		o.MinImprove = 1e-9
+	}
+	return o
+}
+
+// SquareImp computes an independent set with Berman-style local claw
+// improvements: starting from the greedy solution, it repeatedly looks for
+// a set of mutually non-adjacent vertices T outside the current solution A
+// whose squared weight exceeds the squared weight of N(T, A), and swaps.
+func (g *Graph) SquareImp(opts SquareImpOptions) []int {
+	opts = opts.withDefaults(g.Len())
+	set := g.Greedy()
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		talons, removed, gain := g.bestSquaredImprovement(set, opts.MaxTalons)
+		if talons == nil || gain <= opts.MinImprove {
+			break
+		}
+		set = Swap(set, talons, removed)
+	}
+	return set
+}
+
+// bestSquaredImprovement searches for the talon set (|T| ≤ maxTalons) with
+// the largest squared-weight gain over its neighbourhood in the current
+// set. It returns nil talons when no improvement exists.
+func (g *Graph) bestSquaredImprovement(set []int, maxTalons int) (talons, removed []int, gain float64) {
+	inSet := make(bitset, (g.Len()+63)/64)
+	for _, v := range set {
+		inSet.set(v)
+	}
+	var bestT, bestR []int
+	bestGain := 0.0
+
+	var candidates []int
+	for v := 0; v < g.Len(); v++ {
+		if !inSet.has(v) && g.weights[v] > 0 {
+			candidates = append(candidates, v)
+		}
+	}
+
+	var cur []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 {
+			removedSet := g.NeighborsOfSetInSet(cur, set)
+			gainHere := g.SquaredWeightOf(cur) - g.SquaredWeightOf(removedSet)
+			if gainHere > bestGain {
+				bestGain = gainHere
+				bestT = append([]int(nil), cur...)
+				bestR = removedSet
+			}
+		}
+		if len(cur) == maxTalons {
+			return
+		}
+		for i := start; i < len(candidates); i++ {
+			v := candidates[i]
+			ok := true
+			for _, u := range cur {
+				if g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur = append(cur, v)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	if bestT == nil {
+		return nil, nil, 0
+	}
+	return bestT, bestR, bestGain
+}
+
+// EnumerateTalonSets calls fn for every non-empty independent set of
+// vertices outside the given set with size at most maxTalons, together with
+// the members of set that would have to be removed (N(T, set)). If fn
+// returns false the enumeration stops early. The unified-similarity
+// approximation (Algorithm 1) uses this to search for claw improvements
+// measured on the final similarity rather than squared weight.
+func (g *Graph) EnumerateTalonSets(set []int, maxTalons int, fn func(talons, removed []int) bool) {
+	inSet := make(bitset, (g.Len()+63)/64)
+	for _, v := range set {
+		inSet.set(v)
+	}
+	var candidates []int
+	for v := 0; v < g.Len(); v++ {
+		if !inSet.has(v) {
+			candidates = append(candidates, v)
+		}
+	}
+	var cur []int
+	stopped := false
+	var rec func(start int)
+	rec = func(start int) {
+		if stopped {
+			return
+		}
+		if len(cur) > 0 {
+			removed := g.NeighborsOfSetInSet(cur, set)
+			if !fn(append([]int(nil), cur...), removed) {
+				stopped = true
+				return
+			}
+		}
+		if len(cur) == maxTalons {
+			return
+		}
+		for i := start; i < len(candidates); i++ {
+			v := candidates[i]
+			ok := true
+			for _, u := range cur {
+				if g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur = append(cur, v)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(0)
+}
+
+// ExactResult reports the outcome of the exact branch-and-bound solver.
+type ExactResult struct {
+	Set      []int
+	Weight   float64
+	Complete bool // false when the node budget was exhausted
+}
+
+// Exact computes the maximum-weight independent set by branch and bound.
+// nodeBudget caps the number of explored search nodes; a non-positive
+// budget means 1<<22. When the budget is exhausted the best set found so
+// far is returned with Complete=false.
+func (g *Graph) Exact(nodeBudget int) ExactResult {
+	if nodeBudget <= 0 {
+		nodeBudget = 1 << 22
+	}
+	n := g.Len()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Branch on heavy vertices first to tighten the bound quickly.
+	sort.Slice(order, func(a, b int) bool { return g.weights[order[a]] > g.weights[order[b]] })
+
+	// suffixWeight[i] = total positive weight of order[i:]; an admissible
+	// upper bound for pruning.
+	suffixWeight := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		w := g.weights[order[i]]
+		if w < 0 {
+			w = 0
+		}
+		suffixWeight[i] = suffixWeight[i+1] + w
+	}
+
+	best := ExactResult{Complete: true}
+	greedy := g.Greedy()
+	best.Set = greedy
+	best.Weight = g.WeightOf(greedy)
+
+	blocked := make(bitset, (n+63)/64)
+	var cur []int
+	nodes := 0
+	var rec func(idx int, curWeight float64)
+	rec = func(idx int, curWeight float64) {
+		nodes++
+		if nodes > nodeBudget {
+			best.Complete = false
+			return
+		}
+		if curWeight > best.Weight {
+			best.Weight = curWeight
+			best.Set = append([]int(nil), cur...)
+		}
+		if idx >= n || curWeight+suffixWeight[idx] <= best.Weight {
+			return
+		}
+		v := order[idx]
+		// Branch 1: include v if it is not blocked and has positive weight.
+		if !blocked.has(v) && g.weights[v] > 0 {
+			newlyBlocked := g.adj[v].andNot(blocked)
+			blocked.set(v)
+			blocked.or(g.adj[v])
+			cur = append(cur, v)
+			rec(idx+1, curWeight+g.weights[v])
+			cur = cur[:len(cur)-1]
+			blocked.clear(v)
+			blocked.andNotInPlace(newlyBlocked)
+		}
+		if !best.Complete {
+			return
+		}
+		// Branch 2: exclude v.
+		rec(idx+1, curWeight)
+	}
+	rec(0, 0)
+	sort.Ints(best.Set)
+	return best
+}
+
+// Validate returns an error when the given set is not independent; handy in
+// tests and defensive checks.
+func (g *Graph) Validate(set []int) error {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return fmt.Errorf("wmis: vertices %d and %d conflict", set[i], set[j])
+			}
+		}
+	}
+	return nil
+}
+
+// bitset is a fixed-size bit vector over vertex indices.
+type bitset []uint64
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// andNot returns a new bitset containing the bits of b that are not in mask.
+func (b bitset) andNot(mask bitset) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] &^ mask[i]
+	}
+	return out
+}
+
+// andNotInPlace clears every bit of b present in mask.
+func (b bitset) andNotInPlace(mask bitset) {
+	for i := range b {
+		b[i] &^= mask[i]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) elements() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, wi*64+bit)
+			w &= w - 1
+		}
+	}
+	return out
+}

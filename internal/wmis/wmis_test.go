@@ -1,0 +1,378 @@
+package wmis
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// exactBrute enumerates every subset; only for tiny graphs.
+func exactBrute(g *Graph) float64 {
+	n := g.Len()
+	best := 0.0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				set = append(set, v)
+			}
+		}
+		if !g.IsIndependent(set) {
+			continue
+		}
+		if w := g.WeightOf(set); w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// figure2Graph builds the conflict graph of Figure 2(b) of the paper:
+// vertices R1..R5 (indices 0..4) with weights 0.3, 0.13, 0.22, 0.09, 0.27
+// and edges between conflicting rules.
+func figure2Graph() *Graph {
+	g := NewGraph(5)
+	// Weights from Figure 2(b).
+	g.SetWeight(0, 0.3)  // R1: {b,c,d} -> {f}
+	g.SetWeight(1, 0.13) // R2: {b,c} -> {f,g}
+	g.SetWeight(2, 0.22) // R3: {c,d} -> {f,g}
+	g.SetWeight(3, 0.09) // R4: {a} -> {g}
+	g.SetWeight(4, 0.27) // R5: {d} -> {h}
+	// Conflicts: share tokens on S side or T side.
+	g.AddEdge(0, 1) // share b,c and f
+	g.AddEdge(0, 2) // share c,d and f
+	g.AddEdge(0, 4) // share d
+	g.AddEdge(1, 2) // share c; f,g
+	g.AddEdge(1, 3) // share g
+	g.AddEdge(2, 3) // share g
+	g.AddEdge(2, 4) // share d
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.SetWeight(0, 1)
+	g.SetWeight(1, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 0) // self loop ignored
+	g.AddEdge(1, 0) // duplicate ignored
+	if g.Len() != 4 {
+		t.Errorf("Len = %d, want 4", g.Len())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge 0-1 missing")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("self loop should not exist")
+	}
+	if g.HasEdge(2, 3) {
+		t.Error("unexpected edge 2-3")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(0), g.Degree(2))
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if g.Weight(1) != 2 {
+		t.Errorf("Weight(1) = %v", g.Weight(1))
+	}
+	if got := g.WeightOf([]int{0, 1}); got != 3 {
+		t.Errorf("WeightOf = %v, want 3", got)
+	}
+	if got := g.SquaredWeightOf([]int{0, 1}); got != 5 {
+		t.Errorf("SquaredWeightOf = %v, want 5", got)
+	}
+	if g.IsIndependent([]int{0, 1}) {
+		t.Error("0,1 should conflict")
+	}
+	if !g.IsIndependent([]int{0, 2, 3}) {
+		t.Error("0,2,3 should be independent")
+	}
+	if err := g.Validate([]int{0, 2}); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := g.Validate([]int{0, 1}); err == nil {
+		t.Error("Validate should fail for conflicting set")
+	}
+}
+
+func TestNeighborsInSet(t *testing.T) {
+	g := figure2Graph()
+	set := []int{1, 4} // {R2, R5}, the SquareImp greedy pick in Example 5
+	// N(R1, A): R1 conflicts with R2 and R5, and is not in A.
+	got := g.NeighborsInSet(0, set)
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("NeighborsInSet(R1) = %v, want [1 4]", got)
+	}
+	// N(R4, A): R4 conflicts with R2 only.
+	got = g.NeighborsInSet(3, set)
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("NeighborsInSet(R4) = %v, want [1]", got)
+	}
+	// A member of the set is its own neighbour.
+	got = g.NeighborsInSet(1, set)
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("NeighborsInSet(R2) = %v, want [1]", got)
+	}
+	got = g.NeighborsOfSetInSet([]int{0, 3}, set)
+	if !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("NeighborsOfSetInSet = %v, want [1 4]", got)
+	}
+}
+
+func TestSwap(t *testing.T) {
+	got := Swap([]int{1, 4}, []int{0, 3}, []int{1, 4})
+	if !reflect.DeepEqual(got, []int{0, 3}) {
+		t.Errorf("Swap = %v, want [0 3]", got)
+	}
+	got = Swap([]int{2, 5}, []int{1}, nil)
+	if !reflect.DeepEqual(got, []int{1, 2, 5}) {
+		t.Errorf("Swap = %v, want [1 2 5]", got)
+	}
+}
+
+func TestGreedyOnFigure2(t *testing.T) {
+	g := figure2Graph()
+	set := g.Greedy()
+	// Greedy by weight: R1 (0.3) first, blocks R2, R3, R5; then R4 (0.09).
+	if !reflect.DeepEqual(set, []int{0, 3}) {
+		t.Errorf("Greedy = %v, want [0 3]", set)
+	}
+	if err := g.Validate(set); err != nil {
+		t.Errorf("greedy set invalid: %v", err)
+	}
+}
+
+func TestGreedySkipsNonPositive(t *testing.T) {
+	g := NewGraph(3)
+	g.SetWeight(0, 0)
+	g.SetWeight(1, -1)
+	g.SetWeight(2, 0.5)
+	if got := g.Greedy(); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("Greedy = %v, want [2]", got)
+	}
+}
+
+func TestSquareImpImprovesGreedy(t *testing.T) {
+	// Construct a graph where greedy is suboptimal: a star whose centre is
+	// the heaviest vertex but whose leaves together weigh more.
+	g := NewGraph(4)
+	g.SetWeight(0, 1.0)
+	g.SetWeight(1, 0.6)
+	g.SetWeight(2, 0.6)
+	g.SetWeight(3, 0.6)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	greedy := g.Greedy()
+	if !reflect.DeepEqual(greedy, []int{0}) {
+		t.Fatalf("greedy = %v, want [0]", greedy)
+	}
+	improved := g.SquareImp(SquareImpOptions{})
+	if !reflect.DeepEqual(improved, []int{1, 2, 3}) {
+		t.Errorf("SquareImp = %v, want [1 2 3]", improved)
+	}
+}
+
+func TestSquareImpValidAndAtLeastGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(14)
+		g := NewGraph(n)
+		for v := 0; v < n; v++ {
+			g.SetWeight(v, rng.Float64())
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		greedyW := g.WeightOf(g.Greedy())
+		si := g.SquareImp(SquareImpOptions{})
+		if err := g.Validate(si); err != nil {
+			t.Fatalf("trial %d: SquareImp produced invalid set: %v", trial, err)
+		}
+		siW := g.WeightOf(si)
+		opt := exactBrute(g)
+		if siW > opt+1e-9 {
+			t.Fatalf("trial %d: SquareImp %v exceeds optimum %v", trial, siW, opt)
+		}
+		// SquareImp should never be drastically worse than greedy (both are
+		// at least a constant-factor approximation); check it is at least
+		// half of greedy to catch regressions without being brittle.
+		if siW < greedyW/2-1e-9 {
+			t.Fatalf("trial %d: SquareImp %v much worse than greedy %v", trial, siW, greedyW)
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(12)
+		g := NewGraph(n)
+		for v := 0; v < n; v++ {
+			g.SetWeight(v, math.Round(rng.Float64()*100)/100)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.35 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		res := g.Exact(0)
+		if !res.Complete {
+			t.Fatalf("trial %d: exact did not complete", trial)
+		}
+		if err := g.Validate(res.Set); err != nil {
+			t.Fatalf("trial %d: invalid exact set: %v", trial, err)
+		}
+		want := exactBrute(g)
+		if math.Abs(res.Weight-want) > 1e-9 {
+			t.Fatalf("trial %d: Exact = %v, brute force = %v", trial, res.Weight, want)
+		}
+		if math.Abs(g.WeightOf(res.Set)-res.Weight) > 1e-9 {
+			t.Fatalf("trial %d: reported weight inconsistent with set", trial)
+		}
+	}
+}
+
+func TestExactOnFigure2(t *testing.T) {
+	g := figure2Graph()
+	res := g.Exact(0)
+	// On raw vertex weights the optimum is {R2, R5} with weight 0.40; the
+	// paper's Example 5 picks {R1, R4} only once the *unified similarity*
+	// denominator is taken into account (that flip is tested in the core
+	// package).
+	if !reflect.DeepEqual(res.Set, []int{1, 4}) {
+		t.Errorf("Exact set = %v, want [1 4]", res.Set)
+	}
+	if math.Abs(res.Weight-0.40) > 1e-9 {
+		t.Errorf("Exact weight = %v, want 0.40", res.Weight)
+	}
+}
+
+func TestExactBudgetExhaustion(t *testing.T) {
+	// Dense-ish random graph with a budget of one node: must return the
+	// greedy fallback and report Complete=false.
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64())
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	res := g.Exact(1)
+	if res.Complete {
+		t.Error("expected incomplete result with tiny budget")
+	}
+	if err := g.Validate(res.Set); err != nil {
+		t.Errorf("fallback set invalid: %v", err)
+	}
+	if res.Weight <= 0 {
+		t.Errorf("fallback weight = %v, want > 0", res.Weight)
+	}
+}
+
+func TestEnumerateTalonSets(t *testing.T) {
+	g := figure2Graph()
+	set := []int{1, 4} // {R2, R5}
+	count := 0
+	sawR1R4 := false
+	g.EnumerateTalonSets(set, 2, func(talons, removed []int) bool {
+		count++
+		if err := g.Validate(talons); err != nil {
+			t.Fatalf("talon set %v not independent: %v", talons, err)
+		}
+		if reflect.DeepEqual(talons, []int{0, 3}) {
+			sawR1R4 = true
+			// Removing N({R1,R4}, {R2,R5}) must clear the whole set.
+			if !reflect.DeepEqual(removed, []int{1, 4}) {
+				t.Errorf("removed = %v, want [1 4]", removed)
+			}
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no talon sets enumerated")
+	}
+	if !sawR1R4 {
+		t.Error("the improving claw {R1, R4} of Example 5 was not enumerated")
+	}
+	// Early stop must be honoured.
+	calls := 0
+	g.EnumerateTalonSets(set, 2, func(talons, removed []int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop ignored, calls = %d", calls)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := make(bitset, 2)
+	b.set(3)
+	b.set(64)
+	if !b.has(3) || !b.has(64) || b.has(5) {
+		t.Error("bitset set/has broken")
+	}
+	if b.count() != 2 {
+		t.Errorf("count = %d, want 2", b.count())
+	}
+	if got := b.elements(); !reflect.DeepEqual(got, []int{3, 64}) {
+		t.Errorf("elements = %v", got)
+	}
+	b.clear(3)
+	if b.has(3) {
+		t.Error("clear failed")
+	}
+	other := make(bitset, 2)
+	other.set(1)
+	b.or(other)
+	if !b.has(1) {
+		t.Error("or failed")
+	}
+	masked := b.andNot(other)
+	if masked.has(1) || !masked.has(64) {
+		t.Error("andNot failed")
+	}
+	b.andNotInPlace(other)
+	if b.has(1) || !b.has(64) {
+		t.Error("andNotInPlace failed")
+	}
+}
+
+func BenchmarkSquareImp50(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	n := 50
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64())
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.15 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SquareImp(SquareImpOptions{MaxTalons: 2})
+	}
+}
