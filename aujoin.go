@@ -21,6 +21,19 @@
 //	sim := j.Similarity("coffee shop latte Helsingki", "espresso cafe Helsinki")
 //	matches, _ := j.Join(left, right, aujoin.JoinOptions{Theta: 0.8, AutoTau: true})
 //
+// # Build once, probe many
+//
+// Every pebble is interned into a dense integer ID ordered by global
+// frequency, and the whole filtering pipeline (signatures, inverted index,
+// candidate counting) runs on those IDs. Joiner.Index materialises that
+// state once so that repeated joins and query-serving workloads skip it:
+//
+//	ix := j.Index(catalog, aujoin.JoinOptions{Theta: 0.8, Tau: 2})
+//	matches, _ := ix.Probe(batch)          // join a batch against the catalog
+//	hits := ix.Query("espresso cafe")      // serve a single lookup
+//
+// Join and SelfJoin are one-shot compositions of the same stages.
+//
 // See the examples/ directory for complete runnable programs and
 // cmd/benchrun for the harness that regenerates the paper's tables and
 // figures.
@@ -279,6 +292,61 @@ func (j *Joiner) SelfJoin(s []string, opts JoinOptions) ([]Match, Stats) {
 	return j.joinRecords(recs, recs, opts, true)
 }
 
+// Index is a prebuilt join target over one collection: the interned pebble
+// order, the collection's signatures, and the ID-indexed inverted index,
+// computed once at construction. It is safe for concurrent use and is the
+// build-once/probe-many API for repeated joins and query serving.
+type Index struct {
+	inner *join.Index
+	tau   int
+}
+
+// QueryMatch is one result of a single-string Query: the position of the
+// matched record in the indexed collection and its unified similarity to
+// the query.
+type QueryMatch struct {
+	Record     int
+	Similarity float64
+}
+
+// Index builds a probe-ready index over the collection. Theta, Tau and
+// Filter are fixed at build time (AutoTau is ignored — suggesting τ needs a
+// probe side; use SuggestTau and rebuild to re-tune).
+func (j *Joiner) Index(records []string, opts JoinOptions) *Index {
+	tau := opts.Tau
+	if tau < 1 {
+		tau = 1
+	}
+	jopts := join.Options{
+		Theta:   opts.Theta,
+		Tau:     tau,
+		Method:  opts.Filter.method(),
+		Workers: opts.Workers,
+	}
+	recs := strutil.NewCollection(records)
+	return &Index{inner: j.joiner.BuildIndex(recs, jopts), tau: tau}
+}
+
+// Probe joins a collection of strings against the prebuilt index. Match.S
+// indexes the collection the Index was built over, Match.T the probe
+// collection. The one-off index build cost is not part of the returned
+// Stats — that is the point of probing a prebuilt index.
+func (ix *Index) Probe(records []string) ([]Match, Stats) {
+	pairs, jstats := ix.inner.Probe(strutil.NewCollection(records))
+	return convertPairs(pairs, jstats, ix.tau)
+}
+
+// Query runs the filter-and-verify pipeline for a single string and
+// returns the matching indexed records in ascending record order.
+func (ix *Index) Query(q string) []QueryMatch {
+	hits := ix.inner.ProbeRecord(strutil.Tokenize(q))
+	out := make([]QueryMatch, len(hits))
+	for i, h := range hits {
+		out[i] = QueryMatch{Record: h.Record, Similarity: h.Similarity}
+	}
+	return out
+}
+
 // SuggestTau runs the sampling-based estimator of Section 4 and returns the
 // overlap constraint with the minimal estimated join cost.
 func (j *Joiner) SuggestTau(s, t []string, theta float64) int {
@@ -290,7 +358,7 @@ func (j *Joiner) SuggestTau(s, t []string, theta float64) int {
 }
 
 func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, self bool) ([]Match, Stats) {
-	var stats Stats
+	var suggestionTime time.Duration
 	tau := opts.Tau
 	if tau < 1 {
 		tau = 1
@@ -300,9 +368,8 @@ func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, se
 		rec := estimator.Suggest(j.joiner, recsS, recsT,
 			join.Options{Theta: opts.Theta, Method: opts.Filter.method()}, estimator.Config{Seed: 1})
 		tau = rec.BestTau
-		stats.SuggestionTime = time.Since(start)
+		suggestionTime = time.Since(start)
 	}
-	stats.SuggestedTau = tau
 	jopts := join.Options{
 		Theta:   opts.Theta,
 		Tau:     tau,
@@ -316,10 +383,20 @@ func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, se
 	} else {
 		pairs, jstats = j.joiner.Join(recsS, recsT, jopts)
 	}
-	stats.Candidates = jstats.Candidates
-	stats.Results = len(pairs)
-	stats.FilterTime = jstats.SignatureTime + jstats.FilterTime
-	stats.VerifyTime = jstats.VerifyTime
+	out, stats := convertPairs(pairs, jstats, tau)
+	stats.SuggestionTime = suggestionTime
+	return out, stats
+}
+
+// convertPairs maps internal join results onto the public types.
+func convertPairs(pairs []join.Pair, jstats join.Stats, tau int) ([]Match, Stats) {
+	stats := Stats{
+		Candidates:   jstats.Candidates,
+		Results:      len(pairs),
+		SuggestedTau: tau,
+		FilterTime:   jstats.SignatureTime + jstats.FilterTime,
+		VerifyTime:   jstats.VerifyTime,
+	}
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {
 		out[i] = Match{S: p.S, T: p.T, Similarity: p.Similarity}

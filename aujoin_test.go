@@ -70,6 +70,46 @@ func TestJoinAndSelfJoin(t *testing.T) {
 	}
 }
 
+func TestIndexProbeAndQuery(t *testing.T) {
+	j := paperJoiner(t)
+	catalog := []string{"coffee shop latte Helsingki", "apple cake bakery", "nothing in common"}
+	ix := j.Index(catalog, JoinOptions{Theta: 0.75, Tau: 2, Filter: AUFilterDP})
+
+	// Probing the prebuilt index must agree with the one-shot join.
+	batch := []string{"espresso cafe Helsinki", "cake gateau bakery"}
+	want, _ := j.Join(catalog, batch, JoinOptions{Theta: 0.75, Tau: 2, Filter: AUFilterDP})
+	got, stats := ix.Probe(batch)
+	if len(got) != len(want) {
+		t.Fatalf("Probe = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i].S != want[i].S || got[i].T != want[i].T {
+			t.Errorf("Probe[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if stats.Results != len(got) {
+		t.Errorf("stats.Results = %d, want %d", stats.Results, len(got))
+	}
+
+	// A second probe reuses the index; a fresh query serves single lookups.
+	if again, _ := ix.Probe(batch); len(again) != len(got) {
+		t.Error("repeated probe differs")
+	}
+	hits := ix.Query("espresso cafe Helsinki")
+	found := false
+	for _, h := range hits {
+		if h.Record == 0 && h.Similarity >= 0.75 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Query missed the POI record: %v", hits)
+	}
+	if hits := ix.Query("zzz qqq"); len(hits) != 0 {
+		t.Errorf("unrelated query returned %v", hits)
+	}
+}
+
 func TestAutoTauAndSuggestTau(t *testing.T) {
 	j := paperJoiner(t)
 	var left, right []string

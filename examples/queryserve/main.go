@@ -1,0 +1,44 @@
+// Command queryserve demonstrates the build-once/probe-many API: a catalog
+// is indexed once, then served with single-string queries and batch probes
+// without rebuilding signatures or the inverted index.
+package main
+
+import (
+	"fmt"
+
+	"github.com/aujoin/aujoin"
+)
+
+func main() {
+	j := aujoin.New(
+		aujoin.WithSynonym("coffee shop", "cafe", 1.0),
+		aujoin.WithSynonym("st", "street", 1.0),
+		aujoin.WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "espresso"),
+		aujoin.WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "latte"),
+	)
+
+	catalog := []string{
+		"coffee shop latte Helsingki",
+		"espresso bar mannerheim street",
+		"apple cake bakery",
+		"national museum of finland",
+	}
+	ix := j.Index(catalog, aujoin.JoinOptions{Theta: 0.75, Tau: 2, Filter: aujoin.AUFilterDP})
+
+	// Single-string lookups reuse the prebuilt index and pooled scratch.
+	for _, q := range []string{"espresso cafe Helsinki", "latte bar mannerheim st", "apple pie"} {
+		fmt.Printf("query %q:\n", q)
+		for _, h := range ix.Query(q) {
+			fmt.Printf("  %.3f  %q\n", h.Similarity, catalog[h.Record])
+		}
+	}
+
+	// Batches probe the same index; stats exclude the one-off build cost.
+	batch := []string{"espresso cafe Helsinki", "cake gateau bakery"}
+	matches, stats := ix.Probe(batch)
+	fmt.Printf("batch probe: %d matches, %d candidates, %v filter time\n",
+		len(matches), stats.Candidates, stats.FilterTime)
+	for _, m := range matches {
+		fmt.Printf("  %q ~ %q  sim=%.3f\n", catalog[m.S], batch[m.T], m.Similarity)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/aujoin/aujoin
+
+go 1.21

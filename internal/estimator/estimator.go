@@ -182,12 +182,17 @@ func Suggest(j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Confi
 		iterations++
 		sampleS := bernoulliSample(s, cfg.SampleProbS, rng)
 		sampleT := bernoulliSample(t, cfg.SampleProbT, rng)
+		// One profile per sample pair: pebble generation, interning and
+		// sorting are shared by every τ in the universe; only the cheap
+		// prefix selection and candidate counting run per τ.
+		var profile *join.FilterProfile
+		if len(sampleS) > 0 && len(sampleT) > 0 {
+			profile = j.NewFilterProfile(sampleS, sampleT, base)
+		}
 		for _, st := range states {
-			opts := base
-			opts.Tau = st.tau
 			processed, candidates := int64(0), 0
-			if len(sampleS) > 0 && len(sampleT) > 0 {
-				processed, candidates = j.FilterStats(sampleS, sampleT, opts)
+			if profile != nil {
+				processed, candidates = profile.Stats(st.tau)
 			}
 			st.lastT = float64(processed)
 			st.statsT.Add(float64(processed) * scale)

@@ -9,15 +9,22 @@ import (
 )
 
 // tinyConfig keeps unit-test runtime low; the full-size runs live in
-// cmd/benchrun and bench_test.go.
+// cmd/benchrun and bench_test.go. Under -short the datasets shrink further
+// so the whole package finishes in seconds (every shape assertion below is
+// size-independent; only statistical trends need the larger corpora).
 func tinyConfig() Config {
-	return Config{
+	cfg := Config{
 		MEDSize:  60,
 		WIKISize: 70,
 		Seed:     3,
 		Thetas:   []float64{0.85, 0.9},
 		Taus:     []int{1, 2, 3},
 	}
+	if testing.Short() {
+		cfg.MEDSize = 30
+		cfg.WIKISize = 36
+	}
+	return cfg
 }
 
 func TestBuildWorkloads(t *testing.T) {
@@ -219,7 +226,7 @@ func TestRunFig4Fig6Fig7Shapes(t *testing.T) {
 		t.Fatalf("fig6 points = %d", len(fig6.Points))
 	}
 
-	fig7 := RunFig7(cfg, []int{40, 80}, 0.85, 2)
+	fig7 := RunFig7(cfg, []int{cfg.MEDSize / 2, cfg.MEDSize}, 0.85, 2)
 	if len(fig7.Points) == 0 {
 		t.Fatal("fig7 empty")
 	}

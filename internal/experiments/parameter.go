@@ -102,12 +102,12 @@ func RunTable12(cfg Config, runs int) *Table12Result {
 		for _, theta := range cfg.Thetas {
 			base := defaultOptions(theta, 1, pebble.AUHeuristic, cfg.Workers)
 			// Exhaustive ground truth: the τ minimising the true cost-model
-			// value on the full data.
+			// value on the full data. One profile shares the prepared
+			// pebbles across the whole τ sweep.
+			profile := w.Joiner.NewFilterProfile(w.Dataset.S, w.Dataset.T, base)
 			bestTau, bestCost := 0, 0.0
 			for i, tau := range cfg.Taus {
-				opts := base
-				opts.Tau = tau
-				pt, pv := w.Joiner.FilterStats(w.Dataset.S, w.Dataset.T, opts)
+				pt, pv := profile.Stats(tau)
 				cost := float64(pt) + 40*float64(pv)
 				if i == 0 || cost < bestCost {
 					bestTau, bestCost = tau, cost

@@ -1,11 +1,15 @@
 // Package invindex provides the inverted index used by the join algorithms
-// of Section 3: keys are pebble identities, postings are record identifiers.
-// A record appears in a key's posting list once per signature pebble
-// carrying that key, which is what the overlap counting of Algorithm 6
-// requires.
+// of Section 3: keys are interned pebble IDs (dense uint32 identifiers
+// assigned by the global frequency order, see internal/pebble.Order),
+// postings are record identifiers. A record appears in a key's posting list
+// once per signature pebble carrying that key, which is what the overlap
+// counting of Algorithm 6 requires.
+//
+// Keying by dense integer IDs instead of strings makes the index a plain
+// slice of posting slices: lookups are array indexing, posting lists stay
+// sorted by record for free, and nothing in the hot path hashes or
+// compares strings.
 package invindex
-
-import "sort"
 
 // Posting is one entry of a posting list: a record and how many of its
 // signature pebbles carry the key.
@@ -14,79 +18,74 @@ type Posting struct {
 	Count  int
 }
 
-// Index is an inverted index from pebble keys to posting lists. The zero
-// value is not usable; create indexes with New. Index is safe for
+// Index is an inverted index from interned pebble IDs to posting lists.
+// The zero value is not usable; create indexes with New. Index is safe for
 // concurrent reads after all Add calls have completed.
 type Index struct {
-	lists   map[string][]Posting
-	records int
+	lists    [][]Posting // indexed by pebble ID
+	nonEmpty int
+	records  int
 }
 
-// New creates an empty index.
-func New() *Index {
-	return &Index{lists: make(map[string][]Posting)}
+// New creates an empty index over a universe of `numKeys` interned IDs
+// (pebble IDs must be < numKeys).
+func New(numKeys int) *Index {
+	return &Index{lists: make([][]Posting, numKeys)}
 }
 
-// Add registers the signature keys of one record. Keys may repeat; repeats
-// increase the record's count in that key's posting list.
-func (ix *Index) Add(record int, keys []string) {
+// Add registers the signature pebble IDs of one record. IDs may repeat;
+// repeats increase the record's count in that ID's posting list. IDs out of
+// the universe (in particular pebble.NoID, marking keys unknown to the
+// order) are skipped: they can never match an indexed record. Records must
+// be added in ascending record order, which keeps every posting list sorted
+// by record — the self-join probe relies on this.
+func (ix *Index) Add(record int, ids []uint32) {
 	ix.records++
-	counts := make(map[string]int, len(keys))
-	for _, k := range keys {
-		counts[k]++
-	}
-	for k, c := range counts {
-		ix.lists[k] = append(ix.lists[k], Posting{Record: record, Count: c})
+	for _, id := range ids {
+		if id >= uint32(len(ix.lists)) {
+			continue
+		}
+		l := ix.lists[id]
+		if n := len(l); n > 0 && l[n-1].Record == record {
+			l[n-1].Count++
+			continue
+		}
+		if len(l) == 0 {
+			ix.nonEmpty++
+		}
+		ix.lists[id] = append(l, Posting{Record: record, Count: 1})
 	}
 }
 
 // Records returns the number of records added to the index.
 func (ix *Index) Records() int { return ix.records }
 
-// KeyCount returns the number of distinct keys.
-func (ix *Index) KeyCount() int { return len(ix.lists) }
+// Universe returns the size of the ID universe the index was created over.
+func (ix *Index) Universe() int { return len(ix.lists) }
 
-// Postings returns the posting list of a key (nil when absent). The
-// returned slice must not be modified.
-func (ix *Index) Postings(key string) []Posting { return ix.lists[key] }
+// KeyCount returns the number of distinct IDs with a non-empty posting
+// list.
+func (ix *Index) KeyCount() int { return ix.nonEmpty }
 
-// ListLength returns the length of a key's posting list.
-func (ix *Index) ListLength(key string) int { return len(ix.lists[key]) }
-
-// Keys returns all distinct keys in sorted order; intended for diagnostics
-// and deterministic iteration in tests, not hot paths.
-func (ix *Index) Keys() []string {
-	out := make([]string, 0, len(ix.lists))
-	for k := range ix.lists {
-		out = append(out, k)
+// Postings returns the posting list of an ID (nil when absent or out of
+// universe). The returned slice must not be modified.
+func (ix *Index) Postings(id uint32) []Posting {
+	if id >= uint32(len(ix.lists)) {
+		return nil
 	}
-	sort.Strings(out)
-	return out
+	return ix.lists[id]
 }
 
-// CommonKeys returns the keys present in both indexes.
-func CommonKeys(a, b *Index) []string {
-	small, large := a, b
-	if len(small.lists) > len(large.lists) {
-		small, large = large, small
-	}
-	var out []string
-	for k := range small.lists {
-		if _, ok := large.lists[k]; ok {
-			out = append(out, k)
+// ListLength returns the length of an ID's posting list.
+func (ix *Index) ListLength(id uint32) int { return len(ix.Postings(id)) }
+
+// Keys returns the IDs with non-empty posting lists in ascending order.
+func (ix *Index) Keys() []uint32 {
+	out := make([]uint32, 0, ix.nonEmpty)
+	for id, l := range ix.lists {
+		if len(l) > 0 {
+			out = append(out, uint32(id))
 		}
 	}
-	sort.Strings(out)
 	return out
-}
-
-// TotalPairs returns Σ over common keys of |ℓ_a(key)|·|ℓ_b(key)| — the
-// number of pairs the filtering stage touches, i.e. the quantity T_τ of the
-// cost model in Section 4 (Eq. 16).
-func TotalPairs(a, b *Index) int64 {
-	total := int64(0)
-	for _, k := range CommonKeys(a, b) {
-		total += int64(len(a.Postings(k))) * int64(len(b.Postings(k)))
-	}
-	return total
 }

@@ -6,60 +6,59 @@ import (
 )
 
 func TestAddAndLookup(t *testing.T) {
-	ix := New()
-	ix.Add(0, []string{"g:ab", "g:bc", "g:ab"})
-	ix.Add(1, []string{"g:bc", "s:rule"})
+	// IDs 0, 1, 2 stand for the interned keys "g:ab", "g:bc", "s:rule".
+	ix := New(4)
+	ix.Add(0, []uint32{0, 1, 0})
+	ix.Add(1, []uint32{1, 2})
 	if ix.Records() != 2 {
 		t.Errorf("Records = %d, want 2", ix.Records())
+	}
+	if ix.Universe() != 4 {
+		t.Errorf("Universe = %d, want 4", ix.Universe())
 	}
 	if ix.KeyCount() != 3 {
 		t.Errorf("KeyCount = %d, want 3", ix.KeyCount())
 	}
-	ab := ix.Postings("g:ab")
+	ab := ix.Postings(0)
 	if len(ab) != 1 || ab[0].Record != 0 || ab[0].Count != 2 {
-		t.Errorf("Postings(g:ab) = %+v", ab)
+		t.Errorf("Postings(0) = %+v", ab)
 	}
-	bc := ix.Postings("g:bc")
+	bc := ix.Postings(1)
 	if len(bc) != 2 {
-		t.Errorf("Postings(g:bc) = %+v", bc)
+		t.Errorf("Postings(1) = %+v", bc)
 	}
-	if ix.ListLength("g:bc") != 2 || ix.ListLength("missing") != 0 {
+	if ix.ListLength(1) != 2 || ix.ListLength(3) != 0 {
 		t.Error("ListLength wrong")
 	}
-	if ix.Postings("missing") != nil {
-		t.Error("missing key should have nil postings")
+	if ix.Postings(3) != nil || ix.Postings(99) != nil {
+		t.Error("absent IDs should have nil postings")
 	}
-	want := []string{"g:ab", "g:bc", "s:rule"}
+	want := []uint32{0, 1, 2}
 	if got := ix.Keys(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Keys = %v, want %v", got, want)
 	}
 }
 
-func TestCommonKeysAndTotalPairs(t *testing.T) {
-	a := New()
-	a.Add(0, []string{"x", "y"})
-	a.Add(1, []string{"y", "z"})
-	b := New()
-	b.Add(0, []string{"y"})
-	b.Add(1, []string{"z"})
-	b.Add(2, []string{"w"})
-	common := CommonKeys(a, b)
-	if !reflect.DeepEqual(common, []string{"y", "z"}) {
-		t.Errorf("CommonKeys = %v", common)
+func TestAddSkipsOutOfUniverseIDs(t *testing.T) {
+	ix := New(2)
+	ix.Add(0, []uint32{0, ^uint32(0), 5}) // NoID and an overflow ID are dropped
+	if ix.KeyCount() != 1 {
+		t.Errorf("KeyCount = %d, want 1", ix.KeyCount())
 	}
-	// y: 2×1, z: 1×1 → 3 pairs.
-	if got := TotalPairs(a, b); got != 3 {
-		t.Errorf("TotalPairs = %d, want 3", got)
+	if got := ix.Postings(0); len(got) != 1 || got[0].Count != 1 {
+		t.Errorf("Postings(0) = %+v", got)
 	}
-	// Symmetric.
-	if got := TotalPairs(b, a); got != 3 {
-		t.Errorf("TotalPairs reversed = %d, want 3", got)
+}
+
+func TestPostingListsSortedByRecord(t *testing.T) {
+	ix := New(1)
+	for rec := 0; rec < 5; rec++ {
+		ix.Add(rec, []uint32{0})
 	}
-	empty := New()
-	if got := TotalPairs(a, empty); got != 0 {
-		t.Errorf("TotalPairs with empty = %d, want 0", got)
-	}
-	if got := CommonKeys(a, empty); len(got) != 0 {
-		t.Errorf("CommonKeys with empty = %v", got)
+	l := ix.Postings(0)
+	for i := 1; i < len(l); i++ {
+		if l[i].Record <= l[i-1].Record {
+			t.Fatalf("posting list not sorted by record: %+v", l)
+		}
 	}
 }

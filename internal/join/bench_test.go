@@ -1,0 +1,67 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// benchCorpus generates a synthetic collection with heavy key overlap so the
+// filtering stage has real posting lists to traverse.
+func benchCorpus(n int, seed int64) []strutil.Record {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"coffee", "shop", "latte", "espresso", "cafe", "helsinki",
+		"helsingki", "cake", "apple", "gateau", "bakery", "db", "database",
+		"systems", "course", "machine", "learning", "market", "corner", "town"}
+	raws := make([]string, n)
+	for i := range raws {
+		l := 3 + rng.Intn(3)
+		toks := make([]string, l)
+		for k := range toks {
+			toks[k] = vocab[rng.Intn(len(vocab))]
+		}
+		raws[i] = strutil.JoinTokens(toks)
+	}
+	return strutil.NewCollection(raws)
+}
+
+// BenchmarkJoinFilterPhase measures the signature + filter stages only
+// (FilterStats): the part of the pipeline the interned-ID refactor targets.
+func BenchmarkJoinFilterPhase(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(400, 1)
+	t := benchCorpus(400, 2)
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.FilterStats(s, t, opts)
+	}
+}
+
+// BenchmarkJoinRS measures the full R×S join end to end.
+func BenchmarkJoinRS(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(400, 1)
+	t := benchCorpus(400, 2)
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Join(s, t, opts)
+	}
+}
+
+// BenchmarkJoinSelf measures the self-join path.
+func BenchmarkJoinSelf(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(400, 3)
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.SelfJoin(s, opts)
+	}
+}

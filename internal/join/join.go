@@ -4,9 +4,14 @@
 // (Algorithm 3 for U-Filter, Algorithm 6 for AU-Filter), and verify the
 // survivors with the unified similarity measure of internal/core.
 //
-// The Joiner supports R×S joins between two different collections as well
-// as self-joins, per-stage timing breakdowns (used by Tables 10–12 of the
-// paper), and parallel verification.
+// The pipeline is built once and probed many times: BuildIndex interns
+// every pebble into a dense uint32 ID (global frequency order), selects
+// signatures, and materialises the ID-indexed inverted index; Probe,
+// ProbeRecord and SelfJoin then generate candidates with per-probe-record
+// count arrays (classic count filtering) — no string hashing and no
+// map[pair]int in the hot path. Join and SelfJoin are thin compositions of
+// these stages, and FilterProfile re-derives signatures for many τ values
+// from one prepared pebble set (used by the Section 4 estimator).
 package join
 
 import (
@@ -39,10 +44,12 @@ type Stats struct {
 	FilterTime    time.Duration
 	VerifyTime    time.Duration
 	// ProcessedPairs is T_τ of the cost model: the number of (S, T)
-	// occurrences touched while traversing common posting lists.
+	// occurrences touched while traversing common posting lists. For
+	// self-joins this counts each unordered pair at most once (mirrored and
+	// diagonal pairs are never generated).
 	ProcessedPairs int64
 	// Candidates is V_τ: the number of distinct pairs that reached
-	// verification.
+	// verification (distinct unordered pairs for self-joins).
 	Candidates int
 	// Results is the number of pairs whose unified similarity reached θ.
 	Results int
@@ -65,7 +72,8 @@ type Options struct {
 	Tau int
 	// Method selects the signature-selection algorithm.
 	Method pebble.Method
-	// Workers is the number of verification goroutines; 0 means GOMAXPROCS.
+	// Workers is the number of goroutines used for signature generation,
+	// candidate filtering and verification; 0 means GOMAXPROCS.
 	Workers int
 	// Calculator overrides the unified-similarity calculator; nil means a
 	// default calculator over the joiner's context.
@@ -110,82 +118,7 @@ func (j *Joiner) Generator() *pebble.Generator { return j.gen }
 // Calculator exposes the unified-similarity calculator.
 func (j *Joiner) Calculator() *core.Calculator { return j.calc }
 
-// Join executes the filter-and-verification join between two record
-// collections and returns the matching pairs together with execution
-// statistics. The result pairs are sorted by (S, T) identifiers.
-func (j *Joiner) Join(s, t []strutil.Record, opts Options) ([]Pair, Stats) {
-	var stats Stats
-	calc := opts.Calculator
-	if calc == nil {
-		calc = j.calc
-	}
-	tau := opts.tau()
-
-	// ---- Signature generation and indexing -------------------------------
-	start := time.Now()
-	order := j.BuildOrder(s, t)
-	sel := pebble.NewSelector(j.gen, order, opts.Theta)
-
-	sigS := j.signatures(s, sel, opts.Method, tau)
-	sigT := j.signatures(t, sel, opts.Method, tau)
-
-	idxS := invindex.New()
-	totalLenS := 0
-	for i, sig := range sigS {
-		idxS.Add(i, signatureKeys(sig))
-		totalLenS += sig.Len()
-	}
-	idxT := invindex.New()
-	totalLenT := 0
-	for i, sig := range sigT {
-		idxT.Add(i, signatureKeys(sig))
-		totalLenT += sig.Len()
-	}
-	if len(s) > 0 {
-		stats.AvgSignatureS = float64(totalLenS) / float64(len(s))
-	}
-	if len(t) > 0 {
-		stats.AvgSignatureT = float64(totalLenT) / float64(len(t))
-	}
-	stats.SignatureTime = time.Since(start)
-
-	// ---- Filtering --------------------------------------------------------
-	start = time.Now()
-	candidates, processed := candidatePairs(idxS, idxT, tau)
-	stats.ProcessedPairs = processed
-	stats.Candidates = len(candidates)
-	stats.FilterTime = time.Since(start)
-
-	// ---- Verification -----------------------------------------------------
-	start = time.Now()
-	results := j.verify(s, t, candidates, calc, opts)
-	stats.VerifyTime = time.Since(start)
-	stats.Results = len(results)
-
-	sort.Slice(results, func(a, b int) bool {
-		if results[a].S != results[b].S {
-			return results[a].S < results[b].S
-		}
-		return results[a].T < results[b].T
-	})
-	return results, stats
-}
-
-// SelfJoin joins a collection with itself, returning each unordered pair
-// (i < j) at most once and never pairing a record with itself.
-func (j *Joiner) SelfJoin(s []strutil.Record, opts Options) ([]Pair, Stats) {
-	pairs, stats := j.Join(s, s, opts)
-	out := pairs[:0]
-	for _, p := range pairs {
-		if p.S < p.T {
-			out = append(out, p)
-		}
-	}
-	stats.Results = len(out)
-	return out, stats
-}
-
-// BuildOrder constructs the global pebble frequency order over both
+// BuildOrder constructs the global pebble frequency order over the given
 // collections.
 func (j *Joiner) BuildOrder(collections ...[]strutil.Record) *pebble.Order {
 	order := pebble.NewOrder()
@@ -198,6 +131,327 @@ func (j *Joiner) BuildOrder(collections ...[]strutil.Record) *pebble.Order {
 	return order
 }
 
+// Index is a prebuilt probe target: the interned pebble order, the
+// signatures of the indexed collection, and the ID-indexed inverted index,
+// all computed once. An Index is safe for concurrent probing and is the
+// build-once/probe-many half of the join pipeline: repeated joins against
+// the same collection (or a stream of single-record queries) skip order
+// construction, signature selection and index building entirely.
+type Index struct {
+	joiner *Joiner
+	opts   Options
+	tau    int
+
+	order   *pebble.Order
+	sel     *pebble.Selector
+	records []strutil.Record
+	sigs    []pebble.Signature
+	inv     *invindex.Index
+
+	// BuildTime is the wall-clock duration of order construction, signature
+	// selection and inverted-index building.
+	BuildTime time.Duration
+	avgSig    float64
+
+	scratch sync.Pool // *probeScratch, reused across ProbeRecord calls
+}
+
+// probeScratch is the per-worker candidate-counting state: one count slot
+// per indexed record plus the list of touched slots to reset.
+type probeScratch struct {
+	counts  []int32
+	touched []int32
+}
+
+// BuildIndex computes the global pebble order of the records, selects their
+// signatures and builds the inverted index under the given options
+// (Options.Tau and Options.Theta are fixed at build time; AutoTau-style
+// re-tuning requires a rebuild).
+func (j *Joiner) BuildIndex(records []strutil.Record, opts Options) *Index {
+	return j.buildIndex(records, j.BuildOrder(records), opts)
+}
+
+// buildIndex builds an Index over records with an externally supplied order
+// (Join uses an order spanning both collections).
+func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts Options) *Index {
+	start := time.Now()
+	tau := opts.tau()
+	sel := pebble.NewSelector(j.gen, order, opts.Theta)
+	sigs := j.signatures(records, sel, opts.Method, tau)
+	inv := invindex.New(order.NumKeys())
+	totalLen := 0
+	var ids []uint32
+	for i := range sigs {
+		ids = appendSignatureIDs(ids[:0], sigs[i])
+		inv.Add(i, ids)
+		totalLen += sigs[i].Len()
+	}
+	ix := &Index{
+		joiner:  j,
+		opts:    opts,
+		tau:     tau,
+		order:   order,
+		sel:     sel,
+		records: records,
+		sigs:    sigs,
+		inv:     inv,
+	}
+	if len(records) > 0 {
+		ix.avgSig = float64(totalLen) / float64(len(records))
+	}
+	ix.BuildTime = time.Since(start)
+	return ix
+}
+
+// Records returns the indexed collection.
+func (ix *Index) Records() []strutil.Record { return ix.records }
+
+// Order exposes the interned global order the index was built with.
+func (ix *Index) Order() *pebble.Order { return ix.order }
+
+// AvgSignature returns the mean signature length of the indexed records.
+func (ix *Index) AvgSignature() float64 { return ix.avgSig }
+
+// Probe joins a probe collection against the prebuilt index and returns
+// the matching (indexed, probe) pairs sorted by identifiers. The reported
+// SignatureTime covers only the probe side — the build cost is paid once in
+// BuildTime.
+func (ix *Index) Probe(records []strutil.Record) ([]Pair, Stats) {
+	return ix.probe(records, ix.opts, 0)
+}
+
+// SelfJoin joins the indexed collection with itself, returning each
+// unordered pair (i < j) exactly once. Candidate generation walks only
+// postings of records preceding the probe record, so mirrored and diagonal
+// pairs are never materialised and Stats counts each unordered pair once.
+func (ix *Index) SelfJoin() ([]Pair, Stats) {
+	return ix.probeSignatures(ix.records, ix.sigs, ix.opts, true, ix.BuildTime)
+}
+
+// probe generates probe-side signatures and delegates to probeSignatures.
+// extraSigTime is folded into the reported SignatureTime (the legacy Join
+// entry points count index building there).
+func (ix *Index) probe(records []strutil.Record, opts Options, extraSigTime time.Duration) ([]Pair, Stats) {
+	start := time.Now()
+	sigs := ix.joiner.signatures(records, ix.sel, opts.Method, ix.tau)
+	return ix.probeSignatures(records, sigs, opts, false, extraSigTime+time.Since(start))
+}
+
+// probeSignatures runs candidate generation and verification for
+// ready-made probe signatures.
+func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signature, opts Options, self bool, sigTime time.Duration) ([]Pair, Stats) {
+	var stats Stats
+	stats.SignatureTime = sigTime
+	stats.AvgSignatureS = ix.avgSig
+	if self {
+		stats.AvgSignatureT = ix.avgSig
+	} else if len(records) > 0 {
+		total := 0
+		for i := range sigs {
+			total += sigs[i].Len()
+		}
+		stats.AvgSignatureT = float64(total) / float64(len(records))
+	}
+
+	start := time.Now()
+	candidates, processed := ix.candidates(sigs, self, opts.workers())
+	stats.ProcessedPairs = processed
+	stats.Candidates = len(candidates)
+	stats.FilterTime = time.Since(start)
+
+	start = time.Now()
+	calc := opts.Calculator
+	if calc == nil {
+		calc = ix.joiner.calc
+	}
+	results := ix.joiner.verify(ix.records, records, candidates, calc, opts)
+	stats.VerifyTime = time.Since(start)
+	stats.Results = len(results)
+
+	sort.Slice(results, func(a, b int) bool {
+		if results[a].S != results[b].S {
+			return results[a].S < results[b].S
+		}
+		return results[a].T < results[b].T
+	})
+	return results, stats
+}
+
+// QueryMatch is one result of a single-record probe: an indexed record and
+// its unified similarity to the query.
+type QueryMatch struct {
+	Record     int
+	Similarity float64
+}
+
+// ProbeRecord runs the full filter-and-verify pipeline for one tokenised
+// query against the prebuilt index and returns the matching indexed records
+// in ascending record order. It reuses pooled counting scratch, so a
+// query-serving workload allocates only for its results.
+func (ix *Index) ProbeRecord(tokens []string) []QueryMatch {
+	sig := ix.sel.Signature(tokens, ix.opts.Method, ix.tau)
+	sc, _ := ix.scratch.Get().(*probeScratch)
+	if sc == nil {
+		sc = &probeScratch{counts: make([]int32, len(ix.records))}
+	}
+	cands, _ := countFilterRecord(ix.inv, sig, ix.tau, len(ix.records), sc)
+	calc := ix.opts.Calculator
+	if calc == nil {
+		calc = ix.joiner.calc
+	}
+	var out []QueryMatch
+	for _, r := range cands {
+		v := calc.SimilarityTokens(ix.records[r].Tokens, tokens)
+		if v >= ix.opts.Theta {
+			out = append(out, QueryMatch{Record: int(r), Similarity: v})
+		}
+	}
+	ix.scratch.Put(sc)
+	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
+	return out
+}
+
+// candidates runs count filtering of probe signatures against the index.
+func (ix *Index) candidates(sigs []pebble.Signature, self bool, workers int) ([]pairKey, int64) {
+	return countFilterCandidates(ix.inv, len(ix.records), sigs, ix.tau, self, workers)
+}
+
+// countFilterCandidates runs parallel count filtering of the probe
+// signatures against an inverted index over numRecords records, returning
+// every (indexed, probe) pair whose signature-pebble overlap reaches τ,
+// plus the number of touched posting entries (T_τ). In self mode only
+// postings of records preceding the probe record are counted, so mirrored
+// and diagonal pairs never appear.
+func countFilterCandidates(inv *invindex.Index, numRecords int, sigs []pebble.Signature, tau int, self bool, workers int) ([]pairKey, int64) {
+	n := len(sigs)
+	if n == 0 || numRecords == 0 {
+		return nil, 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	type chunk struct {
+		cands     []pairKey
+		processed int64
+	}
+	chunks := make([]chunk, workers)
+	run := func(w, start, step int) {
+		sc := &probeScratch{counts: make([]int32, numRecords)}
+		var out []pairKey
+		var processed int64
+		for t := start; t < n; t += step {
+			limit := numRecords
+			if self {
+				limit = t
+			}
+			recs, touched := countFilterRecord(inv, sigs[t], tau, limit, sc)
+			processed += touched
+			for _, r := range recs {
+				out = append(out, pairKey{int(r), t})
+			}
+		}
+		chunks[w] = chunk{out, processed}
+	}
+	if workers == 1 {
+		run(0, 0, 1)
+	} else {
+		// Strided assignment: in self mode the work per probe record grows
+		// linearly with its index (only postings < t are counted), so
+		// contiguous chunks would make the last worker the straggler.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				run(w, w, workers)
+			}(w)
+		}
+		wg.Wait()
+	}
+	var cands []pairKey
+	var processed int64
+	total := 0
+	for i := range chunks {
+		total += len(chunks[i].cands)
+	}
+	cands = make([]pairKey, 0, total)
+	for i := range chunks {
+		cands = append(cands, chunks[i].cands...)
+		processed += chunks[i].processed
+	}
+	return cands, processed
+}
+
+// countFilterRecord is the classic count filter for one probe record:
+// for every distinct interned ID of the probe signature (with its
+// multiplicity), it walks the ID's posting list and accumulates
+// multiplicity·count into a per-record array, considering only indexed
+// records < limit. It returns the records whose overlap reached τ (via
+// sc.touched, valid until the next call) and the number of posting entries
+// touched. sc.counts is left zeroed for reuse.
+func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int, sc *probeScratch) ([]int32, int64) {
+	peb := sig.Pebbles
+	sc.touched = sc.touched[:0]
+	var processed int64
+	for a := 0; a < len(peb); {
+		id := peb[a].ID
+		b := a + 1
+		for b < len(peb) && peb[b].ID == id {
+			b++
+		}
+		mult := int32(b - a)
+		a = b
+		if id == pebble.NoID {
+			continue // unknown key: no indexed record can carry it
+		}
+		postings := inv.Postings(id)
+		if limit < inv.Records() {
+			// Posting lists are sorted by record, so the self-join
+			// restriction to records < limit is a prefix.
+			cut := sort.Search(len(postings), func(k int) bool { return postings[k].Record >= limit })
+			postings = postings[:cut]
+		}
+		processed += int64(len(postings))
+		for _, p := range postings {
+			if sc.counts[p.Record] == 0 {
+				sc.touched = append(sc.touched, int32(p.Record))
+			}
+			sc.counts[p.Record] += mult * int32(p.Count)
+		}
+	}
+	out := sc.touched[:0]
+	for _, r := range sc.touched {
+		if sc.counts[r] >= int32(tau) {
+			out = append(out, r)
+		}
+		sc.counts[r] = 0
+	}
+	return out, processed
+}
+
+// Join executes the filter-and-verification join between two record
+// collections and returns the matching pairs together with execution
+// statistics. The result pairs are sorted by (S, T) identifiers. Join is
+// BuildIndex + Probe with a shared global order spanning both collections;
+// workloads joining against the same collection repeatedly should hold on
+// to a BuildIndex result instead.
+func (j *Joiner) Join(s, t []strutil.Record, opts Options) ([]Pair, Stats) {
+	start := time.Now()
+	ix := j.buildIndex(s, j.BuildOrder(s, t), opts)
+	return ix.probe(t, opts, time.Since(start))
+}
+
+// SelfJoin joins a collection with itself, returning each unordered pair
+// (i < j) at most once and never pairing a record with itself. Unlike
+// Join(s, s), candidate generation never materialises mirrored or diagonal
+// pairs, and Stats reflects the deduplicated work.
+func (j *Joiner) SelfJoin(s []strutil.Record, opts Options) ([]Pair, Stats) {
+	return j.BuildIndex(s, opts).SelfJoin()
+}
+
 // signatures computes signatures for every record in parallel.
 func (j *Joiner) signatures(recs []strutil.Record, sel *pebble.Selector, method pebble.Method, tau int) []pebble.Signature {
 	out := make([]pebble.Signature, len(recs))
@@ -207,49 +461,19 @@ func (j *Joiner) signatures(recs []strutil.Record, sel *pebble.Selector, method 
 	return out
 }
 
-// signatureKeys returns one key per signature pebble (duplicates retained),
-// matching the posting-list semantics the overlap count relies on.
-func signatureKeys(sig pebble.Signature) []string {
-	keys := make([]string, len(sig.Pebbles))
-	for i, p := range sig.Pebbles {
-		keys[i] = p.Key
+// appendSignatureIDs appends one interned ID per signature pebble
+// (duplicates retained), matching the posting-list semantics the overlap
+// count relies on.
+func appendSignatureIDs(ids []uint32, sig pebble.Signature) []uint32 {
+	for i := range sig.Pebbles {
+		ids = append(ids, sig.Pebbles[i].ID)
 	}
-	return keys
+	return ids
 }
 
-// pairKey packs two record identifiers into one map key.
+// pairKey identifies one candidate pair: an indexed record and a probe
+// record.
 type pairKey struct{ s, t int }
-
-// candidatePairs walks the common keys of the two indexes and returns every
-// record pair whose signature-pebble overlap count reaches τ, together with
-// the number of processed (S, T) posting combinations (T_τ).
-func candidatePairs(idxS, idxT *invindex.Index, tau int) ([]pairKey, int64) {
-	counts := make(map[pairKey]int)
-	processed := int64(0)
-	for _, key := range invindex.CommonKeys(idxS, idxT) {
-		ls := idxS.Postings(key)
-		lt := idxT.Postings(key)
-		processed += int64(len(ls)) * int64(len(lt))
-		for _, ps := range ls {
-			for _, pt := range lt {
-				counts[pairKey{ps.Record, pt.Record}] += ps.Count * pt.Count
-			}
-		}
-	}
-	var out []pairKey
-	for pk, c := range counts {
-		if c >= tau {
-			out = append(out, pk)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].s != out[b].s {
-			return out[a].s < out[b].s
-		}
-		return out[a].t < out[b].t
-	})
-	return out, processed
-}
 
 // verify computes the unified similarity of every candidate pair in
 // parallel and keeps those reaching θ.
@@ -267,7 +491,9 @@ func (j *Joiner) verify(s, t []strutil.Record, candidates []pairKey, calc *core.
 			keep[i] = true
 		}
 	})
-	out := make([]Pair, 0, len(candidates))
+	// nil when empty, matching BruteForce, so oracle comparisons can use
+	// reflect.DeepEqual.
+	var out []Pair
 	for i, ok := range keep {
 		if ok {
 			out = append(out, results[i])
@@ -276,27 +502,77 @@ func (j *Joiner) verify(s, t []strutil.Record, candidates []pairKey, calc *core.
 	return out
 }
 
-// FilterStats runs only the signature and filtering stages of the join
-// (Lines 1–8 of Algorithm 6) and returns the number of processed posting
-// pairs (T_τ) and the number of candidates (V_τ). The parameter-suggestion
-// estimator of Section 4 runs this on small Bernoulli samples for every τ
-// in its universe.
-func (j *Joiner) FilterStats(s, t []strutil.Record, opts Options) (processed int64, candidates int) {
-	tau := opts.tau()
+// FilterProfile holds the τ-independent state of the filtering stage for
+// two collections: the shared interned order and every record's prepared
+// (generated, interned, sorted) pebble list. Stats re-derives signatures
+// and candidate counts for any τ without regenerating or re-sorting
+// pebbles — the Section 4 estimator calls it for every τ in its universe on
+// each Bernoulli sample.
+type FilterProfile struct {
+	joiner     *Joiner
+	sel        *pebble.Selector
+	method     pebble.Method
+	universe   int
+	preS, preT []pebble.Presig
+}
+
+// NewFilterProfile prepares both collections under a shared global order.
+func (j *Joiner) NewFilterProfile(s, t []strutil.Record, opts Options) *FilterProfile {
 	order := j.BuildOrder(s, t)
 	sel := pebble.NewSelector(j.gen, order, opts.Theta)
-	sigS := j.signatures(s, sel, opts.Method, tau)
-	sigT := j.signatures(t, sel, opts.Method, tau)
-	idxS := invindex.New()
-	for i, sig := range sigS {
-		idxS.Add(i, signatureKeys(sig))
+	return &FilterProfile{
+		joiner:   j,
+		sel:      sel,
+		method:   opts.Method,
+		universe: order.NumKeys(),
+		preS:     j.prepareAll(s, sel),
+		preT:     j.prepareAll(t, sel),
 	}
-	idxT := invindex.New()
-	for i, sig := range sigT {
-		idxT.Add(i, signatureKeys(sig))
+}
+
+// prepareAll runs Selector.Prepare for every record in parallel.
+func (j *Joiner) prepareAll(recs []strutil.Record, sel *pebble.Selector) []pebble.Presig {
+	out := make([]pebble.Presig, len(recs))
+	parallelFor(len(recs), 0, func(i int) {
+		out[i] = sel.Prepare(recs[i].Tokens)
+	})
+	return out
+}
+
+// Stats runs the filtering stage (Lines 1–8 of Algorithm 6) for one τ and
+// returns the number of processed posting pairs (T_τ) and candidates (V_τ).
+func (fp *FilterProfile) Stats(tau int) (processed int64, candidates int) {
+	if fp.method == pebble.UFilter || tau < 1 {
+		tau = 1
 	}
-	cands, processed := candidatePairs(idxS, idxT, tau)
+	sigS := fp.selectAll(fp.preS, tau)
+	sigT := fp.selectAll(fp.preT, tau)
+	inv := invindex.New(fp.universe)
+	var ids []uint32
+	for i := range sigS {
+		ids = appendSignatureIDs(ids[:0], sigS[i])
+		inv.Add(i, ids)
+	}
+	cands, processed := countFilterCandidates(inv, len(fp.preS), sigT, tau, false, 0)
 	return processed, len(cands)
+}
+
+// selectAll derives the τ-specific signatures from the prepared pebble
+// lists in parallel.
+func (fp *FilterProfile) selectAll(pre []pebble.Presig, tau int) []pebble.Signature {
+	out := make([]pebble.Signature, len(pre))
+	parallelFor(len(pre), 0, func(i int) {
+		out[i] = fp.sel.Select(pre[i], fp.method, tau)
+	})
+	return out
+}
+
+// FilterStats runs only the signature and filtering stages of the join and
+// returns T_τ and V_τ. One-shot convenience over NewFilterProfile; callers
+// sweeping several τ values should build the profile once and call Stats
+// per τ.
+func (j *Joiner) FilterStats(s, t []strutil.Record, opts Options) (processed int64, candidates int) {
+	return j.NewFilterProfile(s, t, opts).Stats(opts.tau())
 }
 
 // BruteForce computes the join by verifying every pair; it is the oracle

@@ -17,11 +17,17 @@ type groupKey struct {
 // i.e. the maximal similarity the pebbles from position i to the end could
 // still contribute, assuming every one of them also occurs in the partner
 // string.
+//
+// An AccTable is not safe for concurrent use: the top-weight queries share
+// one scratch buffer so that the signature-selection loops allocate nothing
+// per iteration.
 type AccTable struct {
 	pebbles []Pebble
 	// as[i] = AS(i+1) in the 1-based notation of the paper, for i in [0, n);
 	// as[n] = 0.
 	as []float64
+	// scratch backs the weight lists of TopWeights / TopWeightsGroup.
+	scratch []float64
 }
 
 // NewAccTable computes the accumulated-similarity table of a pebble list
@@ -72,10 +78,11 @@ func (t *AccTable) TopWeights(prefix, c int) float64 {
 	if prefix > len(t.pebbles) {
 		prefix = len(t.pebbles)
 	}
-	weights := make([]float64, 0, prefix)
+	weights := t.scratch[:0]
 	for i := 0; i < prefix; i++ {
 		weights = append(weights, t.pebbles[i].Weight)
 	}
+	t.scratch = weights
 	return sumTopK(weights, c)
 }
 
@@ -89,13 +96,14 @@ func (t *AccTable) TopWeightsGroup(prefix, c, segment int, measure sim.Measure) 
 	if prefix > len(t.pebbles) {
 		prefix = len(t.pebbles)
 	}
-	var weights []float64
+	weights := t.scratch[:0]
 	for i := 0; i < prefix; i++ {
 		p := t.pebbles[i]
 		if p.Segment == segment && p.Measure == measure {
 			weights = append(weights, p.Weight)
 		}
 	}
+	t.scratch = weights
 	return sumTopK(weights, c)
 }
 
@@ -116,7 +124,8 @@ func (t *AccTable) SuffixWeightGroup(i, segment int, measure sim.Measure) float6
 	return total
 }
 
-// sumTopK returns the sum of the k largest values (all values if k ≥ len).
+// sumTopK returns the sum of the k largest values (all values if k ≥ len),
+// reordering values in the process.
 func sumTopK(values []float64, k int) float64 {
 	if k >= len(values) {
 		total := 0.0
@@ -125,24 +134,18 @@ func sumTopK(values []float64, k int) float64 {
 		}
 		return total
 	}
-	// Partial selection sort: k is tiny (τ−1), values are few dozen.
+	// In-place partial selection sort: k is tiny (τ−1), values are few
+	// dozen, and the caller's buffer is scratch anyway.
 	total := 0.0
-	used := make([]bool, len(values))
 	for picked := 0; picked < k; picked++ {
-		best, bestIdx := -1.0, -1
-		for i, v := range values {
-			if used[i] {
-				continue
-			}
-			if v > best {
-				best, bestIdx = v, i
+		bestIdx := picked
+		for i := picked + 1; i < len(values); i++ {
+			if values[i] > values[bestIdx] {
+				bestIdx = i
 			}
 		}
-		if bestIdx < 0 {
-			break
-		}
-		used[bestIdx] = true
-		total += best
+		values[picked], values[bestIdx] = values[bestIdx], values[picked]
+		total += values[picked]
 	}
 	return total
 }

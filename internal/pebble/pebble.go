@@ -18,18 +18,30 @@ package pebble
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/aujoin/aujoin/internal/core"
 	"github.com/aujoin/aujoin/internal/sim"
 	"github.com/aujoin/aujoin/internal/strutil"
 )
 
+// NoID marks a pebble whose key was never registered with the Order the
+// pebble was interned against (possible only for probe strings unseen at
+// index-build time). Unknown keys have document frequency zero, so they sort
+// before every known key in the global rare-first order.
+const NoID = ^uint32(0)
+
 // Pebble is a single signature unit generated from one segment of a string
 // by one similarity measure.
 type Pebble struct {
-	// Key is the namespaced identity of the pebble, used as the inverted
-	// index key ("g:fe", "s:coffee shop", "t:coffee drinks").
+	// Key is the namespaced identity of the pebble ("g:fe",
+	// "s:coffee shop", "t:coffee drinks").
 	Key string
+	// ID is the dense interned identifier of Key in the global frequency
+	// order, assigned by Order.Intern (NoID when the key is unknown to the
+	// order). The inverted index and the candidate counters are keyed by ID,
+	// never by the string key.
+	ID uint32
 	// Weight is the pebble's contribution to the similarity of its segment
 	// (Table 2: 1/|G(P,q)| for grams, C(R) for rules, 1/|n| for taxonomy
 	// nodes).
@@ -162,16 +174,28 @@ func (g *Generator) segmentPebbles(seg core.Segment, idx int) []Pebble {
 // are sorted by ascending document frequency (rare pebbles first), with the
 // key as tie-breaker so the order is total and identical across both join
 // collections.
+//
+// After all Add calls, Finalize interns every key into a dense uint32 ID
+// whose numeric order IS the global order: comparing IDs is equivalent to
+// Less on known keys. The hot paths (signature sorting, inverted indexing,
+// candidate counting) work exclusively on these IDs.
 type Order struct {
 	freq map[string]int
+
+	once sync.Once
+	ids  map[string]uint32 // key -> dense ID, in (freq asc, key asc) order
+	keys []string          // dense ID -> key
 }
 
 // NewOrder creates an empty frequency order.
 func NewOrder() *Order { return &Order{freq: make(map[string]int)} }
 
 // Add registers one string's pebbles: every distinct key counts once
-// (document frequency).
+// (document frequency). Add must not be called after Finalize.
 func (o *Order) Add(pebbles []Pebble) {
+	if o.ids != nil {
+		panic("pebble: Order.Add after Finalize")
+	}
 	seen := map[string]struct{}{}
 	for _, p := range pebbles {
 		if _, ok := seen[p.Key]; ok {
@@ -179,6 +203,58 @@ func (o *Order) Add(pebbles []Pebble) {
 		}
 		seen[p.Key] = struct{}{}
 		o.freq[p.Key]++
+	}
+}
+
+// Finalize builds the intern table: every registered key gets a dense ID in
+// (frequency asc, key asc) order. Finalize is idempotent and safe to call
+// concurrently; the Order becomes read-only (and thus safe for concurrent
+// use) afterwards. NewSelector finalizes its order, so explicit calls are
+// only needed when using the intern table directly.
+func (o *Order) Finalize() {
+	o.once.Do(func() {
+		keys := make([]string, 0, len(o.freq))
+		for k := range o.freq {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			fi, fj := o.freq[keys[i]], o.freq[keys[j]]
+			if fi != fj {
+				return fi < fj
+			}
+			return keys[i] < keys[j]
+		})
+		ids := make(map[string]uint32, len(keys))
+		for i, k := range keys {
+			ids[k] = uint32(i)
+		}
+		o.keys = keys
+		o.ids = ids
+	})
+}
+
+// NumKeys returns the number of interned keys; valid after Finalize.
+func (o *Order) NumKeys() int { return len(o.keys) }
+
+// ID returns the interned ID of a key; ok is false when the key was never
+// registered. Valid after Finalize.
+func (o *Order) ID(key string) (id uint32, ok bool) {
+	id, ok = o.ids[key]
+	return id, ok
+}
+
+// KeyOf returns the key of an interned ID; valid after Finalize.
+func (o *Order) KeyOf(id uint32) string { return o.keys[id] }
+
+// Intern stamps each pebble with the interned ID of its key (NoID for keys
+// unknown to the order). Valid after Finalize.
+func (o *Order) Intern(pebbles []Pebble) {
+	for i := range pebbles {
+		if id, ok := o.ids[pebbles[i].Key]; ok {
+			pebbles[i].ID = id
+		} else {
+			pebbles[i].ID = NoID
+		}
 	}
 }
 
@@ -199,9 +275,31 @@ func (o *Order) Less(a, b Pebble) bool {
 	return a.Segment < b.Segment
 }
 
-// Sort sorts the pebbles in place by the global order.
+// Sort interns the pebbles and sorts them in place by the global order.
+// Known keys compare by their dense IDs (one integer comparison instead of
+// two map lookups and a string comparison); unknown keys have frequency
+// zero, so they sort before every known key, ordered among themselves by
+// key. This is exactly the order Less defines.
 func (o *Order) Sort(pebbles []Pebble) {
-	sort.Slice(pebbles, func(i, j int) bool { return o.Less(pebbles[i], pebbles[j]) })
+	o.Finalize()
+	o.Intern(pebbles)
+	sort.Slice(pebbles, func(i, j int) bool {
+		a, b := &pebbles[i], &pebbles[j]
+		ua, ub := a.ID == NoID, b.ID == NoID
+		if ua || ub {
+			if ua != ub {
+				return ua // unknown (frequency 0) precedes known
+			}
+			if a.Key != b.Key {
+				return a.Key < b.Key
+			}
+			return a.Segment < b.Segment
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Segment < b.Segment
+	})
 }
 
 // BuildOrder constructs a frequency order over entire collections of

@@ -60,49 +60,83 @@ type Selector struct {
 	Theta float64
 }
 
-// NewSelector creates a Selector.
+// NewSelector creates a Selector. The order is finalized (interned) so that
+// concurrent Signature calls only ever read it.
 func NewSelector(gen *Generator, order *Order, theta float64) *Selector {
+	order.Finalize()
 	return &Selector{Gen: gen, Order: order, Theta: theta}
 }
 
-// Signature computes the pebble signature of the token sequence with the
-// given method and overlap constraint τ (τ is ignored by UFilter, which
-// always uses τ = 1).
-func (sel *Selector) Signature(tokens []string, method Method, tau int) Signature {
-	if tau < 1 {
-		tau = 1
-	}
+// Presig is the τ-independent part of signature computation: the interned,
+// globally sorted pebble list of one string plus its accumulated-similarity
+// table. Preparing once and selecting for several τ values is how the
+// parameter estimator re-derives signatures without regenerating or
+// re-sorting pebbles.
+type Presig struct {
+	// Pebbles is the complete pebble list, interned and sorted by the
+	// global order.
+	Pebbles []Pebble
+	// Segments is the generation partition.
+	Segments []core.Segment
+	// MinPartition is MP(S), the lower bound on the partition size.
+	MinPartition int
+
+	acc *AccTable
+}
+
+// Prepare generates, interns and sorts the pebbles of the token sequence
+// and computes its accumulated-similarity table.
+func (sel *Selector) Prepare(tokens []string) Presig {
 	pebbles, segments := sel.Gen.Pebbles(tokens)
 	sel.Order.Sort(pebbles)
 	mp := sel.Gen.Segmenter().MinPartitionSize(tokens)
-	sig := Signature{AllPebbles: pebbles, MinPartition: mp, Segments: segments}
-	if len(pebbles) == 0 {
+	pre := Presig{Pebbles: pebbles, Segments: segments, MinPartition: mp}
+	if len(pebbles) > 0 {
+		pre.acc = NewAccTable(pebbles)
+	}
+	return pre
+}
+
+// Select computes the signature prefix of a prepared pebble list for one
+// method and overlap constraint τ (τ is ignored by UFilter, which always
+// uses τ = 1).
+func (sel *Selector) Select(pre Presig, method Method, tau int) Signature {
+	if tau < 1 {
+		tau = 1
+	}
+	sig := Signature{AllPebbles: pre.Pebbles, MinPartition: pre.MinPartition, Segments: pre.Segments}
+	if len(pre.Pebbles) == 0 {
 		return sig
 	}
-	target := sel.Theta * float64(mp)
+	target := sel.Theta * float64(pre.MinPartition)
 
 	var cut int
 	switch method {
 	case UFilter:
-		cut = selectPrefixHeuristic(pebbles, target, 1)
+		cut = selectPrefixHeuristic(pre.acc, target, 1)
 	case AUHeuristic:
-		cut = selectPrefixHeuristic(pebbles, target, tau)
+		cut = selectPrefixHeuristic(pre.acc, target, tau)
 	case AUDP:
-		cut = selectPrefixDP(pebbles, segments, target, tau)
+		cut = selectPrefixDP(pre.acc, pre.Segments, target, tau)
 	default:
-		cut = selectPrefixHeuristic(pebbles, target, tau)
+		cut = selectPrefixHeuristic(pre.acc, target, tau)
 	}
-	sig.Pebbles = pebbles[:cut]
+	sig.Pebbles = pre.Pebbles[:cut]
 	return sig
+}
+
+// Signature computes the pebble signature of the token sequence with the
+// given method and overlap constraint τ.
+func (sel *Selector) Signature(tokens []string, method Method, tau int) Signature {
+	return sel.Select(sel.Prepare(tokens), method, tau)
 }
 
 // selectPrefixHeuristic implements Algorithms 2 and 4: find the largest
 // 1-based index i such that AS(i) + TW_{τ-1}(B[1, i-1]) ≥ target and return
 // i (the signature length). Returns 0 when even the whole pebble list
 // cannot reach the target.
-func selectPrefixHeuristic(sorted []Pebble, target float64, tau int) int {
-	acc := NewAccTable(sorted)
-	for i := len(sorted); i >= 1; i-- {
+func selectPrefixHeuristic(acc *AccTable, target float64, tau int) int {
+	for i := acc.Len(); i >= 1; i-- {
 		bound := acc.AS(i) + acc.TopWeights(i-1, tau-1)
 		if bound >= target-1e-12 {
 			return i
@@ -115,26 +149,30 @@ func selectPrefixHeuristic(sorted []Pebble, target float64, tau int) int {
 // pebbles from the prefix is bounded per segment by the dynamic program of
 // Equations (12)–(14), which is never larger than the heuristic's
 // TW_{τ-1} bound, so the resulting signatures are never longer.
-func selectPrefixDP(sorted []Pebble, segments []core.Segment, target float64, tau int) int {
-	acc := NewAccTable(sorted)
+func selectPrefixDP(acc *AccTable, segments []core.Segment, target float64, tau int) int {
 	t := len(segments)
 	measures := []sim.Measure{sim.Jaccard, sim.Synonym, sim.Taxonomy}
 
-	for i := len(sorted); i >= 1; i-- {
+	// W[p][d] (flat, row p at w[p*tau:]) and the accessory row V are
+	// allocated once and reused across prefix positions; per-iteration
+	// allocations here used to dominate the whole signature phase.
+	w := make([]float64, (t+1)*tau)
+	v := make([]float64, tau)
+
+	for i := acc.Len(); i >= 1; i-- {
 		if acc.AS(i) >= target-1e-12 {
 			return i
 		}
 		// W[p][d]: maximal similarity increment achievable by inserting d
 		// pebbles of the first p segments from B[1, i-1].
-		w := make([][]float64, t+1)
-		for p := range w {
-			w[p] = make([]float64, tau)
+		for k := range w {
+			w[k] = 0
 		}
 		reached := false
 		for p := 1; p <= t && !reached; p++ {
 			segIdx := p - 1
-			// Accessory table row V[p][c] per Eq. (13)-(14).
-			v := make([]float64, tau)
+			prev, row := w[(p-1)*tau:p*tau], w[p*tau:(p+1)*tau]
+			// Accessory table row V[p][c] per Eq. (13)-(14); V[p][0] = 0.
 			r0 := rValue(acc, i, 0, segIdx, measures)
 			for c := 1; c < tau; c++ {
 				v[c] = rValue(acc, i, c, segIdx, measures) - r0
@@ -142,13 +180,13 @@ func selectPrefixDP(sorted []Pebble, segments []core.Segment, target float64, ta
 			for d := 1; d < tau; d++ {
 				best := 0.0
 				for c := 0; c <= d; c++ {
-					cand := w[p-1][d-c] + v[c]
+					cand := prev[d-c] + v[c]
 					if cand > best {
 						best = cand
 					}
 				}
-				w[p][d] = best
-				if acc.AS(i)+w[p][d] >= target-1e-12 {
+				row[d] = best
+				if acc.AS(i)+row[d] >= target-1e-12 {
 					reached = true
 					break
 				}
@@ -157,8 +195,8 @@ func selectPrefixDP(sorted []Pebble, segments []core.Segment, target float64, ta
 			// W[p][d] is monotone in p by taking the previous row when the
 			// current segment adds nothing.
 			for d := 1; d < tau; d++ {
-				if w[p-1][d] > w[p][d] {
-					w[p][d] = w[p-1][d]
+				if prev[d] > row[d] {
+					row[d] = prev[d]
 				}
 			}
 		}
@@ -167,7 +205,7 @@ func selectPrefixDP(sorted []Pebble, segments []core.Segment, target float64, ta
 		}
 		// Check the completed table too (covers tau == 1, where the inner
 		// loops never run).
-		if acc.AS(i)+w[t][tau-1] >= target-1e-12 {
+		if acc.AS(i)+w[t*tau+tau-1] >= target-1e-12 {
 			return i
 		}
 	}
