@@ -121,6 +121,18 @@ type JoinOptions struct {
 	Filter Filter
 	// Workers bounds verification parallelism (0 = all CPUs).
 	Workers int
+	// Seed seeds the sampling-based τ estimator (AutoTau and SuggestTau);
+	// 0 means the reproducible default seed 1, so runs are deterministic
+	// unless a different seed is requested explicitly.
+	Seed int64
+}
+
+// estimatorSeed maps the zero value to the reproducible default.
+func (o JoinOptions) estimatorSeed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
 }
 
 // Option configures a Joiner at construction time.
@@ -348,12 +360,21 @@ func (ix *Index) Query(q string) []QueryMatch {
 }
 
 // SuggestTau runs the sampling-based estimator of Section 4 and returns the
-// overlap constraint with the minimal estimated join cost.
-func (j *Joiner) SuggestTau(s, t []string, theta float64) int {
+// overlap constraint with the minimal estimated join cost. opts.Theta sets
+// the join threshold, opts.Seed the sampler seed (0 = reproducible default),
+// and opts.Filter the signature method whose cost is estimated; the U-Filter
+// (for which τ is fixed at 1) is estimated as the heuristic AU-Filter, so
+// the zero-value Filter keeps the previous behaviour.
+func (j *Joiner) SuggestTau(s, t []string, opts JoinOptions) int {
 	recsS := strutil.NewCollection(s)
 	recsT := strutil.NewCollection(t)
+	method := opts.Filter.method()
+	if method == pebble.UFilter {
+		method = pebble.AUHeuristic
+	}
 	rec := estimator.Suggest(j.joiner, recsS, recsT,
-		join.Options{Theta: theta, Method: pebble.AUHeuristic}, estimator.Config{Seed: 1})
+		join.Options{Theta: opts.Theta, Method: method},
+		estimator.Config{Seed: opts.estimatorSeed()})
 	return rec.BestTau
 }
 
@@ -366,7 +387,8 @@ func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, se
 	if opts.AutoTau {
 		start := time.Now()
 		rec := estimator.Suggest(j.joiner, recsS, recsT,
-			join.Options{Theta: opts.Theta, Method: opts.Filter.method()}, estimator.Config{Seed: 1})
+			join.Options{Theta: opts.Theta, Method: opts.Filter.method()},
+			estimator.Config{Seed: opts.estimatorSeed()})
 		tau = rec.BestTau
 		suggestionTime = time.Since(start)
 	}

@@ -119,9 +119,17 @@ func TestAutoTauAndSuggestTau(t *testing.T) {
 		left = append(left, "apple cake bakery")
 		right = append(right, "cake gateau corner")
 	}
-	tau := j.SuggestTau(left, right, 0.8)
+	tau := j.SuggestTau(left, right, JoinOptions{Theta: 0.8})
 	if tau < 1 {
 		t.Errorf("SuggestTau = %d", tau)
+	}
+	// The default seed is fixed, so suggestions are reproducible; an
+	// explicit seed must be honoured without breaking validity.
+	if again := j.SuggestTau(left, right, JoinOptions{Theta: 0.8}); again != tau {
+		t.Errorf("SuggestTau not reproducible: %d vs %d", tau, again)
+	}
+	if seeded := j.SuggestTau(left, right, JoinOptions{Theta: 0.8, Seed: 42}); seeded < 1 {
+		t.Errorf("SuggestTau(seed 42) = %d", seeded)
 	}
 	matches, stats := j.Join(left, right, JoinOptions{Theta: 0.8, AutoTau: true})
 	if stats.SuggestedTau < 1 {

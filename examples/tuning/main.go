@@ -39,7 +39,7 @@ func main() {
 		fmt.Printf("  τ=%d: %4d candidates, %3d results, %8v\n", tau, stats.Candidates, len(matches), elapsed)
 	}
 
-	suggested := j.SuggestTau(left, right, theta)
+	suggested := j.SuggestTau(left, right, aujoin.JoinOptions{Theta: theta})
 	start := time.Now()
 	matches, stats := j.Join(left, right, aujoin.JoinOptions{Theta: theta, Tau: suggested})
 	elapsed := time.Since(start)

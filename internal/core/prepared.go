@@ -1,0 +1,441 @@
+package core
+
+import (
+	"github.com/aujoin/aujoin/internal/matching"
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// PreparedSegment is one well-defined segment of a prepared record together
+// with its precomputed measure-evaluation tables.
+type PreparedSegment struct {
+	Span   strutil.Span
+	Tokens []string
+	// Rule and Entity mirror Segment's flags.
+	Rule, Entity bool
+	// Data carries the q-gram set, taxonomy node and applicable rule ids.
+	Data sim.SegmentData
+}
+
+// PreparedRecord caches everything verification needs about one record:
+// the full segment enumeration with per-segment gram sets, taxonomy nodes
+// and rule-side derivations, plus the partition-size lower bound used by the
+// thresholded early exit. Prepare it once per record and verify it against
+// arbitrarily many counterparts; the struct is immutable after Prepare and
+// safe for concurrent use.
+type PreparedRecord struct {
+	// Tokens is the record's token sequence.
+	Tokens []string
+	// Segs lists every well-defined segment, ordered by start position then
+	// length (the same order Segmenter.Segments produces).
+	Segs []PreparedSegment
+	// single[pos] is the index in Segs of the singleton segment starting at
+	// pos; every position has one.
+	single []int32
+	// minPart is a lower bound on the size of any well-defined partition of
+	// the record (GetMinPartitionSize of Algorithm 2).
+	minPart int
+}
+
+// NumSegments returns the number of well-defined segments of the record.
+func (pr *PreparedRecord) NumSegments() int { return len(pr.Segs) }
+
+// MinPartitionSize returns the precomputed lower bound on the size of any
+// well-defined partition of the record.
+func (pr *PreparedRecord) MinPartitionSize() int { return pr.minPart }
+
+// Prepare computes the per-record state of the verification engine: segment
+// enumeration, per-segment derivation tables (gram sets, rule ids, taxonomy
+// nodes) and the partition-size lower bound. The returned record is
+// immutable and safe to share across goroutines.
+func (c *Calculator) Prepare(tokens []string) *PreparedRecord {
+	pr := &PreparedRecord{Tokens: tokens}
+	if len(tokens) == 0 {
+		return pr
+	}
+	sg := c.Segmenter()
+	segs := sg.Segments(tokens)
+	pr.Segs = make([]PreparedSegment, len(segs))
+	pr.single = make([]int32, len(tokens))
+	for i, s := range segs {
+		pr.Segs[i] = PreparedSegment{
+			Span:   s.Span,
+			Tokens: s.Tokens,
+			Rule:   s.Rule,
+			Entity: s.Entity,
+			Data:   c.Ctx.PrepareSegment(s.Tokens),
+		}
+		if s.Span.Len() == 1 {
+			pr.single[s.Span.Start] = int32(i)
+		}
+	}
+	pr.minPart = minPartitionSizeSegs(tokens, segs)
+	return pr
+}
+
+// pairSeg records which segment of each side a candidate pair refers to.
+type pairSeg struct{ s, t int32 }
+
+// boundSlack guards the early-exit comparisons against floating-point
+// rounding: the upper bounds dominate the similarity mathematically but are
+// summed in a different order, so an exact tie can land a few ulps below θ.
+// Rejecting only below θ−slack keeps the thresholded path exactly equivalent
+// to comparing the full similarity against θ (the fall-through computes it).
+const boundSlack = 1e-9
+
+// Scratch holds the reusable working state of one verification worker: the
+// candidate-pair buffers, the dense msim cache, partition index lists, the
+// matching weight matrix and the Hungarian solver's internals. A Scratch
+// amortises all per-pair allocations across verify calls; it must not be
+// shared between goroutines.
+type Scratch struct {
+	segPairs []SegmentPair
+	pairSegs []pairSeg
+	msim     []float64 // len(ps.Segs) × len(pt.Segs), row-major
+	nt       int       // column count of msim
+	rowBest  []float64
+	colBest  []float64
+	dp       []float64
+	sSel     []int32
+	tSel     []int32
+	psIdx    []int32
+	ptIdx    []int32
+	weights  []float64
+	match    matching.Scratch
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratch returns sc, or a pooled scratch when sc is nil; the boolean
+// reports whether the scratch must be returned to the pool.
+func (c *Calculator) scratch(sc *Scratch) (*Scratch, bool) {
+	if sc != nil {
+		return sc, false
+	}
+	if v := c.scratchPool.Get(); v != nil {
+		return v.(*Scratch), true
+	}
+	return NewScratch(), true
+}
+
+// SimilarityPrepared computes the approximate unified similarity of two
+// prepared records. It runs the same Algorithm 1 as SimilarityTokens —
+// conflict graph, SquareImp, claw improvements — over the precomputed
+// derivation tables, and returns exactly the value SimilarityTokens returns
+// for the underlying token sequences. sc may be nil, in which case a pooled
+// scratch is used.
+func (c *Calculator) SimilarityPrepared(ps, pt *PreparedRecord, sc *Scratch) float64 {
+	if len(ps.Tokens) == 0 || len(pt.Tokens) == 0 {
+		if len(ps.Tokens) == 0 && len(pt.Tokens) == 0 {
+			return 1
+		}
+		return 0
+	}
+	sc, pooled := c.scratch(sc)
+	c.fillMSim(sc, ps, pt)
+	v := c.similarityPrepared(sc, ps, pt)
+	if pooled {
+		c.scratchPool.Put(sc)
+	}
+	return v
+}
+
+// SimilarityAtLeastPrepared reports whether the unified similarity of the
+// two prepared records reaches theta, skipping the w-MIS local search for
+// pairs that cheap upper bounds prove hopeless. sc may be nil.
+func (c *Calculator) SimilarityAtLeastPrepared(ps, pt *PreparedRecord, theta float64, sc *Scratch) bool {
+	_, ok := c.VerifyPrepared(ps, pt, theta, sc)
+	return ok
+}
+
+// VerifyPrepared is the join verification primitive: it reports whether the
+// unified similarity of the two prepared records reaches theta and, when it
+// does, returns the similarity (the exact SimilarityTokens value). Hopeless
+// candidates are rejected by two sound upper bounds before any matching or
+// local search runs:
+//
+//  1. a partition-size ratio bound — SIM divides by max{|P_S|, |P_T|}, so
+//     records whose possible partition-size ranges are too far apart can
+//     never reach theta, and
+//  2. a best-per-segment bound — the matching total of any partition pair is
+//     at most the best span cover of either side weighted by each segment's
+//     maximal msim against the other side (row/column maxima of the msim
+//     matrix), divided by the larger side's minimal partition size.
+//
+// Both bounds dominate USIM and therefore the value Algorithm 1 returns, so
+// VerifyPrepared agrees exactly with SimilarityTokens ≥ theta. sc may be
+// nil, in which case a pooled scratch is used.
+func (c *Calculator) VerifyPrepared(ps, pt *PreparedRecord, theta float64, sc *Scratch) (float64, bool) {
+	if len(ps.Tokens) == 0 || len(pt.Tokens) == 0 {
+		v := 0.0
+		if len(ps.Tokens) == 0 && len(pt.Tokens) == 0 {
+			v = 1
+		}
+		return v, v >= theta
+	}
+	if sizeRatioUpper(ps, pt) < theta-boundSlack {
+		return 0, false
+	}
+	sc, pooled := c.scratch(sc)
+	defer func() {
+		if pooled {
+			c.scratchPool.Put(sc)
+		}
+	}()
+	c.fillMSim(sc, ps, pt)
+	if coverUpper(sc, ps, pt) < theta-boundSlack {
+		return 0, false
+	}
+	v := c.similarityPrepared(sc, ps, pt)
+	return v, v >= theta
+}
+
+// sizeRatioUpper bounds USIM by the best achievable ratio min/max of the two
+// partition sizes: |P| ranges over [minPart, len(tokens)] on each side, every
+// msim weight is at most 1, and a matching has at most min{|P_S|, |P_T|}
+// edges, so SIM ≤ min/max for the chosen sizes.
+func sizeRatioUpper(ps, pt *PreparedRecord) float64 {
+	aLo, aHi := ps.minPart, len(ps.Tokens)
+	bLo, bHi := pt.minPart, len(pt.Tokens)
+	if aHi < bLo {
+		return float64(aHi) / float64(bLo)
+	}
+	if bHi < aLo {
+		return float64(bHi) / float64(aLo)
+	}
+	return 1
+}
+
+// fillMSim computes the dense msim matrix between every well-defined segment
+// of ps and pt into the scratch cache. Both the upper-bound screen and every
+// partition matrix of the local search read from this cache, so each segment
+// pair's msim is evaluated exactly once per record pair.
+func (c *Calculator) fillMSim(sc *Scratch, ps, pt *PreparedRecord) {
+	ns, nt := len(ps.Segs), len(pt.Segs)
+	sc.msim = strutil.Resize(sc.msim, ns*nt)
+	sc.nt = nt
+	for i := range ps.Segs {
+		a := &ps.Segs[i].Data
+		row := sc.msim[i*nt : (i+1)*nt]
+		for j := range pt.Segs {
+			row[j] = c.Ctx.MSimData(a, &pt.Segs[j].Data)
+		}
+	}
+}
+
+// coverUpper bounds USIM using the row/column maxima of the msim matrix:
+// for any partition pair, the matching total is at most the sum over P_S of
+// each selected segment's best msim against any segment of T (and
+// symmetrically for P_T), maximised over partitions by a span-cover dynamic
+// program; the denominator max{|P_S|, |P_T|} is at least the larger of the
+// two partition-size lower bounds.
+func coverUpper(sc *Scratch, ps, pt *PreparedRecord) float64 {
+	ns, nt := len(ps.Segs), len(pt.Segs)
+	sc.rowBest = strutil.Resize(sc.rowBest, ns)
+	sc.colBest = strutil.Resize(sc.colBest, nt)
+	for j := 0; j < nt; j++ {
+		sc.colBest[j] = 0
+	}
+	for i := 0; i < ns; i++ {
+		best := 0.0
+		row := sc.msim[i*nt : (i+1)*nt]
+		for j, w := range row {
+			if w > best {
+				best = w
+			}
+			if w > sc.colBest[j] {
+				sc.colBest[j] = w
+			}
+		}
+		sc.rowBest[i] = best
+	}
+	num := maxCover(sc, ps, sc.rowBest)
+	if v := maxCover(sc, pt, sc.colBest); v < num {
+		num = v
+	}
+	den := ps.minPart
+	if pt.minPart > den {
+		den = pt.minPart
+	}
+	ub := num / float64(den)
+	if ub > 1 {
+		ub = 1
+	}
+	return ub
+}
+
+// maxCover computes the maximal total value of a well-defined partition of
+// the record where each segment contributes value[i]: dp[pos] is the best
+// value of covering tokens[pos:], and segments are scanned in reverse
+// enumeration order so every dp[end] is final before it is read.
+func maxCover(sc *Scratch, pr *PreparedRecord, value []float64) float64 {
+	n := len(pr.Tokens)
+	sc.dp = strutil.Resize(sc.dp, n+1)
+	dp := sc.dp
+	dp[n] = 0
+	for pos := 0; pos < n; pos++ {
+		dp[pos] = -1
+	}
+	for i := len(pr.Segs) - 1; i >= 0; i-- {
+		sp := pr.Segs[i].Span
+		if v := value[i] + dp[sp.End]; v > dp[sp.Start] {
+			dp[sp.Start] = v
+		}
+	}
+	return dp[0]
+}
+
+// similarityPrepared runs Algorithm 1 over the prepared records assuming the
+// msim cache in sc is already filled for (ps, pt).
+func (c *Calculator) similarityPrepared(sc *Scratch, ps, pt *PreparedRecord) float64 {
+	pairs := c.candidatePairsPrepared(sc, ps, pt)
+	if len(pairs) == 0 {
+		// No rule or taxonomy segment applies: the unified similarity
+		// reduces to the token-level bipartite matching over singletons.
+		sc.sSel = sc.sSel[:0]
+		sc.tSel = sc.tSel[:0]
+		return c.simPreparedSelected(sc, ps, pt)
+	}
+	cg := BuildConflictGraph(pairs)
+
+	// Line 1: w-MIS via SquareImp.
+	set := cg.Graph.SquareImp(wmisOptions(c.maxTalons()))
+	best := c.simPreparedSet(sc, ps, pt, set)
+
+	// Lines 3-4: claw improvements measured on the unified similarity.
+	t := c.tParam()
+	minGain := 1 / t
+	maxRounds := int(t)
+	for round := 0; round < maxRounds; round++ {
+		var bestTalons, bestRemoved []int
+		bestGain := 0.0
+		cg.Graph.EnumerateTalonSets(set, c.maxTalons(), func(talons, removed []int) bool {
+			candidate := wmisSwap(set, talons, removed)
+			v := c.simPreparedSet(sc, ps, pt, candidate)
+			if gain := v - best; gain > bestGain {
+				bestGain = gain
+				bestTalons = talons
+				bestRemoved = removed
+			}
+			return true
+		})
+		if bestTalons == nil || bestGain < minGain {
+			break
+		}
+		set = wmisSwap(set, bestTalons, bestRemoved)
+		best += bestGain
+	}
+	return best
+}
+
+// candidatePairsPrepared enumerates the conflict-graph vertices exactly as
+// Segmenter.CandidatePairs does, but over precomputed rule-id lists and
+// taxonomy nodes instead of string joins and map lookups. The returned slice
+// and the parallel sc.pairSegs index list are valid until the next call.
+func (c *Calculator) candidatePairsPrepared(sc *Scratch, ps, pt *PreparedRecord) []SegmentPair {
+	sc.segPairs = sc.segPairs[:0]
+	sc.pairSegs = sc.pairSegs[:0]
+	ctx := c.Ctx
+	syn := ctx.SynonymEnabled()
+	tax := ctx.TaxonomyEnabled()
+	for i := range ps.Segs {
+		a := &ps.Segs[i]
+		for j := range pt.Segs {
+			b := &pt.Segs[j]
+			if a.Span.Len() < 2 && b.Span.Len() < 2 {
+				continue
+			}
+			kind, weight := PairKind(-1), 0.0
+			if syn && (a.Rule || b.Rule) {
+				if cl, ok := ctx.Rules.MatchIDLists(a.Data.LHS, a.Data.RHS, b.Data.LHS, b.Data.RHS); ok && cl > weight {
+					kind, weight = PairRule, cl
+				}
+			}
+			if tax && a.Entity && b.Entity {
+				if v := ctx.SegmentTaxonomyData(&a.Data, &b.Data); v > weight {
+					kind, weight = PairTaxonomy, v
+				}
+			}
+			if weight <= 0 {
+				continue
+			}
+			sc.segPairs = append(sc.segPairs, SegmentPair{S: a.Span, T: b.Span, Weight: weight, Kind: kind})
+			sc.pairSegs = append(sc.pairSegs, pairSeg{int32(i), int32(j)})
+		}
+	}
+	return sc.segPairs
+}
+
+// simPreparedSet maps an independent set of conflict-graph vertices to the
+// segment selections of both sides and evaluates their SIM (GetSim of
+// Algorithm 1) from the msim cache.
+func (c *Calculator) simPreparedSet(sc *Scratch, ps, pt *PreparedRecord, set []int) float64 {
+	sc.sSel = sc.sSel[:0]
+	sc.tSel = sc.tSel[:0]
+	for _, v := range set {
+		p := sc.pairSegs[v]
+		if ps.Segs[p.s].Span.Len() >= 2 {
+			// Vertex order is S-major, so sSel arrives sorted by start.
+			sc.sSel = append(sc.sSel, p.s)
+		}
+		if pt.Segs[p.t].Span.Len() >= 2 {
+			sc.tSel = append(sc.tSel, p.t)
+		}
+	}
+	// The T-side selections are not start-ordered; insertion sort (the sets
+	// are tiny and the spans disjoint, so starts are unique).
+	for i := 1; i < len(sc.tSel); i++ {
+		for j := i; j > 0 && pt.Segs[sc.tSel[j]].Span.Start < pt.Segs[sc.tSel[j-1]].Span.Start; j-- {
+			sc.tSel[j], sc.tSel[j-1] = sc.tSel[j-1], sc.tSel[j]
+		}
+	}
+	return c.simPreparedSelected(sc, ps, pt)
+}
+
+// simPreparedSelected evaluates Eq. (6) for the partitions induced by the
+// selected multi-token segments in sc.sSel / sc.tSel (sorted by start):
+// the maximum-weight bipartite matching over cached msim weights divided by
+// the larger partition size.
+func (c *Calculator) simPreparedSelected(sc *Scratch, ps, pt *PreparedRecord) float64 {
+	sc.psIdx = buildPartitionIdx(ps, sc.sSel, sc.psIdx)
+	sc.ptIdx = buildPartitionIdx(pt, sc.tSel, sc.ptIdx)
+	n, m := len(sc.psIdx), len(sc.ptIdx)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	sc.weights = strutil.Resize(sc.weights, n*m)
+	for i, si := range sc.psIdx {
+		row := sc.weights[i*m : (i+1)*m]
+		base := int(si) * sc.nt
+		for j, tj := range sc.ptIdx {
+			row[j] = sc.msim[base+int(tj)]
+		}
+	}
+	total := sc.match.Total(sc.weights, n, m)
+	den := n
+	if m > den {
+		den = m
+	}
+	return total / float64(den)
+}
+
+// buildPartitionIdx constructs the partition induced by the selected
+// non-overlapping multi-token segments (sorted by start): the selected
+// segments plus the singleton segment for every uncovered token, ordered by
+// start position — the same partition buildPartition produces.
+func buildPartitionIdx(pr *PreparedRecord, sel []int32, out []int32) []int32 {
+	out = out[:0]
+	si := 0
+	for pos := 0; pos < len(pr.Tokens); {
+		if si < len(sel) && pr.Segs[sel[si]].Span.Start == pos {
+			out = append(out, sel[si])
+			pos = pr.Segs[sel[si]].Span.End
+			si++
+			continue
+		}
+		out = append(out, pr.single[pos])
+		pos++
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/sim"
+)
+
+// randTokens draws up to maxLen tokens from the vocabulary (possibly none).
+func randTokens(rng *rand.Rand, vocab []string, maxLen int) []string {
+	n := rng.Intn(maxLen + 1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = vocab[rng.Intn(len(vocab))]
+	}
+	return out
+}
+
+var preparedVocab = []string{"coffee", "shop", "latte", "espresso", "cafe",
+	"helsinki", "helsingki", "cake", "apple", "gateau", "food", "drinks"}
+
+// TestSimilarityPreparedMatchesTokens is the engine's central property:
+// SimilarityPrepared must return exactly the value SimilarityTokens returns,
+// and the thresholded verification must agree with comparing that value
+// against θ, across measure combinations and thresholds.
+func TestSimilarityPreparedMatchesTokens(t *testing.T) {
+	combos := []sim.MeasureSet{
+		sim.SetJaccard,                   // J
+		sim.SetTaxonomy | sim.SetSynonym, // TS
+		sim.SetAll,                       // TJS
+	}
+	thetas := []float64{0.7, 0.8, 0.9}
+	base := paperContext()
+	for _, ms := range combos {
+		calc := NewCalculator(base.WithMeasures(ms))
+		rng := rand.New(rand.NewSource(int64(ms) + 7))
+		sc := NewScratch()
+		for trial := 0; trial < 200; trial++ {
+			sTok := randTokens(rng, preparedVocab, 5)
+			tTok := randTokens(rng, preparedVocab, 5)
+			want := calc.SimilarityTokens(sTok, tTok)
+			ps := calc.Prepare(sTok)
+			pt := calc.Prepare(tTok)
+			if got := calc.SimilarityPrepared(ps, pt, sc); got != want {
+				t.Fatalf("%v trial %d: SimilarityPrepared = %v, SimilarityTokens = %v for %v / %v",
+					ms, trial, got, want, sTok, tTok)
+			}
+			// Nil scratch (pooled path) must agree too.
+			if got := calc.SimilarityPrepared(ps, pt, nil); got != want {
+				t.Fatalf("%v trial %d: pooled SimilarityPrepared = %v, want %v", ms, trial, got, want)
+			}
+			for _, theta := range thetas {
+				if got := calc.SimilarityAtLeastPrepared(ps, pt, theta, sc); got != (want >= theta) {
+					t.Fatalf("%v trial %d θ=%v: SimilarityAtLeastPrepared = %v, similarity %v for %v / %v",
+						ms, trial, theta, got, want, sTok, tTok)
+				}
+				if v, ok := calc.VerifyPrepared(ps, pt, theta, sc); ok != (want >= theta) || (ok && v != want) {
+					t.Fatalf("%v trial %d θ=%v: VerifyPrepared = (%v, %v), similarity %v",
+						ms, trial, theta, v, ok, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSimilarityAtLeastMatchesTokens pins the satellite: SimilarityAtLeast
+// is now the real thresholded implementation and must agree with the full
+// computation at every threshold, including both boundary directions.
+func TestSimilarityAtLeastMatchesTokens(t *testing.T) {
+	calc := NewCalculator(paperContext())
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		sTok := randTokens(rng, preparedVocab, 5)
+		tTok := randTokens(rng, preparedVocab, 5)
+		want := calc.SimilarityTokens(sTok, tTok)
+		for _, theta := range []float64{0, 0.5, 0.7, 0.8, 0.9, 1, want} {
+			if got := calc.SimilarityAtLeast(sTok, tTok, theta); got != (want >= theta) {
+				t.Fatalf("trial %d θ=%v: SimilarityAtLeast = %v, similarity = %v for %v / %v",
+					trial, theta, got, want, sTok, tTok)
+			}
+		}
+	}
+}
+
+func TestPreparedEmptyRecords(t *testing.T) {
+	calc := NewCalculator(paperContext())
+	empty := calc.Prepare(nil)
+	full := calc.Prepare([]string{"coffee"})
+	if v := calc.SimilarityPrepared(empty, empty, nil); v != 1 {
+		t.Errorf("empty-empty = %v, want 1", v)
+	}
+	if v := calc.SimilarityPrepared(empty, full, nil); v != 0 {
+		t.Errorf("empty-full = %v, want 0", v)
+	}
+	if v := calc.SimilarityPrepared(full, empty, nil); v != 0 {
+		t.Errorf("full-empty = %v, want 0", v)
+	}
+	if v, ok := calc.VerifyPrepared(empty, empty, 1, nil); !ok || v != 1 {
+		t.Errorf("VerifyPrepared(empty, empty, 1) = (%v, %v), want (1, true)", v, ok)
+	}
+	if _, ok := calc.VerifyPrepared(empty, full, 0.1, nil); ok {
+		t.Error("VerifyPrepared(empty, full) should not reach 0.1")
+	}
+	if empty.NumSegments() != 0 || empty.MinPartitionSize() != 0 {
+		t.Errorf("empty prepared record = %d segments, minPart %d", empty.NumSegments(), empty.MinPartitionSize())
+	}
+	if full.NumSegments() != 1 || full.MinPartitionSize() != 1 {
+		t.Errorf("single-token prepared record = %d segments, minPart %d", full.NumSegments(), full.MinPartitionSize())
+	}
+}
+
+// TestScratchReuseIsDeterministic verifies a single scratch reused across
+// many pairs produces the same values as fresh scratch per pair — the
+// property the per-worker reuse in the join verifier depends on.
+func TestScratchReuseIsDeterministic(t *testing.T) {
+	calc := NewCalculator(paperContext())
+	rng := rand.New(rand.NewSource(5))
+	shared := NewScratch()
+	for trial := 0; trial < 60; trial++ {
+		ps := calc.Prepare(randTokens(rng, preparedVocab, 5))
+		pt := calc.Prepare(randTokens(rng, preparedVocab, 5))
+		a := calc.SimilarityPrepared(ps, pt, shared)
+		b := calc.SimilarityPrepared(ps, pt, NewScratch())
+		if a != b {
+			t.Fatalf("trial %d: shared scratch %v != fresh scratch %v", trial, a, b)
+		}
+	}
+}
+
+func BenchmarkSimilarityPreparedPOI(b *testing.B) {
+	calc := NewCalculator(paperContext())
+	ps := calc.Prepare([]string{"coffee", "shop", "latte", "helsingki"})
+	pt := calc.Prepare([]string{"espresso", "cafe", "helsinki"})
+	sc := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calc.SimilarityPrepared(ps, pt, sc)
+	}
+}
+
+func BenchmarkVerifyPreparedReject(b *testing.B) {
+	calc := NewCalculator(paperContext())
+	ps := calc.Prepare([]string{"coffee", "shop", "latte", "helsingki"})
+	pt := calc.Prepare([]string{"apple", "cake", "bakery", "market"})
+	sc := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calc.VerifyPrepared(ps, pt, 0.8, sc)
+	}
+}

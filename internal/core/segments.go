@@ -120,7 +120,13 @@ func (sg *Segmenter) MinPartitionSize(tokens []string) int {
 	if len(tokens) == 0 {
 		return 0
 	}
-	segs := sg.Segments(tokens)
+	return minPartitionSizeSegs(tokens, sg.Segments(tokens))
+}
+
+// minPartitionSizeSegs is MinPartitionSize over an already-enumerated
+// segment list (Prepare shares one enumeration between the segment tables
+// and this bound).
+func minPartitionSizeSegs(tokens []string, segs []Segment) int {
 	uncovered := make(map[int]struct{}, len(tokens))
 	for i := range tokens {
 		uncovered[i] = struct{}{}

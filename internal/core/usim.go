@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"github.com/aujoin/aujoin/internal/matching"
 	"github.com/aujoin/aujoin/internal/sim"
 	"github.com/aujoin/aujoin/internal/strutil"
@@ -37,6 +39,11 @@ type Calculator struct {
 	ExactBudget int
 
 	segmenter *Segmenter
+	segOnce   sync.Once
+
+	// scratchPool recycles verification scratch for callers that pass a nil
+	// *Scratch to the prepared-path methods.
+	scratchPool sync.Pool
 }
 
 // NewCalculator creates a Calculator with default parameters over the given
@@ -45,11 +52,15 @@ func NewCalculator(ctx *sim.Context) *Calculator {
 	return &Calculator{Ctx: ctx, segmenter: NewSegmenter(ctx)}
 }
 
-// Segmenter returns the segment enumerator shared by the calculator.
+// Segmenter returns the segment enumerator shared by the calculator. The
+// lazy initialisation is synchronised so that a zero-value Calculator stays
+// safe for concurrent use (Prepare runs on all workers during index builds).
 func (c *Calculator) Segmenter() *Segmenter {
-	if c.segmenter == nil {
-		c.segmenter = NewSegmenter(c.Ctx)
-	}
+	c.segOnce.Do(func() {
+		if c.segmenter == nil {
+			c.segmenter = NewSegmenter(c.Ctx)
+		}
+	})
 	return c.segmenter
 }
 
@@ -163,9 +174,12 @@ func (c *Calculator) SimilarityTokens(sTokens, tTokens []string) float64 {
 }
 
 // SimilarityAtLeast reports whether the unified similarity of the two token
-// sequences reaches the threshold. It is the predicate used by the join
-// verification step; currently it simply compares the approximate
-// similarity against θ.
+// sequences reaches the threshold. It prepares both records and runs the
+// thresholded verification engine, so hopeless pairs are rejected by cheap
+// upper bounds before any matching or local search runs. Callers that need
+// the similarity value — or the old unconditional full computation — should
+// use SimilarityTokens; callers verifying one record against many should
+// Prepare it once and use SimilarityAtLeastPrepared.
 func (c *Calculator) SimilarityAtLeast(sTokens, tTokens []string, theta float64) bool {
-	return c.SimilarityTokens(sTokens, tTokens) >= theta
+	return c.SimilarityAtLeastPrepared(c.Prepare(sTokens), c.Prepare(tTokens), theta, nil)
 }

@@ -91,6 +91,11 @@ type Config struct {
 	MaxIterations int
 	// Seed seeds the sampler; 0 means a time-based seed.
 	Seed int64
+	// EstimateResults additionally verifies every sampled candidate through
+	// the join's prepared-record engine, producing an unbiased estimate of
+	// the result size R_τ (reported as TauEstimate.MeanR). The cost model is
+	// unchanged; the estimate is for capacity planning of downstream stages.
+	EstimateResults bool
 }
 
 func (c Config) withDefaults(lenS, lenT int) Config {
@@ -145,6 +150,7 @@ type TauEstimate struct {
 	CostHigh      float64
 	MeanT         float64 // estimated T_τ (processed pairs on full data)
 	MeanV         float64 // estimated V_τ (candidates on full data)
+	MeanR         float64 // estimated R_τ (results on full data; EstimateResults only)
 }
 
 // Recommendation is the outcome of Algorithm 7.
@@ -190,13 +196,20 @@ func Suggest(j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Confi
 			profile = j.NewFilterProfile(sampleS, sampleT, base)
 		}
 		for _, st := range states {
-			processed, candidates := int64(0), 0
+			processed, candidates, results := int64(0), 0, 0
 			if profile != nil {
-				processed, candidates = profile.Stats(st.tau)
+				if cfg.EstimateResults {
+					processed, candidates, results = profile.VerifyStats(st.tau)
+				} else {
+					processed, candidates = profile.Stats(st.tau)
+				}
 			}
 			st.lastT = float64(processed)
 			st.statsT.Add(float64(processed) * scale)
 			st.statsV.Add(float64(candidates) * scale)
+			if cfg.EstimateResults {
+				st.statsR.Add(float64(results) * scale)
+			}
 		}
 		if iterations >= cfg.BurnIn && shouldStop(states, cfg) {
 			break
@@ -214,6 +227,7 @@ func Suggest(j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Confi
 			CostHigh:      hi,
 			MeanT:         st.statsT.Mean(),
 			MeanV:         st.statsV.Mean(),
+			MeanR:         st.statsR.Mean(),
 		})
 		if cost < bestCost {
 			bestCost = cost
@@ -241,6 +255,7 @@ type tauState struct {
 	tau    int
 	statsT OnlineStats
 	statsV OnlineStats
+	statsR OnlineStats
 	lastT  float64 // T'_τ of the most recent sample (un-scaled)
 }
 

@@ -184,6 +184,36 @@ func TestSuggestReturnsTauFromUniverse(t *testing.T) {
 	}
 }
 
+func TestSuggestEstimateResultsExactWithFullSamples(t *testing.T) {
+	// With inclusion probability 1 every "sample" is the full data, so the
+	// per-τ result estimate must equal the true join result count exactly
+	// (the filters are lossless, so the count is also τ-independent).
+	ctx := testContext()
+	j := join.NewJoiner(ctx)
+	s := testCorpus(40, 7)
+	u := testCorpus(40, 8)
+	base := join.Options{Theta: 0.8, Method: pebble.AUHeuristic}
+	want := len(j.BruteForce(s, u, base.Theta, nil))
+	cfg := Config{
+		Universe:        []int{1, 2, 3},
+		SampleProbS:     1,
+		SampleProbT:     1,
+		BurnIn:          2,
+		MaxIterations:   3,
+		Seed:            7,
+		EstimateResults: true,
+	}
+	rec := Suggest(j, s, u, base, cfg)
+	for _, e := range rec.Estimates {
+		if int(e.MeanR+0.5) != want {
+			t.Errorf("τ=%d: MeanR = %v, want %d", e.Tau, e.MeanR, want)
+		}
+		if e.MeanR > e.MeanV+1e-9 {
+			t.Errorf("τ=%d: results %v exceed candidates %v", e.Tau, e.MeanR, e.MeanV)
+		}
+	}
+}
+
 func TestSuggestAgreesWithExhaustiveOnSmallData(t *testing.T) {
 	// On a small dataset we can compute the true cost for every τ and
 	// verify the recommendation is (near-)optimal: its true cost must be

@@ -65,3 +65,39 @@ func BenchmarkJoinSelf(b *testing.B) {
 		j.SelfJoin(s, opts)
 	}
 }
+
+// BenchmarkVerify measures the verification phase alone on the 400×400
+// workload: candidates are generated once, prepared records are built once
+// per side, and each iteration re-verifies every candidate through the
+// thresholded prepared engine (the target of the prepare-once refactor).
+func BenchmarkVerify(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(400, 1)
+	t := benchCorpus(400, 2)
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	ix := j.buildIndex(s, j.BuildOrder(s, t), opts)
+	sigs := j.signatures(t, ix.sel, opts.Method, ix.tau)
+	prepT := prepareRecords(t, ix.calc)
+	cands, _ := ix.candidates(sigs, false, opts.workers())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.verify(s, t, ix.prepared, prepT, cands, ix.calc, opts)
+	}
+}
+
+// BenchmarkQuery measures single-record serving against a resident Index:
+// signature, count filter, query preparation and thresholded verification
+// per ProbeRecord call.
+func BenchmarkQuery(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(400, 1)
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	ix := j.BuildIndex(s, opts)
+	probe := benchCorpus(64, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.ProbeRecord(probe[i%len(probe)].Tokens)
+	}
+}

@@ -132,35 +132,42 @@ func (j *Joiner) BuildOrder(collections ...[]strutil.Record) *pebble.Order {
 }
 
 // Index is a prebuilt probe target: the interned pebble order, the
-// signatures of the indexed collection, and the ID-indexed inverted index,
-// all computed once. An Index is safe for concurrent probing and is the
-// build-once/probe-many half of the join pipeline: repeated joins against
-// the same collection (or a stream of single-record queries) skip order
-// construction, signature selection and index building entirely.
+// signatures and prepared verification records of the indexed collection,
+// and the ID-indexed inverted index, all computed once. An Index is safe for
+// concurrent probing and is the build-once/probe-many half of the join
+// pipeline: repeated joins against the same collection (or a stream of
+// single-record queries) skip order construction, signature selection,
+// index building and verification preparation entirely. Holding an Index
+// therefore costs the prepared records' memory (segment tables, gram sets
+// and rule/taxonomy derivations per record) on top of the inverted index.
 type Index struct {
 	joiner *Joiner
 	opts   Options
 	tau    int
+	calc   *core.Calculator
 
-	order   *pebble.Order
-	sel     *pebble.Selector
-	records []strutil.Record
-	sigs    []pebble.Signature
-	inv     *invindex.Index
+	order    *pebble.Order
+	sel      *pebble.Selector
+	records  []strutil.Record
+	sigs     []pebble.Signature
+	prepared []*core.PreparedRecord
+	inv      *invindex.Index
 
 	// BuildTime is the wall-clock duration of order construction, signature
-	// selection and inverted-index building.
+	// selection, inverted-index building and verification preparation.
 	BuildTime time.Duration
 	avgSig    float64
 
 	scratch sync.Pool // *probeScratch, reused across ProbeRecord calls
 }
 
-// probeScratch is the per-worker candidate-counting state: one count slot
-// per indexed record plus the list of touched slots to reset.
+// probeScratch is the per-worker probe state: one count slot per indexed
+// record plus the list of touched slots to reset, and the verification
+// scratch of the prepared similarity engine.
 type probeScratch struct {
 	counts  []int32
 	touched []int32
+	sim     *core.Scratch
 }
 
 // BuildIndex computes the global pebble order of the records, selects their
@@ -176,6 +183,10 @@ func (j *Joiner) BuildIndex(records []strutil.Record, opts Options) *Index {
 func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts Options) *Index {
 	start := time.Now()
 	tau := opts.tau()
+	calc := opts.Calculator
+	if calc == nil {
+		calc = j.calc
+	}
 	sel := pebble.NewSelector(j.gen, order, opts.Theta)
 	sigs := j.signatures(records, sel, opts.Method, tau)
 	inv := invindex.New(order.NumKeys())
@@ -187,14 +198,16 @@ func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts 
 		totalLen += sigs[i].Len()
 	}
 	ix := &Index{
-		joiner:  j,
-		opts:    opts,
-		tau:     tau,
-		order:   order,
-		sel:     sel,
-		records: records,
-		sigs:    sigs,
-		inv:     inv,
+		joiner:   j,
+		opts:     opts,
+		tau:      tau,
+		calc:     calc,
+		order:    order,
+		sel:      sel,
+		records:  records,
+		sigs:     sigs,
+		prepared: prepareRecords(records, calc),
+		inv:      inv,
 	}
 	if len(records) > 0 {
 		ix.avgSig = float64(totalLen) / float64(len(records))
@@ -225,21 +238,24 @@ func (ix *Index) Probe(records []strutil.Record) ([]Pair, Stats) {
 // postings of records preceding the probe record, so mirrored and diagonal
 // pairs are never materialised and Stats counts each unordered pair once.
 func (ix *Index) SelfJoin() ([]Pair, Stats) {
-	return ix.probeSignatures(ix.records, ix.sigs, ix.opts, true, ix.BuildTime)
+	return ix.probeSignatures(ix.records, ix.sigs, ix.prepared, ix.opts, true, ix.BuildTime)
 }
 
-// probe generates probe-side signatures and delegates to probeSignatures.
-// extraSigTime is folded into the reported SignatureTime (the legacy Join
-// entry points count index building there).
+// probe generates probe-side signatures and prepared verification records
+// and delegates to probeSignatures. extraSigTime is folded into the reported
+// SignatureTime (the legacy Join entry points count index building there),
+// as is the probe-side preparation — both are per-record preprocessing paid
+// once per probe collection.
 func (ix *Index) probe(records []strutil.Record, opts Options, extraSigTime time.Duration) ([]Pair, Stats) {
 	start := time.Now()
 	sigs := ix.joiner.signatures(records, ix.sel, opts.Method, ix.tau)
-	return ix.probeSignatures(records, sigs, opts, false, extraSigTime+time.Since(start))
+	prep := prepareRecords(records, ix.calc)
+	return ix.probeSignatures(records, sigs, prep, opts, false, extraSigTime+time.Since(start))
 }
 
 // probeSignatures runs candidate generation and verification for
-// ready-made probe signatures.
-func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signature, opts Options, self bool, sigTime time.Duration) ([]Pair, Stats) {
+// ready-made probe signatures and prepared records.
+func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, opts Options, self bool, sigTime time.Duration) ([]Pair, Stats) {
 	var stats Stats
 	stats.SignatureTime = sigTime
 	stats.AvgSignatureS = ix.avgSig
@@ -260,11 +276,7 @@ func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signatu
 	stats.FilterTime = time.Since(start)
 
 	start = time.Now()
-	calc := opts.Calculator
-	if calc == nil {
-		calc = ix.joiner.calc
-	}
-	results := ix.joiner.verify(ix.records, records, candidates, calc, opts)
+	results := ix.joiner.verify(ix.records, records, ix.prepared, prep, candidates, ix.calc, opts)
 	stats.VerifyTime = time.Since(start)
 	stats.Results = len(results)
 
@@ -286,24 +298,24 @@ type QueryMatch struct {
 
 // ProbeRecord runs the full filter-and-verify pipeline for one tokenised
 // query against the prebuilt index and returns the matching indexed records
-// in ascending record order. It reuses pooled counting scratch, so a
-// query-serving workload allocates only for its results.
+// in ascending record order. The query is prepared once and verified against
+// the index's prepared records through the thresholded engine with pooled
+// scratch, so a query-serving workload allocates only for the query
+// preparation and its results.
 func (ix *Index) ProbeRecord(tokens []string) []QueryMatch {
 	sig := ix.sel.Signature(tokens, ix.opts.Method, ix.tau)
 	sc, _ := ix.scratch.Get().(*probeScratch)
 	if sc == nil {
-		sc = &probeScratch{counts: make([]int32, len(ix.records))}
+		sc = &probeScratch{counts: make([]int32, len(ix.records)), sim: core.NewScratch()}
 	}
 	cands, _ := countFilterRecord(ix.inv, sig, ix.tau, len(ix.records), sc)
-	calc := ix.opts.Calculator
-	if calc == nil {
-		calc = ix.joiner.calc
-	}
 	var out []QueryMatch
-	for _, r := range cands {
-		v := calc.SimilarityTokens(ix.records[r].Tokens, tokens)
-		if v >= ix.opts.Theta {
-			out = append(out, QueryMatch{Record: int(r), Similarity: v})
+	if len(cands) > 0 {
+		pq := ix.calc.Prepare(tokens)
+		for _, r := range cands {
+			if v, ok := ix.calc.VerifyPrepared(ix.prepared[r], pq, ix.opts.Theta, sc.sim); ok {
+				out = append(out, QueryMatch{Record: int(r), Similarity: v})
+			}
 		}
 	}
 	ix.scratch.Put(sc)
@@ -475,18 +487,25 @@ func appendSignatureIDs(ids []uint32, sig pebble.Signature) []uint32 {
 // record.
 type pairKey struct{ s, t int }
 
-// verify computes the unified similarity of every candidate pair in
-// parallel and keeps those reaching θ.
-func (j *Joiner) verify(s, t []strutil.Record, candidates []pairKey, calc *core.Calculator, opts Options) []Pair {
+// verify runs the thresholded prepared-record verification of every
+// candidate pair in parallel, with one similarity scratch per worker, and
+// keeps those reaching θ.
+func (j *Joiner) verify(s, t []strutil.Record, prepS, prepT []*core.PreparedRecord, candidates []pairKey, calc *core.Calculator, opts Options) []Pair {
 	results := make([]Pair, len(candidates))
 	keep := make([]bool, len(candidates))
-	parallelFor(len(candidates), opts.workers(), func(i int) {
+	workers := opts.workers()
+	scratches := make([]*core.Scratch, workers)
+	parallelForWorkers(len(candidates), workers, func(w, i int) {
 		c := candidates[i]
 		if c.s >= len(s) || c.t >= len(t) {
 			return
 		}
-		v := calc.SimilarityTokens(s[c.s].Tokens, t[c.t].Tokens)
-		if v >= opts.Theta {
+		sc := scratches[w]
+		if sc == nil {
+			sc = core.NewScratch()
+			scratches[w] = sc
+		}
+		if v, ok := calc.VerifyPrepared(prepS[c.s], prepT[c.t], opts.Theta, sc); ok {
 			results[i] = Pair{S: s[c.s].ID, T: t[c.t].ID, Similarity: v}
 			keep[i] = true
 		}
@@ -502,29 +521,64 @@ func (j *Joiner) verify(s, t []strutil.Record, candidates []pairKey, calc *core.
 	return out
 }
 
+// prepareRecords runs Calculator.Prepare for every record in parallel; the
+// result is the verification half of an index or probe collection.
+func prepareRecords(recs []strutil.Record, calc *core.Calculator) []*core.PreparedRecord {
+	out := make([]*core.PreparedRecord, len(recs))
+	parallelFor(len(recs), 0, func(i int) {
+		out[i] = calc.Prepare(recs[i].Tokens)
+	})
+	return out
+}
+
 // FilterProfile holds the τ-independent state of the filtering stage for
 // two collections: the shared interned order and every record's prepared
 // (generated, interned, sorted) pebble list. Stats re-derives signatures
 // and candidate counts for any τ without regenerating or re-sorting
 // pebbles — the Section 4 estimator calls it for every τ in its universe on
-// each Bernoulli sample.
+// each Bernoulli sample — and VerifyStats additionally verifies the
+// surviving candidates through the same prepared-record engine the join
+// uses, preparing each sample record once across every τ. A FilterProfile
+// is not safe for concurrent use: signature re-selection mutates shared
+// per-record accumulation scratch (and VerifyStats its verdict memo), so
+// sweep τ values sequentially.
 type FilterProfile struct {
 	joiner     *Joiner
+	calc       *core.Calculator
 	sel        *pebble.Selector
 	method     pebble.Method
+	theta      float64
+	workers    int
 	universe   int
+	recS, recT []strutil.Record
 	preS, preT []pebble.Presig
+
+	prepOnce     sync.Once
+	prepS, prepT []*core.PreparedRecord
+	// verdicts memoises per-pair verification outcomes across the τ sweep:
+	// the verdict depends only on the pair and θ, and candidate sets for
+	// different τ overlap heavily.
+	verdicts map[pairKey]bool
 }
 
 // NewFilterProfile prepares both collections under a shared global order.
 func (j *Joiner) NewFilterProfile(s, t []strutil.Record, opts Options) *FilterProfile {
 	order := j.BuildOrder(s, t)
 	sel := pebble.NewSelector(j.gen, order, opts.Theta)
+	calc := opts.Calculator
+	if calc == nil {
+		calc = j.calc
+	}
 	return &FilterProfile{
 		joiner:   j,
+		calc:     calc,
 		sel:      sel,
 		method:   opts.Method,
+		theta:    opts.Theta,
+		workers:  opts.workers(),
 		universe: order.NumKeys(),
+		recS:     s,
+		recT:     t,
 		preS:     j.prepareAll(s, sel),
 		preT:     j.prepareAll(t, sel),
 	}
@@ -542,6 +596,62 @@ func (j *Joiner) prepareAll(recs []strutil.Record, sel *pebble.Selector) []pebbl
 // Stats runs the filtering stage (Lines 1–8 of Algorithm 6) for one τ and
 // returns the number of processed posting pairs (T_τ) and candidates (V_τ).
 func (fp *FilterProfile) Stats(tau int) (processed int64, candidates int) {
+	cands, processed := fp.filter(tau)
+	return processed, len(cands)
+}
+
+// VerifyStats is Stats plus verification: it runs the filtering stage for
+// one τ and verifies every candidate through the prepared thresholded
+// engine, returning the number of results (R_τ) alongside T_τ and V_τ. The
+// prepared records of both collections are built on first use and shared by
+// every subsequent τ.
+func (fp *FilterProfile) VerifyStats(tau int) (processed int64, candidates, results int) {
+	cands, processed := fp.filter(tau)
+	if len(cands) == 0 {
+		return processed, 0, 0
+	}
+	fp.prepOnce.Do(func() {
+		fp.prepS = prepareRecords(fp.recS, fp.calc)
+		fp.prepT = prepareRecords(fp.recT, fp.calc)
+	})
+	// A pair's verdict is τ-independent, and the candidate sets of the τ
+	// sweep overlap heavily, so only pairs never seen before are verified.
+	if fp.verdicts == nil {
+		fp.verdicts = make(map[pairKey]bool)
+	}
+	var todo []pairKey
+	for _, c := range cands {
+		if _, ok := fp.verdicts[c]; !ok {
+			todo = append(todo, c)
+		}
+	}
+	if len(todo) > 0 {
+		scratches := make([]*core.Scratch, fp.workers)
+		keep := make([]bool, len(todo))
+		parallelForWorkers(len(todo), fp.workers, func(w, i int) {
+			sc := scratches[w]
+			if sc == nil {
+				sc = core.NewScratch()
+				scratches[w] = sc
+			}
+			c := todo[i]
+			keep[i] = fp.calc.SimilarityAtLeastPrepared(fp.prepS[c.s], fp.prepT[c.t], fp.theta, sc)
+		})
+		for i, c := range todo {
+			fp.verdicts[c] = keep[i]
+		}
+	}
+	for _, c := range cands {
+		if fp.verdicts[c] {
+			results++
+		}
+	}
+	return processed, len(cands), results
+}
+
+// filter runs signature selection and count filtering for one τ, returning
+// the candidate pairs and the processed posting count.
+func (fp *FilterProfile) filter(tau int) ([]pairKey, int64) {
 	if fp.method == pebble.UFilter || tau < 1 {
 		tau = 1
 	}
@@ -553,8 +663,7 @@ func (fp *FilterProfile) Stats(tau int) (processed int64, candidates int) {
 		ids = appendSignatureIDs(ids[:0], sigS[i])
 		inv.Add(i, ids)
 	}
-	cands, processed := countFilterCandidates(inv, len(fp.preS), sigT, tau, false, 0)
-	return processed, len(cands)
+	return countFilterCandidates(inv, len(fp.preS), sigT, tau, false, 0)
 }
 
 // selectAll derives the τ-specific signatures from the prepared pebble
@@ -575,22 +684,31 @@ func (j *Joiner) FilterStats(s, t []strutil.Record, opts Options) (processed int
 	return j.NewFilterProfile(s, t, opts).Stats(opts.tau())
 }
 
-// BruteForce computes the join by verifying every pair; it is the oracle
-// the integration tests compare the filtered joins against and the
-// degenerate baseline of the scalability experiments.
+// BruteForce computes the join by verifying every pair through the prepared
+// thresholded engine (each side prepared once); it is the oracle the
+// integration tests compare the filtered joins against and the degenerate
+// baseline of the scalability experiments.
 func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Calculator) []Pair {
 	if calc == nil {
 		calc = j.calc
 	}
+	prepS := prepareRecords(s, calc)
+	prepT := prepareRecords(t, calc)
 	type cell struct {
 		pair Pair
 		ok   bool
 	}
 	cells := make([]cell, len(s)*len(t))
-	parallelFor(len(s)*len(t), 0, func(k int) {
+	workers := runtime.GOMAXPROCS(0)
+	scratches := make([]*core.Scratch, workers)
+	parallelForWorkers(len(s)*len(t), workers, func(w, k int) {
 		i, l := k/len(t), k%len(t)
-		v := calc.SimilarityTokens(s[i].Tokens, t[l].Tokens)
-		if v >= theta {
+		sc := scratches[w]
+		if sc == nil {
+			sc = core.NewScratch()
+			scratches[w] = sc
+		}
+		if v, ok := calc.VerifyPrepared(prepS[i], prepT[l], theta, sc); ok {
 			cells[k] = cell{pair: Pair{S: s[i].ID, T: t[l].ID, Similarity: v}, ok: true}
 		}
 	})
@@ -612,12 +730,20 @@ func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Cal
 // parallelFor runs fn(i) for i in [0, n) across the given number of workers
 // (GOMAXPROCS when workers ≤ 0). It runs inline when n is small.
 func parallelFor(n, workers int, fn func(int)) {
+	parallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker index exposed to fn, so
+// callers can keep per-worker scratch without synchronisation: each worker
+// index in [0, workers) is used by exactly one goroutine (index 0 when the
+// loop runs inline).
+func parallelForWorkers(n, workers int, fn func(worker, i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if n <= 1 || workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -628,12 +754,12 @@ func parallelFor(n, workers int, fn func(int)) {
 	next := make(chan int, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -9,7 +9,11 @@
 // unmatched contributes exactly 0.
 package matching
 
-import "math"
+import (
+	"math"
+
+	"github.com/aujoin/aujoin/internal/strutil"
+)
 
 // epsilon guards floating-point comparisons inside the Hungarian algorithm.
 const epsilon = 1e-12
@@ -59,35 +63,12 @@ func MaxWeight(weights [][]float64) Result {
 		return res
 	}
 
-	// The assignment algorithm below solves a *minimisation* over a square
-	// cost matrix; convert max-weight to min-cost by negating against the
-	// maximum weight and padding to square with zero-benefit cells.
-	size := n
-	if m > size {
-		size = m
-	}
-	maxW := 0.0
+	flat := make([]float64, n*m)
 	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			w := weights[i][j]
-			if w > maxW {
-				maxW = w
-			}
-		}
+		copy(flat[i*m:(i+1)*m], weights[i])
 	}
-	cost := make([][]float64, size)
-	for i := range cost {
-		cost[i] = make([]float64, size)
-		for j := range cost[i] {
-			w := 0.0
-			if i < n && j < m && weights[i][j] > 0 {
-				w = weights[i][j]
-			}
-			cost[i][j] = maxW - w
-		}
-	}
-
-	rowSol := hungarianMin(cost)
+	var sc Scratch
+	rowSol := sc.solve(flat, n, m)
 
 	for i := 0; i < n; i++ {
 		j := rowSol[i]
@@ -106,23 +87,95 @@ func MaxWeight(weights [][]float64) Result {
 	return res
 }
 
-// hungarianMin solves the square min-cost assignment problem and returns,
-// for every row, the assigned column. Implementation follows the classic
-// shortest augmenting path formulation with potentials (u, v).
-func hungarianMin(cost [][]float64) []int {
-	n := len(cost)
+// Scratch holds the reusable buffers of the allocation-free matching solver
+// used by the join verification hot path. A Scratch may be reused across any
+// number of Total calls but must not be shared between goroutines. MaxWeight
+// runs on a throwaway Scratch, so both entry points share one solver and
+// return bit-identical totals for the same weights.
+type Scratch struct {
+	cost   []float64
+	u, v   []float64
+	p, way []int
+	minv   []float64
+	used   []bool
+	rowSol []int
+}
+
+// Total computes the total weight of a maximum-weight bipartite matching of
+// the n×m weight matrix given in row-major order, reusing the scratch
+// buffers.
+func (sc *Scratch) Total(weights []float64, n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 0
+	}
+	rowSol := sc.solve(weights, n, m)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		j := rowSol[i]
+		if j < 0 || j >= m {
+			continue
+		}
+		w := weights[i*m+j]
+		if w <= epsilon {
+			continue // matched to a padding / zero edge: treat as unmatched
+		}
+		total += w
+	}
+	return total
+}
+
+// solve converts the max-weight problem to a square min-cost assignment —
+// negating against the maximum weight and padding to square with
+// zero-benefit cells — and returns the assigned column for every row.
+func (sc *Scratch) solve(weights []float64, n, m int) []int {
+	size := n
+	if m > size {
+		size = m
+	}
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if w := weights[i*m+j]; w > maxW {
+				maxW = w
+			}
+		}
+	}
+	sc.cost = strutil.Resize(sc.cost, size*size)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			w := 0.0
+			if i < n && j < m && weights[i*m+j] > 0 {
+				w = weights[i*m+j]
+			}
+			sc.cost[i*size+j] = maxW - w
+		}
+	}
+	return sc.hungarianMinFlat(size)
+}
+
+// hungarianMinFlat solves the square min-cost assignment problem over the
+// flat cost matrix held in the scratch using the classic shortest
+// augmenting path formulation with potentials (u, v), reusing the scratch
+// buffers.
+func (sc *Scratch) hungarianMinFlat(n int) []int {
 	const inf = math.MaxFloat64
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1)   // p[j] = row assigned to column j (1-based), 0 = none
-	way := make([]int, n+1) // way[j] = previous column on the augmenting path
+	sc.u = strutil.Resize(sc.u, n+1)
+	sc.v = strutil.Resize(sc.v, n+1)
+	sc.p = strutil.Resize(sc.p, n+1)
+	sc.way = strutil.Resize(sc.way, n+1)
+	sc.minv = strutil.Resize(sc.minv, n+1)
+	sc.used = strutil.Resize(sc.used, n+1)
+	u, v, p, way := sc.u, sc.v, sc.p, sc.way
+	for j := 0; j <= n; j++ {
+		u[j], v[j], p[j], way[j] = 0, 0, 0, 0
+	}
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
+		minv, used := sc.minv, sc.used
 		for j := 0; j <= n; j++ {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -133,7 +186,7 @@ func hungarianMin(cost [][]float64) []int {
 				if used[j] {
 					continue
 				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				cur := sc.cost[(i0-1)*n+(j-1)] - u[i0] - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0
@@ -162,13 +215,16 @@ func hungarianMin(cost [][]float64) []int {
 			j0 = j1
 		}
 	}
-	rowSol := make([]int, n)
+	sc.rowSol = strutil.Resize(sc.rowSol, n)
+	for i := range sc.rowSol {
+		sc.rowSol[i] = -1
+	}
 	for j := 1; j <= n; j++ {
 		if p[j] > 0 {
-			rowSol[p[j]-1] = j - 1
+			sc.rowSol[p[j]-1] = j - 1
 		}
 	}
-	return rowSol
+	return sc.rowSol
 }
 
 // MaxWeightGreedy computes a 2-approximate matching by repeatedly taking the

@@ -186,6 +186,41 @@ func TestEmptyDimensions(t *testing.T) {
 	}
 }
 
+// TestScratchTotalMatchesMaxWeight pins the bit-identity contract between
+// the allocation-free flat solver and MaxWeight on random rectangular
+// matrices of every small shape, reusing one scratch throughout.
+func TestScratchTotalMatchesMaxWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var sc Scratch
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(7)
+		m := 1 + rng.Intn(7)
+		w := make([][]float64, n)
+		flat := make([]float64, n*m)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				v := rng.Float64()
+				switch rng.Intn(4) {
+				case 0:
+					v = 0 // sparse edges
+				case 1:
+					v = -v // negative weights are treated as 0
+				}
+				w[i][j] = v
+				flat[i*m+j] = v
+			}
+		}
+		want := MaxWeight(w).Total
+		if got := sc.Total(flat, n, m); got != want {
+			t.Fatalf("trial %d (%dx%d): Scratch.Total = %v, MaxWeight.Total = %v", trial, n, m, got, want)
+		}
+	}
+	if sc.Total(nil, 0, 3) != 0 || sc.Total(nil, 3, 0) != 0 {
+		t.Error("empty dimensions should yield 0")
+	}
+}
+
 func BenchmarkMaxWeight10x10(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	w := make([][]float64, 10)

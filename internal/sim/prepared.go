@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"sort"
+
+	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/taxonomy"
+)
+
+// GramSet is the deduplicated q-gram set of a string, sorted ascending.
+// Unlike the map form returned by strutil.QGramSet it supports allocation-free
+// intersection by merging, which is what the verification hot path needs.
+type GramSet []string
+
+// NewGramSet extracts, sorts and deduplicates the q-grams of s. The grams
+// share s's backing storage, so a GramSet costs one slice beyond the string.
+func NewGramSet(s string, q int) GramSet {
+	grams := strutil.QGrams(s, q)
+	if len(grams) == 0 {
+		return nil
+	}
+	sort.Strings(grams)
+	out := grams[:1]
+	for _, g := range grams[1:] {
+		if g != out[len(out)-1] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Overlap returns |a ∩ b| by merging the two sorted sets.
+func (a GramSet) Overlap(b GramSet) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// SegmentData is the per-segment derivation table of the prepare-once
+// verification engine: everything the base measures need about one token
+// span, computed once per record instead of once per candidate pair. The
+// zero value describes an empty span.
+type SegmentData struct {
+	// Text is the space-joined segment text.
+	Text string
+	// Grams is the sorted q-gram set of Text (nil when Jaccard is disabled).
+	Grams GramSet
+	// Node is the taxonomy entity the text maps to, or InvalidNode.
+	Node taxonomy.NodeID
+	// LHS and RHS list the identifiers (ascending) of the synonym rules whose
+	// left / right side equals Text. The slices alias the rule set's index
+	// and must not be modified.
+	LHS, RHS []int
+}
+
+// PrepareSegment derives the SegmentData of a token span under this context.
+// The tokens must already be normalised (the output of strutil.Tokenize).
+func (c *Context) PrepareSegment(tokens []string) SegmentData {
+	d := SegmentData{Text: strutil.JoinTokens(tokens), Node: taxonomy.InvalidNode}
+	if c.JaccardEnabled() {
+		d.Grams = NewGramSet(d.Text, c.GramQ())
+	}
+	if c.SynonymEnabled() {
+		d.LHS = c.Rules.ByLHSText(d.Text)
+		d.RHS = c.Rules.ByRHSText(d.Text)
+	}
+	if c.TaxonomyEnabled() {
+		if id, ok := c.Tax.LookupTokens(tokens); ok {
+			d.Node = id
+		}
+	}
+	return d
+}
+
+// SegmentJaccardData is SegmentJaccard over prepared gram sets; it returns
+// exactly the value SegmentJaccard returns for the underlying spans.
+func (c *Context) SegmentJaccardData(a, b *SegmentData) float64 {
+	if a.Text == "" && b.Text == "" {
+		return 1
+	}
+	if a.Text == "" || b.Text == "" {
+		return 0
+	}
+	inter := a.Grams.Overlap(b.Grams)
+	union := len(a.Grams) + len(b.Grams) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// SegmentSynonymData is SegmentSynonym over prepared rule-side id lists.
+func (c *Context) SegmentSynonymData(a, b *SegmentData) float64 {
+	if !c.SynonymEnabled() {
+		return 0
+	}
+	s, ok := c.Rules.MatchIDLists(a.LHS, a.RHS, b.LHS, b.RHS)
+	if !ok {
+		return 0
+	}
+	return s
+}
+
+// SegmentTaxonomyData is SegmentTaxonomy over prepared entity nodes.
+func (c *Context) SegmentTaxonomyData(a, b *SegmentData) float64 {
+	if !c.TaxonomyEnabled() || a.Node == taxonomy.InvalidNode || b.Node == taxonomy.InvalidNode {
+		return 0
+	}
+	return c.Tax.Similarity(a.Node, b.Node)
+}
+
+// MSimData implements Eq. (4) over prepared segment data. It evaluates the
+// same measures in the same order as MSim and therefore returns bit-identical
+// values for the same underlying token spans.
+func (c *Context) MSimData(a, b *SegmentData) float64 {
+	best := 0.0
+	if c.JaccardEnabled() {
+		if v := c.SegmentJaccardData(a, b); v > best {
+			best = v
+		}
+	}
+	if c.SynonymEnabled() {
+		if v := c.SegmentSynonymData(a, b); v > best {
+			best = v
+		}
+	}
+	if c.TaxonomyEnabled() {
+		if v := c.SegmentTaxonomyData(a, b); v > best {
+			best = v
+		}
+	}
+	return best
+}

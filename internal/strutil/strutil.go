@@ -141,6 +141,17 @@ func OverlapCount(a, b map[string]struct{}) int {
 	return n
 }
 
+// Resize returns a slice of length n backed by s when its capacity allows,
+// allocating otherwise. Existing contents are unspecified — callers must
+// overwrite every element. It is the shared building block of the
+// scratch-buffer reuse in the verification hot path.
+func Resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Span identifies a run of consecutive tokens inside a tokenised string:
 // the half-open interval [Start, End).
 type Span struct {

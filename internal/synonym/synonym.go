@@ -136,6 +136,46 @@ func (rs *RuleSet) ByRHS(tokens []string) []int {
 	return rs.byRHS[strutil.JoinTokens(tokens)]
 }
 
+// ByLHSText is ByLHS for a pre-joined segment text. The returned slice
+// aliases the index and lists rule identifiers in ascending order.
+func (rs *RuleSet) ByLHSText(text string) []int { return rs.byLHS[text] }
+
+// ByRHSText is ByRHS for a pre-joined segment text.
+func (rs *RuleSet) ByRHSText(text string) []int { return rs.byRHS[text] }
+
+// MatchIDLists is MatchPair over precomputed rule-side id lists: aLHS/aRHS
+// are the rules whose lhs/rhs equals span a (as returned by ByLHSText and
+// ByRHSText), likewise b. It returns the best closeness of a rule linking
+// the two spans in either direction without joining or hashing any strings,
+// and agrees exactly with MatchPair on the underlying spans.
+func (rs *RuleSet) MatchIDLists(aLHS, aRHS, bLHS, bRHS []int) (float64, bool) {
+	best, ok := 0.0, false
+	rs.scanCommon(aLHS, bRHS, &best, &ok)
+	rs.scanCommon(aRHS, bLHS, &best, &ok)
+	return best, ok
+}
+
+// scanCommon merges two ascending rule-id lists and folds the closeness of
+// every common rule into best.
+func (rs *RuleSet) scanCommon(x, y []int, best *float64, ok *bool) {
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			if c := rs.rules[x[i]].C; c > *best {
+				*best = c
+			}
+			*ok = true
+			i++
+			j++
+		}
+	}
+}
+
 // IsSide reports whether the token span appears as the lhs or rhs of at
 // least one rule; such spans are well-defined segments (Definition 1(i)).
 func (rs *RuleSet) IsSide(tokens []string) bool {
