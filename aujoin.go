@@ -34,6 +34,23 @@
 //
 // Join and SelfJoin are one-shot compositions of the same stages.
 //
+// # Dynamic serving
+//
+// An Index is mutable and concurrently servable: Insert and Remove change
+// the catalog online, while Snapshot hands out immutable views that serve
+// Query, QueryTopK and Probe lock-free and unaffected by concurrent
+// writes. New signature keys land in an append-only dynamic region of the
+// global pebble order, and the index re-finalizes (full rebuild) once the
+// appended mass crosses a threshold:
+//
+//	ids := ix.Insert([]string{"espresso bar Helsinki"})
+//	view := ix.Snapshot()                  // consistent, lock-free reads
+//	top := view.QueryTopK("espresso", 10)  // ranked serving
+//	ix.Remove(ids[0])                      // tombstoned for later snapshots
+//
+// cmd/aujoind wraps this in an HTTP server; `benchrun -exp serve` load
+// tests it.
+//
 // See the examples/ directory for complete runnable programs and
 // cmd/benchrun for the harness that regenerates the paper's tables and
 // figures.
@@ -304,26 +321,31 @@ func (j *Joiner) SelfJoin(s []string, opts JoinOptions) ([]Match, Stats) {
 	return j.joinRecords(recs, recs, opts, true)
 }
 
-// Index is a prebuilt join target over one collection: the interned pebble
-// order, the collection's signatures, and the ID-indexed inverted index,
-// computed once at construction. It is safe for concurrent use and is the
-// build-once/probe-many API for repeated joins and query serving.
+// Index is a dynamic, concurrently servable join target over one
+// collection: the interned pebble order, the collection's signatures and
+// prepared verification records, and the ID-indexed inverted index. Built
+// once, it serves any number of concurrent Probe/Query/QueryTopK calls
+// while Insert and Remove mutate the catalog: writers publish immutable
+// snapshots (Snapshot), so reads never block and always observe a
+// consistent catalog state. Theta, Tau and Filter are fixed at build time.
 type Index struct {
-	inner *join.Index
+	inner *join.DynamicIndex
 	tau   int
 }
 
-// QueryMatch is one result of a single-string Query: the position of the
-// matched record in the indexed collection and its unified similarity to
-// the query.
+// QueryMatch is one result of a single-string Query: the stable ID of the
+// matched record and its unified similarity to the query. For records
+// present since the build, the ID equals the record's position in the
+// original collection; records added later get fresh IDs from Insert.
 type QueryMatch struct {
-	Record     int
-	Similarity float64
+	Record     int     `json:"record"`
+	Similarity float64 `json:"similarity"`
 }
 
-// Index builds a probe-ready index over the collection. Theta, Tau and
-// Filter are fixed at build time (AutoTau is ignored — suggesting τ needs a
-// probe side; use SuggestTau and rebuild to re-tune).
+// Index builds a probe-ready dynamic index over the collection. Theta, Tau
+// and Filter are fixed at build time (AutoTau is ignored — suggesting τ
+// needs a probe side; use SuggestTau and rebuild to re-tune). Each record's
+// stable ID is its position in the input collection.
 func (j *Joiner) Index(records []string, opts JoinOptions) *Index {
 	tau := opts.Tau
 	if tau < 1 {
@@ -336,22 +358,115 @@ func (j *Joiner) Index(records []string, opts JoinOptions) *Index {
 		Workers: opts.Workers,
 	}
 	recs := strutil.NewCollection(records)
-	return &Index{inner: j.joiner.BuildIndex(recs, jopts), tau: tau}
+	return &Index{inner: j.joiner.BuildDynamicIndex(recs, jopts, join.DynamicOptions{}), tau: tau}
 }
 
-// Probe joins a collection of strings against the prebuilt index. Match.S
-// indexes the collection the Index was built over, Match.T the probe
-// collection. The one-off index build cost is not part of the returned
-// Stats — that is the point of probing a prebuilt index.
+// Insert adds records to the indexed catalog and returns their stable IDs.
+// New signature keys are interned into an append-only dynamic region of the
+// pebble order and the records become immediately visible to subsequent
+// snapshots; once the appended mass crosses an internal threshold the index
+// re-finalizes (full rebuild under a freshly frozen frequency order).
+// Insert is safe to call concurrently with reads and other writers.
+func (ix *Index) Insert(records []string) []int { return ix.inner.Insert(records) }
+
+// Remove deletes the record with the given stable ID from the catalog,
+// reporting whether it was present. The record is tombstoned — skipped by
+// all subsequent snapshots — and physically dropped at the next rebuild.
+func (ix *Index) Remove(id int) bool { return ix.inner.Remove(id) }
+
+// Snapshot returns an immutable view of the catalog as of now. All View
+// methods are lock-free and safe for unbounded concurrency; later Insert
+// and Remove calls do not affect it. Probe/Query/QueryTopK on the Index are
+// shorthands for the same calls on a fresh snapshot.
+func (ix *Index) Snapshot() *View { return &View{inner: ix.inner.Snapshot(), tau: ix.tau} }
+
+// Stats summarises the current state of the dynamic index.
+func (ix *Index) Stats() IndexStats { return statsFromInternal(ix.inner.Stats()) }
+
+// Probe joins a collection of strings against the current snapshot.
 func (ix *Index) Probe(records []string) ([]Match, Stats) {
-	pairs, jstats := ix.inner.Probe(strutil.NewCollection(records))
-	return convertPairs(pairs, jstats, ix.tau)
+	return ix.Snapshot().Probe(records)
+}
+
+// Query runs the filter-and-verify pipeline for a single string against
+// the current snapshot and returns the matching records in ascending
+// stable-ID order.
+func (ix *Index) Query(q string) []QueryMatch { return ix.Snapshot().Query(q) }
+
+// QueryTopK returns the k best matches for q in the current snapshot,
+// ordered by descending similarity.
+func (ix *Index) QueryTopK(q string, k int) []QueryMatch {
+	return ix.Snapshot().QueryTopK(q, k)
+}
+
+// IndexStats describes one snapshot of a dynamic Index: catalog size and
+// tombstone counts, the delta-segment chain, the interned-key split between
+// the frozen order prefix and the dynamic region, and the rebuild history.
+type IndexStats struct {
+	// Records is the catalog length including tombstones; Live and Dead
+	// split it.
+	Records int `json:"records"`
+	Live    int `json:"live"`
+	Dead    int `json:"dead"`
+	// Segments is the length of the delta-segment chain (one per Insert
+	// batch since the last rebuild).
+	Segments int `json:"segments"`
+	// FrozenKeys and DynamicKeys count the interned pebble keys in the
+	// frozen order prefix and the append-only dynamic region.
+	FrozenKeys  int `json:"frozen_keys"`
+	DynamicKeys int `json:"dynamic_keys"`
+	// Rebuilds counts re-finalize/rebuild cycles; Inserts the records
+	// appended over the index lifetime.
+	Rebuilds int `json:"rebuilds"`
+	Inserts  int `json:"inserts"`
+	// Theta and Tau are the join parameters fixed at build time.
+	Theta float64 `json:"theta"`
+	Tau   int     `json:"tau"`
+	// BuildTime is the construction time of the current base index, in
+	// nanoseconds on the wire.
+	BuildTime time.Duration `json:"build_time_ns"`
+}
+
+// statsFromInternal converts the internal snapshot statistics (the structs
+// are field-identical; the conversion exists so the public API does not
+// leak internal types).
+func statsFromInternal(st join.DynamicStats) IndexStats { return IndexStats(st) }
+
+// View is an immutable snapshot of an Index. Reads against a View are
+// lock-free, safe for unbounded concurrency, and unaffected by concurrent
+// Insert/Remove activity on the Index it came from.
+type View struct {
+	inner *join.View
+	tau   int
+}
+
+// Stats returns the snapshot's statistics.
+func (v *View) Stats() IndexStats { return statsFromInternal(v.inner.Stats()) }
+
+// Probe joins a collection of strings against the snapshot. Match.S is the
+// stable ID of the indexed record, Match.T the position in the probe
+// collection.
+func (v *View) Probe(records []string) ([]Match, Stats) {
+	pairs, jstats := v.inner.Probe(strutil.NewCollection(records))
+	return convertPairs(pairs, jstats, v.tau)
 }
 
 // Query runs the filter-and-verify pipeline for a single string and
-// returns the matching indexed records in ascending record order.
-func (ix *Index) Query(q string) []QueryMatch {
-	hits := ix.inner.ProbeRecord(strutil.Tokenize(q))
+// returns the matching records in ascending stable-ID order.
+func (v *View) Query(q string) []QueryMatch {
+	hits := v.inner.ProbeRecord(strutil.Tokenize(q))
+	return convertHits(hits)
+}
+
+// QueryTopK returns the k best matches for q, ordered by descending
+// similarity (ascending ID on ties). The candidate scan is thresholded at
+// the index θ and a bounded heap keeps memory O(k).
+func (v *View) QueryTopK(q string, k int) []QueryMatch {
+	return convertHits(v.inner.QueryTopK(strutil.Tokenize(q), k))
+}
+
+// convertHits maps internal query results onto the public type.
+func convertHits(hits []join.QueryMatch) []QueryMatch {
 	out := make([]QueryMatch, len(hits))
 	for i, h := range hits {
 		out[i] = QueryMatch{Record: h.Record, Similarity: h.Similarity}

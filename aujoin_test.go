@@ -110,6 +110,71 @@ func TestIndexProbeAndQuery(t *testing.T) {
 	}
 }
 
+func TestIndexInsertRemoveSnapshot(t *testing.T) {
+	j := paperJoiner(t)
+	catalog := []string{"coffee shop latte Helsingki", "apple cake bakery", "nothing in common"}
+	ix := j.Index(catalog, JoinOptions{Theta: 0.75, Tau: 2, Filter: AUFilterDP})
+
+	before := ix.Snapshot()
+	ids := ix.Insert([]string{"espresso cafe Helsinki central"})
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("Insert ids = %v, want [3]", ids)
+	}
+
+	// The pre-insert snapshot must not see the new record; a fresh one must.
+	for _, h := range before.Query("espresso cafe Helsinki central") {
+		if h.Record == 3 {
+			t.Errorf("stale snapshot sees the inserted record: %v", h)
+		}
+	}
+	hits := ix.Query("espresso cafe Helsinki central")
+	found := false
+	for _, h := range hits {
+		if h.Record == 3 && h.Similarity > 0.99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("query after insert missed the new record: %v", hits)
+	}
+
+	// QueryTopK ranks the exact match first.
+	top := ix.QueryTopK("espresso cafe Helsinki central", 1)
+	if len(top) != 1 || top[0].Record != 3 {
+		t.Fatalf("QueryTopK = %v, want the inserted record first", top)
+	}
+
+	// Removing tombstones the record for new snapshots only.
+	mid := ix.Snapshot()
+	if !ix.Remove(3) {
+		t.Fatal("Remove(3) reported absent")
+	}
+	if ix.Remove(3) {
+		t.Fatal("Remove(3) succeeded twice")
+	}
+	midSees := false
+	for _, h := range mid.Query("espresso cafe Helsinki central") {
+		if h.Record == 3 {
+			midSees = true
+		}
+	}
+	if !midSees {
+		t.Error("pre-remove snapshot lost the record")
+	}
+	for _, h := range ix.Query("espresso cafe Helsinki central") {
+		if h.Record == 3 {
+			t.Error("removed record still served")
+		}
+	}
+
+	// The tombstone may already be compacted away by a threshold rebuild,
+	// so only the live count and insert counter are pinned exactly.
+	st := ix.Stats()
+	if st.Live != 3 || st.Inserts != 1 {
+		t.Errorf("Stats = %+v, want 3 live / 1 inserted", st)
+	}
+}
+
 func TestAutoTauAndSuggestTau(t *testing.T) {
 	j := paperJoiner(t)
 	var left, right []string

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/cmdutil"
 )
 
 func main() {
@@ -65,19 +66,19 @@ func main() {
 		log.Fatalf("configuration: %v", err)
 	}
 
-	left, err := readLines(*leftPath)
+	left, err := cmdutil.ReadLines(*leftPath)
 	if err != nil {
 		log.Fatalf("read left: %v", err)
 	}
 
-	jopts := aujoin.JoinOptions{Theta: *theta, Tau: *tau, AutoTau: *autoTau, Filter: parseFilter(*filter)}
+	jopts := aujoin.JoinOptions{Theta: *theta, Tau: *tau, AutoTau: *autoTau, Filter: cmdutil.ParseFilter(*filter)}
 
 	var matches []aujoin.Match
 	var jstats aujoin.Stats
 	if *rightPath == "" {
 		matches, jstats = joiner.SelfJoin(left, jopts)
 	} else {
-		right, err := readLines(*rightPath)
+		right, err := cmdutil.ReadLines(*rightPath)
 		if err != nil {
 			log.Fatalf("read right: %v", err)
 		}
@@ -94,30 +95,4 @@ func main() {
 			jstats.SuggestedTau, jstats.Candidates, jstats.Results,
 			jstats.SuggestionTime, jstats.FilterTime, jstats.VerifyTime, jstats.Total())
 	}
-}
-
-func parseFilter(name string) aujoin.Filter {
-	switch name {
-	case "u":
-		return aujoin.UFilter
-	case "heuristic":
-		return aujoin.AUFilterHeuristic
-	default:
-		return aujoin.AUFilterDP
-	}
-}
-
-func readLines(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		out = append(out, sc.Text())
-	}
-	return out, sc.Err()
 }

@@ -1,0 +1,239 @@
+// Command aujoind serves a dynamic similarity-join index over HTTP: a
+// catalog is indexed at startup and then queried, extended and shrunk
+// online. Queries run lock-free against immutable snapshots while inserts
+// and removes mutate the catalog underneath (see the Serving section of the
+// README and ARCHITECTURE.md for the snapshot model).
+//
+// Usage:
+//
+//	aujoind -catalog catalog.txt -theta 0.8 -tau 2 [-addr :8321] \
+//	        [-synonyms rules.tsv] [-taxonomy tax.tsv] [-measures TJS]
+//
+// Endpoints:
+//
+//	GET  /query?q=<string>[&k=<n>]   matches for one query string; k>0
+//	                                 returns the top-k by similarity
+//	POST /insert {"records": [...]}  append records, returns their ids
+//	POST /remove {"id": <n>}         tombstone one record by stable id
+//	GET  /stats                      snapshot statistics
+//	GET  /healthz                    liveness probe
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/cmdutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aujoind: ")
+
+	var (
+		addr     = flag.String("addr", ":8321", "listen address")
+		catalog  = flag.String("catalog", "", "path to the initial catalog (one record per line); optional")
+		theta    = flag.Float64("theta", 0.8, "unified similarity threshold in [0,1]")
+		tau      = flag.Int("tau", 2, "overlap constraint")
+		filter   = flag.String("filter", "dp", "signature filter: u, heuristic or dp")
+		synPath  = flag.String("synonyms", "", "optional synonym rules file (lhs<TAB>rhs[<TAB>closeness])")
+		taxPath  = flag.String("taxonomy", "", "optional taxonomy file (node<TAB>parent)")
+		measures = flag.String("measures", "TJS", "measure combination (e.g. J, TS, TJS)")
+	)
+	flag.Parse()
+
+	opts := []aujoin.Option{aujoin.WithMeasures(*measures)}
+	if *synPath != "" {
+		f, err := os.Open(*synPath)
+		if err != nil {
+			log.Fatalf("open synonyms: %v", err)
+		}
+		opts = append(opts, aujoin.WithSynonymsFrom(f))
+		defer f.Close()
+	}
+	if *taxPath != "" {
+		f, err := os.Open(*taxPath)
+		if err != nil {
+			log.Fatalf("open taxonomy: %v", err)
+		}
+		opts = append(opts, aujoin.WithTaxonomyFrom(f))
+		defer f.Close()
+	}
+	joiner, err := aujoin.NewStrict(opts...)
+	if err != nil {
+		log.Fatalf("configuration: %v", err)
+	}
+
+	var records []string
+	if *catalog != "" {
+		if records, err = cmdutil.ReadLines(*catalog); err != nil {
+			log.Fatalf("read catalog: %v", err)
+		}
+	}
+	start := time.Now()
+	ix := joiner.Index(records, aujoin.JoinOptions{Theta: *theta, Tau: *tau, Filter: cmdutil.ParseFilter(*filter)})
+	log.Printf("indexed %d records in %v (θ=%v τ=%d)", len(records), time.Since(start).Round(time.Millisecond), *theta, *tau)
+
+	srv := &server{ix: ix}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/insert", srv.handleInsert)
+	mux.HandleFunc("/remove", srv.handleRemove)
+	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// server wires the dynamic index into HTTP handlers. The index is safe for
+// concurrent use, so the handlers carry no locking of their own.
+type server struct {
+	ix *aujoin.Index
+}
+
+// maxBodyBytes caps POST bodies (an insert batch has no business being
+// larger) and maxTopK caps the per-query result heap, so a single request
+// cannot balloon the daemon's memory.
+const (
+	maxBodyBytes = 8 << 20
+	maxTopK      = 10000
+)
+
+type queryResponse struct {
+	Query   string              `json:"query"`
+	Matches []aujoin.QueryMatch `json:"matches"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k < 0 || k > maxTopK {
+			http.Error(w, fmt.Sprintf("k must be an integer in [0, %d]", maxTopK), http.StatusBadRequest)
+			return
+		}
+	}
+	view := s.ix.Snapshot()
+	var matches []aujoin.QueryMatch
+	if k > 0 {
+		matches = view.QueryTopK(q, k)
+	} else {
+		matches = view.Query(q)
+	}
+	if matches == nil {
+		matches = []aujoin.QueryMatch{}
+	}
+	writeJSON(w, queryResponse{Query: q, Matches: matches})
+}
+
+type insertRequest struct {
+	Records []string `json:"records"`
+}
+
+type insertResponse struct {
+	IDs []int `json:"ids"`
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ids := s.ix.Insert(req.Records)
+	if ids == nil {
+		ids = []int{}
+	}
+	writeJSON(w, insertResponse{IDs: ids})
+}
+
+type removeRequest struct {
+	ID int `json:"id"`
+}
+
+type removeResponse struct {
+	Removed bool `json:"removed"`
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req removeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, removeResponse{Removed: s.ix.Remove(req.ID)})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.ix.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

@@ -1,13 +1,18 @@
 // Command benchrun regenerates the paper's tables and figures on synthetic
-// MED-like and WIKI-like datasets and prints them as plain-text tables.
+// MED-like and WIKI-like datasets and prints them as plain-text tables. It
+// also hosts the concurrent serving load generator for the dynamic index.
 //
 // Usage:
 //
 //	benchrun -exp table8            # one experiment
 //	benchrun -exp all -med 2000 -wiki 4000
+//	benchrun -exp serve -serve-duration 10s -serve-workers 8
 //
 // Experiment identifiers follow DESIGN.md §3: table8, table9, fig3, fig4,
 // fig5, fig6, fig7, table10, table11, table12, fig8, table13, table14.
+// The extra identifier "serve" (not part of the paper) drives concurrent
+// QueryTopK traffic against a mutating dynamic index and reports QPS,
+// latency percentiles and rebuild counts; it is excluded from "all".
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/aujoin/aujoin/internal/experiments"
 )
@@ -29,6 +36,13 @@ func main() {
 		med  = flag.Int("med", 0, "MED-like dataset size (default from the harness)")
 		wiki = flag.Int("wiki", 0, "WIKI-like dataset size (default from the harness)")
 		seed = flag.Int64("seed", 1, "random seed")
+
+		serveDuration = flag.Duration("serve-duration", 5*time.Second, "serve mode: load duration")
+		serveWorkers  = flag.Int("serve-workers", runtime.GOMAXPROCS(0), "serve mode: concurrent query workers")
+		serveTheta    = flag.Float64("serve-theta", 0.8, "serve mode: similarity threshold")
+		serveTau      = flag.Int("serve-tau", 2, "serve mode: overlap constraint")
+		serveTopK     = flag.Int("serve-k", 10, "serve mode: top-k per query")
+		serveMutate   = flag.Duration("serve-mutate-every", 10*time.Millisecond, "serve mode: pause between mutation batches")
 	)
 	flag.Parse()
 
@@ -42,6 +56,18 @@ func main() {
 	cfg.Seed = *seed
 
 	runners := map[string]func() fmt.Stringer{
+		"serve": func() fmt.Stringer {
+			return runServe(serveConfig{
+				CatalogSize: cfg.MEDSize,
+				Theta:       *serveTheta,
+				Tau:         *serveTau,
+				Duration:    *serveDuration,
+				Workers:     *serveWorkers,
+				TopK:        *serveTopK,
+				MutateEvery: *serveMutate,
+				Seed:        *seed,
+			})
+		},
 		"table8":  func() fmt.Stringer { return experiments.RunTable8(cfg, []float64{0.70, 0.75}) },
 		"table9":  func() fmt.Stringer { return experiments.RunTable9(cfg, []int{3, 4, 5, 6}, 100) },
 		"fig3":    func() fmt.Stringer { return experiments.RunFig3(cfg) },
@@ -66,7 +92,7 @@ func main() {
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
-			log.Printf("unknown experiment %q; known: %s", id, strings.Join(order, ", "))
+			log.Printf("unknown experiment %q; known: %s, serve", id, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s ===\n%s\n", id, run().String())

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/datagen"
+	"github.com/aujoin/aujoin/internal/join"
+	"github.com/aujoin/aujoin/internal/metrics"
+	"github.com/aujoin/aujoin/internal/pebble"
+)
+
+// serveConfig parameterises the concurrent load-generator mode: a dynamic
+// index over a MED-like catalog is hammered with top-k queries from several
+// workers while a mutator thread inserts and removes records, exercising
+// snapshot serving, the dynamic intern region and threshold rebuilds under
+// realistic contention.
+type serveConfig struct {
+	CatalogSize int
+	Theta       float64
+	Tau         int
+	Duration    time.Duration
+	Workers     int
+	TopK        int
+	// MutateEvery is the pause between mutation batches; each batch
+	// inserts a handful of records and removes one.
+	MutateEvery time.Duration
+	Seed        int64
+}
+
+// serveResult aggregates what the load generator observed.
+type serveResult struct {
+	cfg       serveConfig
+	queries   int64
+	elapsed   time.Duration
+	latencies []float64 // milliseconds, sampled
+	inserted  int64
+	removed   int64
+	stats     join.DynamicStats
+}
+
+func (r serveResult) String() string {
+	var b strings.Builder
+	qps := float64(r.queries) / r.elapsed.Seconds()
+	fmt.Fprintf(&b, "catalog=%d θ=%v τ=%d workers=%d duration=%v\n",
+		r.cfg.CatalogSize, r.cfg.Theta, r.cfg.Tau, r.cfg.Workers, r.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "queries=%d (%.0f qps) inserted=%d removed=%d\n", r.queries, qps, r.inserted, r.removed)
+	if len(r.latencies) > 0 {
+		ps := metrics.Percentiles(r.latencies, 50, 95, 99)
+		fmt.Fprintf(&b, "latency ms: p50=%.3f p95=%.3f p99=%.3f\n", ps[0], ps[1], ps[2])
+	}
+	st := r.stats
+	fmt.Fprintf(&b, "index: records=%d live=%d dead=%d segments=%d frozen-keys=%d dynamic-keys=%d rebuilds=%d\n",
+		st.Records, st.Live, st.Dead, st.Segments, st.FrozenKeys, st.DynamicKeys, st.Rebuilds)
+	return b.String()
+}
+
+// runServe builds the catalog and drives the concurrent serve/mutate load.
+func runServe(cfg serveConfig) serveResult {
+	gen := datagen.New(datagen.MEDLike(cfg.CatalogSize, cfg.Seed))
+	ds := gen.Generate()
+	j := join.NewJoiner(ds.Context())
+	dx := j.BuildDynamicIndex(ds.S, join.Options{Theta: cfg.Theta, Tau: cfg.Tau, Method: pebble.AUDP}, join.DynamicOptions{})
+
+	queryPool := ds.T
+	insertPool := make([]string, len(ds.T))
+	for i, rec := range ds.T {
+		insertPool[i] = rec.Raw
+	}
+
+	var queries, inserted, removed int64
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	// Readers: each worker keeps its own sampled latency slice.
+	latAll := make([][]float64, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w) + 1))
+			var lat []float64
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := queryPool[rng.Intn(len(queryPool))]
+				t0 := time.Now()
+				dx.Snapshot().QueryTopK(q.Tokens, cfg.TopK)
+				d := time.Since(t0)
+				atomic.AddInt64(&queries, 1)
+				if i%8 == 0 { // sample 1-in-8 to bound memory
+					lat = append(lat, float64(d.Microseconds())/1000)
+				}
+			}
+			latAll[w] = lat
+		}(w)
+	}
+
+	// Mutator: periodic insert batches and removals of previously inserted
+	// records, so the catalog churns without draining.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed + 9999))
+		var liveInserted []int
+		for time.Now().Before(deadline) {
+			batch := make([]string, 1+rng.Intn(4))
+			for i := range batch {
+				batch[i] = insertPool[rng.Intn(len(insertPool))]
+			}
+			ids := dx.Insert(batch)
+			atomic.AddInt64(&inserted, int64(len(ids)))
+			liveInserted = append(liveInserted, ids...)
+			if len(liveInserted) > 8 {
+				k := rng.Intn(len(liveInserted))
+				if dx.Remove(liveInserted[k]) {
+					atomic.AddInt64(&removed, 1)
+				}
+				liveInserted = append(liveInserted[:k], liveInserted[k+1:]...)
+			}
+			time.Sleep(cfg.MutateEvery)
+		}
+	}()
+	wg.Wait()
+
+	var lat []float64
+	for _, l := range latAll {
+		lat = append(lat, l...)
+	}
+	return serveResult{
+		cfg:       cfg,
+		queries:   queries,
+		elapsed:   time.Since(start),
+		latencies: lat,
+		inserted:  inserted,
+		removed:   removed,
+		stats:     dx.Stats(),
+	}
+}

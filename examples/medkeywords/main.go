@@ -1,7 +1,9 @@
-// medkeywords mirrors the paper's MED workload: matching research-paper
-// keyword strings against a controlled vocabulary using a medical-style
-// taxonomy and alternative-name synonyms, entirely on generated data so the
-// example runs offline.
+// Command medkeywords demonstrates a full join on a MED-style workload,
+// mirroring the paper's MED dataset (Section 5.1): research-paper keyword
+// strings matched against a controlled vocabulary using a medical-style
+// taxonomy and alternative-name synonyms, with the Section 4 estimator
+// picking the overlap constraint τ (AutoTau). It runs entirely on
+// generated data so the example works offline.
 package main
 
 import (

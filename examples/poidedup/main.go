@@ -1,6 +1,8 @@
-// poidedup deduplicates a collection of points of interest (POIs) with a
-// self-join: the motivating scenario of the paper's introduction, where the
-// same venue appears with typos, abbreviations and category-level variants.
+// Command poidedup demonstrates deduplicating a collection of points of
+// interest (POIs) with SelfJoin: the motivating scenario of the paper's
+// introduction (Section 1), where the same venue appears with typos,
+// abbreviations and category-level variants that no single similarity
+// measure catches alone.
 package main
 
 import (

@@ -1,6 +1,10 @@
-// Command queryserve demonstrates the build-once/probe-many API: a catalog
-// is indexed once, then served with single-string queries and batch probes
-// without rebuilding signatures or the inverted index.
+// Command queryserve demonstrates the build-once/probe-many API of the
+// Section 3 filtering pipeline — a catalog is indexed once (signatures,
+// interned pebble order, inverted index), then served with single-string
+// queries and batch probes without rebuilding — and the dynamic serving
+// layer built on top of it: Insert/Remove mutate the catalog online while
+// immutable snapshots keep queries lock-free and consistent (this
+// implementation's extension beyond the paper; see ARCHITECTURE.md).
 package main
 
 import (
@@ -41,4 +45,21 @@ func main() {
 	for _, m := range matches {
 		fmt.Printf("  %q ~ %q  sim=%.3f\n", catalog[m.S], batch[m.T], m.Similarity)
 	}
+
+	// The index is dynamic: inserts become visible to fresh snapshots
+	// immediately, removed records are tombstoned, and a snapshot taken
+	// before a mutation keeps serving the old catalog state.
+	ids := ix.Insert([]string{"espresso coffee shop helsinki"})
+	fmt.Printf("inserted record id %d\n", ids[0])
+	for _, h := range ix.QueryTopK("espresso cafe helsinki", 2) {
+		fmt.Printf("  top-k: id=%d sim=%.3f\n", h.Record, h.Similarity)
+	}
+	afterInsert := ix.Snapshot()
+	ix.Remove(ids[0])
+	fmt.Printf("after remove: %d hits current, %d hits on the pre-remove snapshot\n",
+		len(ix.Query("espresso coffee shop helsinki")),
+		len(afterInsert.Query("espresso coffee shop helsinki")))
+	st := ix.Stats()
+	fmt.Printf("index stats: %d live, %d inserted over lifetime, %d rebuilds\n",
+		st.Live, st.Inserts, st.Rebuilds)
 }

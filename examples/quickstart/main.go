@@ -1,5 +1,7 @@
-// Quickstart: compute unified similarities and run a small join, following
-// the running example (Figure 1) of the paper.
+// Command quickstart demonstrates the two entry points of the library —
+// Similarity for one pair of strings and Join for two collections — on the
+// paper's running example (Figure 1 and Section 2): coffee-shop POI strings
+// matched through q-gram, synonym-rule and taxonomy similarity at once.
 package main
 
 import (

@@ -1,6 +1,7 @@
-// tuning demonstrates the parameter-recommendation framework of Section 4:
-// it compares the join time obtained with the estimator-suggested overlap
-// constraint τ against every fixed τ in the candidate universe.
+// Command tuning demonstrates the parameter-recommendation framework of
+// Section 4 (Algorithm 7): it compares the join time obtained with the
+// estimator-suggested overlap constraint τ against every fixed τ in the
+// candidate universe, reproducing the shape of the paper's Figure 8 study.
 package main
 
 import (

@@ -1,0 +1,42 @@
+// Package cmdutil holds the small helpers shared by the command-line
+// binaries (cmd/aujoin, cmd/aujoind): line-oriented catalog loading and
+// flag-value parsing. It exists so the commands cannot drift apart on
+// details like scanner buffer limits or filter spellings.
+package cmdutil
+
+import (
+	"bufio"
+	"os"
+
+	"github.com/aujoin/aujoin"
+)
+
+// ReadLines reads a file into one string per line. Lines may be up to 16MB
+// long (generous for catalog records).
+func ReadLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}
+
+// ParseFilter maps the -filter flag spellings onto the signature filters;
+// unknown values select the recommended AU-Filter (DP).
+func ParseFilter(name string) aujoin.Filter {
+	switch name {
+	case "u":
+		return aujoin.UFilter
+	case "heuristic":
+		return aujoin.AUFilterHeuristic
+	default:
+		return aujoin.AUFilterDP
+	}
+}

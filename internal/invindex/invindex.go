@@ -9,6 +9,14 @@
 // slice of posting slices: lookups are array indexing, posting lists stay
 // sorted by record for free, and nothing in the hot path hashes or
 // compares strings.
+//
+// Two layouts share the Posting type. Index is the dense array form used
+// for whole-collection builds: O(universe) memory, O(1) lookups, the right
+// shape when most IDs have postings. Delta is the sparse map form used by
+// the dynamic join index for the small batches appended between rebuilds:
+// memory proportional to the postings actually present, so a single-record
+// insert does not pay for the whole ID universe. Both are immutable after
+// their Add calls and therefore safe for concurrent reads.
 package invindex
 
 // Posting is one entry of a posting list: a record and how many of its
@@ -89,3 +97,50 @@ func (ix *Index) Keys() []uint32 {
 	}
 	return out
 }
+
+// noID mirrors pebble.NoID (the package is below pebble in the dependency
+// order, so the constant is duplicated rather than imported).
+const noID = ^uint32(0)
+
+// Delta is the sparse, map-keyed inverted index used for the record batches
+// a dynamic join index appends between rebuilds. Unlike Index it has no
+// fixed ID universe — dynamically interned pebble IDs land in it directly —
+// and costs memory only for the postings it actually holds. Records must be
+// added in ascending record order (posting lists stay sorted by record);
+// after the Add calls a Delta is immutable and safe for concurrent reads.
+type Delta struct {
+	lists   map[uint32][]Posting
+	records int
+}
+
+// NewDelta creates an empty sparse index.
+func NewDelta() *Delta {
+	return &Delta{lists: make(map[uint32][]Posting)}
+}
+
+// Add registers the signature pebble IDs of one record, with the same
+// multiplicity semantics as Index.Add. The NoID sentinel is skipped.
+func (d *Delta) Add(record int, ids []uint32) {
+	d.records++
+	for _, id := range ids {
+		if id == noID {
+			continue
+		}
+		l := d.lists[id]
+		if n := len(l); n > 0 && l[n-1].Record == record {
+			l[n-1].Count++
+			continue
+		}
+		d.lists[id] = append(l, Posting{Record: record, Count: 1})
+	}
+}
+
+// Records returns the number of records added to the delta.
+func (d *Delta) Records() int { return d.records }
+
+// KeyCount returns the number of distinct IDs with a posting list.
+func (d *Delta) KeyCount() int { return len(d.lists) }
+
+// Postings returns the posting list of an ID (nil when absent). The
+// returned slice must not be modified.
+func (d *Delta) Postings(id uint32) []Posting { return d.lists[id] }

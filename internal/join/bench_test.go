@@ -75,7 +75,7 @@ func BenchmarkVerify(b *testing.B) {
 	s := benchCorpus(400, 1)
 	t := benchCorpus(400, 2)
 	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
-	ix := j.buildIndex(s, j.BuildOrder(s, t), opts)
+	ix := j.buildIndex(s, j.BuildOrder(s, t), opts, nil)
 	sigs := j.signatures(t, ix.sel, opts.Method, ix.tau)
 	prepT := prepareRecords(t, ix.calc)
 	cands, _ := ix.candidates(sigs, false, opts.workers())

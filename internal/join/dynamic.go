@@ -1,0 +1,562 @@
+package join
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/invindex"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// DynamicIndex is the mutable, concurrently servable form of Index: a
+// frozen base index plus a chain of small immutable delta segments for
+// records inserted since the last rebuild, a tombstone bitmap for removed
+// records, and the append-only dynamic region of the pebble order for
+// signature keys first seen after the base was finalized.
+//
+// Writers (Insert, Remove) serialize on an internal mutex, mutate
+// writer-owned state, and publish a fresh immutable View via an atomic
+// pointer swap — copy-on-write at the granularity of slice headers and the
+// tombstone bitmap. Readers call Snapshot (or the convenience wrappers) and
+// run entirely against that View: no locks, no retries, and a consistent
+// picture of the catalog no matter how many mutations land mid-query.
+//
+// Correctness under mutation rests on two invariants:
+//
+//  1. The pebble order is append-only (pebble.Order.InternDynamic), so the
+//     relative position of any two interned keys never changes and every
+//     signature ever selected remains a valid prefix under every later
+//     order state. Signatures of base records and of each segment therefore
+//     stay comparable with signatures of new probes.
+//  2. Published Views are never mutated: records/prepared/segment slices
+//     only ever grow past the published length, and the tombstone bitmap is
+//     cloned before a bit is set. A View observes removals only if they
+//     were published before the View was taken.
+//
+// Frequency order (the filter's selectivity heuristic) degrades as the
+// dynamic region and tombstones accumulate, so once either exceeds
+// RebuildFraction of the base — or the segment chain grows past
+// MaxSegments — the writer re-finalizes: live records are compacted into a
+// fresh base index under a newly frozen order (reusing their prepared
+// verification records), and the segment chain resets to empty.
+type DynamicIndex struct {
+	joiner *Joiner
+	opts   Options
+	tau    int
+	calc   *core.Calculator
+	cache  *core.PreparedCache
+
+	rebuildFraction float64
+	maxSegments     int
+
+	mu  sync.Mutex // serializes writers; never held by readers
+	cur atomic.Pointer[View]
+
+	// Writer-owned state. records, prepared and segs are append-only while
+	// a base is live (published Views hold shorter headers); dead is cloned
+	// before every bit set. All of it is replaced wholesale on rebuild.
+	base      *Index
+	segs      []*segment
+	records   []strutil.Record
+	prepared  []*core.PreparedRecord
+	dead      []uint64
+	deadCount int
+	positions map[int]int // stable record ID -> position
+	nextID    int
+	rebuilds  int
+	inserts   int
+	// sigLens holds each position's signature length and sigLenLive the
+	// total over live positions, so snapshots report the true mean
+	// indexed-side signature length even between rebuilds.
+	sigLens    []int
+	sigLenLive int
+
+	pool sync.Pool // *probeScratch shared across Views and generations
+}
+
+// segment is one immutable batch of inserted records: a sparse inverted
+// index over their signatures, keyed by global record positions.
+type segment struct {
+	inv *invindex.Delta
+}
+
+// DynamicOptions tunes the mutation behaviour of a DynamicIndex on top of
+// the join Options fixed at build time.
+type DynamicOptions struct {
+	// RebuildFraction triggers a re-finalize/rebuild when the dynamically
+	// appended pebble keys exceed this fraction of the frozen order, or
+	// tombstoned records this fraction of the catalog. 0 selects the
+	// default 0.25; negative disables size-triggered rebuilds.
+	RebuildFraction float64
+	// MaxSegments caps the delta-segment chain length (every Insert call
+	// appends one segment); crossing it triggers a rebuild. 0 selects the
+	// default 64.
+	MaxSegments int
+	// CacheSize bounds the prepared-record cache consulted on Insert
+	// (core.PreparedCache). 0 selects core.DefaultPreparedCacheSize;
+	// negative disables the cache.
+	CacheSize int
+}
+
+const (
+	defaultRebuildFraction = 0.25
+	defaultMaxSegments     = 64
+)
+
+// BuildDynamicIndex builds a mutable, concurrently servable index over the
+// records. The join Options (θ, τ, filter method) are fixed for the life of
+// the index, exactly as for BuildIndex.
+func (j *Joiner) BuildDynamicIndex(records []strutil.Record, opts Options, dopts DynamicOptions) *DynamicIndex {
+	dx := &DynamicIndex{
+		joiner:          j,
+		opts:            opts,
+		tau:             opts.tau(),
+		rebuildFraction: dopts.RebuildFraction,
+		maxSegments:     dopts.MaxSegments,
+	}
+	if dx.rebuildFraction == 0 {
+		dx.rebuildFraction = defaultRebuildFraction
+	}
+	if dx.maxSegments <= 0 {
+		dx.maxSegments = defaultMaxSegments
+	}
+	if dopts.CacheSize >= 0 {
+		dx.cache = core.NewPreparedCache(dopts.CacheSize)
+	}
+	base := j.BuildIndex(records, opts)
+	dx.calc = base.calc
+	dx.adoptBaseLocked(base)
+	dx.publishLocked()
+	return dx
+}
+
+// adoptBaseLocked installs a freshly built base index as the writer state.
+func (dx *DynamicIndex) adoptBaseLocked(base *Index) {
+	dx.base = base
+	dx.segs = nil
+	dx.records = base.records
+	dx.prepared = base.prepared
+	dx.dead = make([]uint64, (len(base.records)+63)/64)
+	dx.deadCount = 0
+	dx.positions = make(map[int]int, len(base.records))
+	for pos, rec := range base.records {
+		dx.positions[rec.ID] = pos
+		if rec.ID >= dx.nextID {
+			dx.nextID = rec.ID + 1
+		}
+	}
+	dx.sigLens = make([]int, len(base.sigs))
+	dx.sigLenLive = 0
+	for i := range base.sigs {
+		dx.sigLens[i] = base.sigs[i].Len()
+		dx.sigLenLive += dx.sigLens[i]
+	}
+}
+
+// publishLocked snapshots the writer state into a fresh immutable View and
+// swaps it in for readers.
+func (dx *DynamicIndex) publishLocked() {
+	frozen := dx.base.order.FrozenKeys()
+	v := &View{
+		dx:       dx,
+		base:     dx.base,
+		segs:     dx.segs,
+		records:  dx.records,
+		prepared: dx.prepared,
+		dead:     dx.dead,
+		stats: DynamicStats{
+			Records:     len(dx.records),
+			Live:        len(dx.records) - dx.deadCount,
+			Dead:        dx.deadCount,
+			Segments:    len(dx.segs),
+			FrozenKeys:  frozen,
+			DynamicKeys: dx.base.order.DynamicCount(),
+			Rebuilds:    dx.rebuilds,
+			Inserts:     dx.inserts,
+			Theta:       dx.opts.Theta,
+			Tau:         dx.tau,
+			BuildTime:   dx.base.BuildTime,
+		},
+	}
+	if live := len(dx.records) - dx.deadCount; live > 0 {
+		v.avgSig = float64(dx.sigLenLive) / float64(live)
+	}
+	dx.cur.Store(v)
+}
+
+// Snapshot returns the current immutable View. The View stays fully
+// consistent — and safe for any number of concurrent Query/QueryTopK/Probe
+// calls — no matter what Insert/Remove/rebuild activity follows.
+func (dx *DynamicIndex) Snapshot() *View { return dx.cur.Load() }
+
+// Insert appends records to the catalog and returns their stable IDs. New
+// signature keys are interned into the order's dynamic region, the batch's
+// postings become one immutable delta segment, and a new View is published;
+// a rebuild is triggered first when the mutation thresholds are crossed.
+func (dx *DynamicIndex) Insert(raw []string) []int {
+	if len(raw) == 0 {
+		return nil
+	}
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	ids := make([]int, len(raw))
+	delta := invindex.NewDelta()
+	// Generate each record's pebbles once: the whole batch is interned in a
+	// single InternDynamic call (at most one dynamic-table clone), and the
+	// same slices then feed signature selection via PreparePebbles.
+	recs := make([]strutil.Record, len(raw))
+	pebs := make([][]pebble.Pebble, len(raw))
+	segs := make([][]core.Segment, len(raw))
+	for i, s := range raw {
+		recs[i] = strutil.NewRecord(dx.nextID, s)
+		dx.nextID++
+		pebs[i], segs[i] = dx.joiner.gen.Pebbles(recs[i].Tokens)
+	}
+	dx.base.order.InternDynamic(pebs...)
+	var idbuf []uint32
+	for i := range recs {
+		pos := len(dx.records)
+		pre := dx.base.sel.PreparePebbles(pebs[i], segs[i], recs[i].Tokens)
+		sig := dx.base.sel.Select(pre, dx.opts.Method, dx.tau)
+		idbuf = appendSignatureIDs(idbuf[:0], sig)
+		delta.Add(pos, idbuf)
+		dx.sigLens = append(dx.sigLens, sig.Len())
+		dx.sigLenLive += sig.Len()
+		dx.records = append(dx.records, recs[i])
+		dx.prepared = append(dx.prepared, dx.calc.PrepareCached(dx.cache, recs[i].Tokens))
+		dx.positions[recs[i].ID] = pos
+		ids[i] = recs[i].ID
+	}
+	for len(dx.dead)*64 < len(dx.records) {
+		dx.dead = append(dx.dead, 0)
+	}
+	dx.segs = append(dx.segs, &segment{inv: delta})
+	dx.inserts += len(raw)
+	dx.maybeRebuildLocked()
+	dx.publishLocked()
+	return ids
+}
+
+// Remove tombstones the record with the given stable ID. It reports whether
+// the ID was present and live. The record's postings stay in place until
+// the next rebuild; count filtering may still touch them, but candidates
+// are discarded before verification.
+func (dx *DynamicIndex) Remove(id int) bool {
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	pos, ok := dx.positions[id]
+	if !ok {
+		return false
+	}
+	delete(dx.positions, id)
+	// Clone-before-set: published Views keep observing the old bitmap.
+	nd := make([]uint64, len(dx.dead))
+	copy(nd, dx.dead)
+	nd[pos>>6] |= 1 << (uint(pos) & 63)
+	dx.dead = nd
+	dx.deadCount++
+	dx.sigLenLive -= dx.sigLens[pos]
+	dx.maybeRebuildLocked()
+	dx.publishLocked()
+	return true
+}
+
+// maybeRebuildLocked re-finalizes the index when the appended pebble mass,
+// the tombstone mass, or the segment chain crosses its threshold.
+func (dx *DynamicIndex) maybeRebuildLocked() {
+	if len(dx.segs) > dx.maxSegments {
+		dx.rebuildLocked()
+		return
+	}
+	if dx.rebuildFraction < 0 {
+		return
+	}
+	frozen := dx.base.order.FrozenKeys()
+	if frozen < 1 {
+		frozen = 1
+	}
+	if dyn := dx.base.order.DynamicCount(); float64(dyn) >= dx.rebuildFraction*float64(frozen) && dyn > 0 {
+		dx.rebuildLocked()
+		return
+	}
+	if n := len(dx.records); dx.deadCount > 0 && float64(dx.deadCount) >= dx.rebuildFraction*float64(n) {
+		dx.rebuildLocked()
+	}
+}
+
+// rebuildLocked compacts the live records into a fresh base index under a
+// newly frozen order (true document frequencies, empty dynamic region),
+// reusing each survivor's prepared verification record. Stable IDs are
+// preserved; positions are reassigned.
+func (dx *DynamicIndex) rebuildLocked() {
+	live := make([]strutil.Record, 0, len(dx.records)-dx.deadCount)
+	prep := make([]*core.PreparedRecord, 0, len(dx.records)-dx.deadCount)
+	for pos, rec := range dx.records {
+		if dx.dead[pos>>6]&(1<<(uint(pos)&63)) != 0 {
+			continue
+		}
+		live = append(live, rec)
+		prep = append(prep, dx.prepared[pos])
+	}
+	base := dx.joiner.buildIndex(live, dx.joiner.BuildOrder(live), dx.opts, prep)
+	dx.adoptBaseLocked(base)
+	dx.rebuilds++
+}
+
+// Stats returns the statistics of the current snapshot.
+func (dx *DynamicIndex) Stats() DynamicStats { return dx.Snapshot().Stats() }
+
+// DynamicStats describes one published View of a DynamicIndex.
+type DynamicStats struct {
+	// Records is the catalog length including tombstones; Live and Dead
+	// split it.
+	Records, Live, Dead int
+	// Segments is the length of the delta-segment chain (one per Insert
+	// batch since the last rebuild).
+	Segments int
+	// FrozenKeys and DynamicKeys count the interned pebble keys in the
+	// frozen order prefix and the append-only dynamic region.
+	FrozenKeys, DynamicKeys int
+	// Rebuilds counts re-finalize/rebuild cycles; Inserts the records
+	// appended over the index lifetime.
+	Rebuilds, Inserts int
+	// Theta and Tau are the join parameters fixed at build time.
+	Theta float64
+	Tau   int
+	// BuildTime is the construction time of the current base index.
+	BuildTime time.Duration
+}
+
+// View is one immutable snapshot of a DynamicIndex. All its methods are
+// read-only, lock-free and safe for unbounded concurrency; results reflect
+// exactly the mutations published before Snapshot returned it.
+type View struct {
+	dx       *DynamicIndex
+	base     *Index
+	segs     []*segment
+	records  []strutil.Record
+	prepared []*core.PreparedRecord
+	dead     []uint64
+	avgSig   float64 // mean signature length over live records
+	stats    DynamicStats
+}
+
+// Stats returns the snapshot's statistics.
+func (v *View) Stats() DynamicStats { return v.stats }
+
+// Record returns the record with the given stable ID, if it is live in this
+// snapshot.
+func (v *View) Record(id int) (strutil.Record, bool) {
+	// Positions are writer state, so scan is by stable ID; the method is a
+	// convenience for serving layers, not a hot path.
+	for pos := range v.records {
+		if v.records[pos].ID == id && v.alive(pos) {
+			return v.records[pos], true
+		}
+	}
+	return strutil.Record{}, false
+}
+
+// alive reports whether the record at a position is not tombstoned in this
+// snapshot.
+func (v *View) alive(pos int) bool {
+	return v.dead[pos>>6]&(1<<(uint(pos)&63)) == 0
+}
+
+// scratch borrows a probe scratch from the index-wide pool, grown to this
+// snapshot's record count.
+func (v *View) scratch() *probeScratch {
+	sc, _ := v.dx.pool.Get().(*probeScratch)
+	if sc == nil {
+		sc = &probeScratch{sim: core.NewScratch()}
+	}
+	if n := len(v.records); cap(sc.counts) < n {
+		sc.counts = make([]int32, n)
+	} else {
+		// The whole backing array is zeroed: it was allocated zeroed and
+		// every use re-zeroes the slots it touched before releasing.
+		sc.counts = sc.counts[:n]
+	}
+	return sc
+}
+
+// candidatesRecord runs the count filter for one probe signature across the
+// base index and every delta segment, returning the positions of live
+// records whose overlap reached τ (valid until the next use of sc) and the
+// number of posting entries touched.
+func (v *View) candidatesRecord(sig pebble.Signature, sc *probeScratch) ([]int32, int64) {
+	peb := sig.Pebbles
+	sc.touched = sc.touched[:0]
+	var processed int64
+	for a := 0; a < len(peb); {
+		id := peb[a].ID
+		b := a + 1
+		for b < len(peb) && peb[b].ID == id {
+			b++
+		}
+		mult := int32(b - a)
+		a = b
+		if id == pebble.NoID {
+			continue
+		}
+		processed += accumulate(v.base.inv.Postings(id), mult, sc)
+		for _, seg := range v.segs {
+			processed += accumulate(seg.inv.Postings(id), mult, sc)
+		}
+	}
+	out := sc.touched[:0]
+	for _, r := range sc.touched {
+		if sc.counts[r] >= int32(v.dx.tau) && v.alive(int(r)) {
+			out = append(out, r)
+		}
+		sc.counts[r] = 0
+	}
+	return out, processed
+}
+
+// ProbeRecord runs the filter-and-verify pipeline for one tokenised query
+// against the snapshot and returns the matching live records — identified
+// by their stable IDs — in ascending ID order.
+func (v *View) ProbeRecord(tokens []string) []QueryMatch {
+	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
+	sc := v.scratch()
+	cands, _ := v.candidatesRecord(sig, sc)
+	var out []QueryMatch
+	if len(cands) > 0 {
+		pq := v.dx.calc.Prepare(tokens)
+		for _, r := range cands {
+			if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, v.dx.opts.Theta, sc.sim); ok {
+				out = append(out, QueryMatch{Record: v.records[r].ID, Similarity: val})
+			}
+		}
+	}
+	v.dx.pool.Put(sc)
+	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
+	return out
+}
+
+// QueryTopK is ProbeRecord restricted to the k highest-similarity matches:
+// candidates from the thresholded scan are verified through the prepared
+// engine while a bounded min-heap keeps the current top k, so memory stays
+// O(k) however many records clear θ. Results are ordered by descending
+// similarity (ascending ID on ties).
+func (v *View) QueryTopK(tokens []string, k int) []QueryMatch {
+	if k <= 0 {
+		return nil
+	}
+	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
+	sc := v.scratch()
+	cands, _ := v.candidatesRecord(sig, sc)
+	var heap topKHeap
+	if len(cands) > 0 {
+		pq := v.dx.calc.Prepare(tokens)
+		for _, r := range cands {
+			if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, v.dx.opts.Theta, sc.sim); ok {
+				heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
+			}
+		}
+	}
+	v.dx.pool.Put(sc)
+	out := heap.entries
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Similarity != out[b].Similarity {
+			return out[a].Similarity > out[b].Similarity
+		}
+		return out[a].Record < out[b].Record
+	})
+	return out
+}
+
+// topKHeap is a bounded min-heap on similarity (ties broken towards keeping
+// the smaller record ID), so the root is always the weakest retained match.
+type topKHeap struct {
+	entries []QueryMatch
+}
+
+// less orders the heap: the root must be the entry to evict first, i.e. the
+// lowest similarity, and among equals the largest record ID.
+func (h *topKHeap) less(a, b int) bool {
+	ea, eb := h.entries[a], h.entries[b]
+	if ea.Similarity != eb.Similarity {
+		return ea.Similarity < eb.Similarity
+	}
+	return ea.Record > eb.Record
+}
+
+func (h *topKHeap) offer(m QueryMatch, k int) {
+	if len(h.entries) < k {
+		h.entries = append(h.entries, m)
+		for i := len(h.entries) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !h.less(i, parent) {
+				break
+			}
+			h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+			i = parent
+		}
+		return
+	}
+	// Full: replace the root if m beats it, then sift down.
+	root := h.entries[0]
+	if m.Similarity < root.Similarity ||
+		(m.Similarity == root.Similarity && m.Record > root.Record) {
+		return
+	}
+	h.entries[0] = m
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.entries) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.entries) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+}
+
+// Probe joins a probe collection against the snapshot, exactly like
+// Index.Probe but over base + segments with tombstones skipped. Pair.S
+// carries stable record IDs of the snapshot's catalog, Pair.T the probe
+// records' IDs; results are sorted by (S, T).
+func (v *View) Probe(records []strutil.Record) ([]Pair, Stats) {
+	start := time.Now()
+	sigs := v.dx.joiner.signatures(records, v.base.sel, v.dx.opts.Method, v.dx.tau)
+	prep := prepareRecords(records, v.dx.calc)
+	return runProbeStages(v.dx.joiner, v.dx.calc, v.dx.opts, probeTarget{
+		records:    v.records,
+		prepared:   v.prepared,
+		avgSig:     v.avgSig,
+		candidates: v.candidates,
+	}, records, sigs, prep, false, time.Since(start))
+}
+
+// candidates runs the snapshot count filter for a whole probe collection in
+// parallel (shared strided-worker driver, one scratch per worker).
+func (v *View) candidates(sigs []pebble.Signature, workers int) ([]pairKey, int64) {
+	return parallelCandidates(len(sigs), len(v.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
+		return v.candidatesRecord(sigs[t], sc)
+	})
+}
+
+// Live returns the snapshot's live records in position order. The slice is
+// freshly allocated; the records themselves are shared and immutable.
+func (v *View) Live() []strutil.Record {
+	out := make([]strutil.Record, 0, v.stats.Live)
+	for pos := range v.records {
+		if v.alive(pos) {
+			out = append(out, v.records[pos])
+		}
+	}
+	return out
+}

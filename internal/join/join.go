@@ -12,6 +12,13 @@
 // map[pair]int in the hot path. Join and SelfJoin are thin compositions of
 // these stages, and FilterProfile re-derives signatures for many τ values
 // from one prepared pebble set (used by the Section 4 estimator).
+//
+// DynamicIndex extends the pipeline to online serving: the frozen base
+// Index plus immutable delta segments for inserted records, a tombstone
+// bitmap for removed ones, and snapshot Views published by atomic pointer
+// swap so queries run lock-free while the catalog mutates (the paper fixes
+// both collections up front; the dynamic layer is this implementation's
+// extension for the serving workload — see ARCHITECTURE.md).
 package join
 
 import (
@@ -175,12 +182,15 @@ type probeScratch struct {
 // (Options.Tau and Options.Theta are fixed at build time; AutoTau-style
 // re-tuning requires a rebuild).
 func (j *Joiner) BuildIndex(records []strutil.Record, opts Options) *Index {
-	return j.buildIndex(records, j.BuildOrder(records), opts)
+	return j.buildIndex(records, j.BuildOrder(records), opts, nil)
 }
 
 // buildIndex builds an Index over records with an externally supplied order
-// (Join uses an order spanning both collections).
-func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts Options) *Index {
+// (Join uses an order spanning both collections). A non-nil prepared slice
+// supplies ready-made verification records positionally (preparation is
+// order-independent, so the dynamic index's rebuild passes the survivors'
+// records through unchanged instead of re-deriving them).
+func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts Options, prepared []*core.PreparedRecord) *Index {
 	start := time.Now()
 	tau := opts.tau()
 	calc := opts.Calculator
@@ -197,6 +207,9 @@ func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts 
 		inv.Add(i, ids)
 		totalLen += sigs[i].Len()
 	}
+	if prepared == nil {
+		prepared = prepareRecords(records, calc)
+	}
 	ix := &Index{
 		joiner:   j,
 		opts:     opts,
@@ -206,7 +219,7 @@ func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts 
 		sel:      sel,
 		records:  records,
 		sigs:     sigs,
-		prepared: prepareRecords(records, calc),
+		prepared: prepared,
 		inv:      inv,
 	}
 	if len(records) > 0 {
@@ -256,11 +269,36 @@ func (ix *Index) probe(records []strutil.Record, opts Options, extraSigTime time
 // probeSignatures runs candidate generation and verification for
 // ready-made probe signatures and prepared records.
 func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, opts Options, self bool, sigTime time.Duration) ([]Pair, Stats) {
+	return runProbeStages(ix.joiner, ix.calc, opts, probeTarget{
+		records:  ix.records,
+		prepared: ix.prepared,
+		avgSig:   ix.avgSig,
+		candidates: func(sigs []pebble.Signature, workers int) ([]pairKey, int64) {
+			return ix.candidates(sigs, self, workers)
+		},
+	}, records, sigs, prep, self, sigTime)
+}
+
+// probeTarget is the indexed side of a probe — a static Index or a dynamic
+// snapshot View — reduced to what the shared probe stages need.
+type probeTarget struct {
+	records    []strutil.Record
+	prepared   []*core.PreparedRecord
+	avgSig     float64
+	candidates func(sigs []pebble.Signature, workers int) ([]pairKey, int64)
+}
+
+// runProbeStages runs candidate generation, verification and result
+// ordering for ready-made probe signatures against a probe target and
+// assembles the join statistics. The static probe path and the snapshot
+// probe path differ only in their candidate generators, so both ride this
+// one pipeline.
+func runProbeStages(j *Joiner, calc *core.Calculator, opts Options, tgt probeTarget, records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, self bool, sigTime time.Duration) ([]Pair, Stats) {
 	var stats Stats
 	stats.SignatureTime = sigTime
-	stats.AvgSignatureS = ix.avgSig
+	stats.AvgSignatureS = tgt.avgSig
 	if self {
-		stats.AvgSignatureT = ix.avgSig
+		stats.AvgSignatureT = tgt.avgSig
 	} else if len(records) > 0 {
 		total := 0
 		for i := range sigs {
@@ -270,13 +308,13 @@ func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signatu
 	}
 
 	start := time.Now()
-	candidates, processed := ix.candidates(sigs, self, opts.workers())
+	candidates, processed := tgt.candidates(sigs, opts.workers())
 	stats.ProcessedPairs = processed
 	stats.Candidates = len(candidates)
 	stats.FilterTime = time.Since(start)
 
 	start = time.Now()
-	results := ix.joiner.verify(ix.records, records, ix.prepared, prep, candidates, ix.calc, opts)
+	results := j.verify(tgt.records, records, tgt.prepared, prep, candidates, calc, opts)
 	stats.VerifyTime = time.Since(start)
 	stats.Results = len(results)
 
@@ -335,7 +373,22 @@ func (ix *Index) candidates(sigs []pebble.Signature, self bool, workers int) ([]
 // postings of records preceding the probe record are counted, so mirrored
 // and diagonal pairs never appear.
 func countFilterCandidates(inv *invindex.Index, numRecords int, sigs []pebble.Signature, tau int, self bool, workers int) ([]pairKey, int64) {
-	n := len(sigs)
+	return parallelCandidates(len(sigs), numRecords, workers, func(sc *probeScratch, t int) ([]int32, int64) {
+		limit := numRecords
+		if self {
+			limit = t
+		}
+		return countFilterRecord(inv, sigs[t], tau, limit, sc)
+	})
+}
+
+// parallelCandidates is the shared driver of parallel candidate
+// generation: it runs record(sc, t) for every probe record t in [0, n)
+// across the given number of workers (GOMAXPROCS when ≤ 0), each with its
+// own count scratch sized to numRecords, and merges the per-worker
+// candidate chunks and processed-posting counts. The static count filter
+// and the dynamic snapshot filter differ only in the record callback.
+func parallelCandidates(n, numRecords, workers int, record func(sc *probeScratch, t int) ([]int32, int64)) ([]pairKey, int64) {
 	if n == 0 || numRecords == 0 {
 		return nil, 0
 	}
@@ -355,11 +408,7 @@ func countFilterCandidates(inv *invindex.Index, numRecords int, sigs []pebble.Si
 		var out []pairKey
 		var processed int64
 		for t := start; t < n; t += step {
-			limit := numRecords
-			if self {
-				limit = t
-			}
-			recs, touched := countFilterRecord(inv, sigs[t], tau, limit, sc)
+			recs, touched := record(sc, t)
 			processed += touched
 			for _, r := range recs {
 				out = append(out, pairKey{int(r), t})
@@ -426,13 +475,7 @@ func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int
 			cut := sort.Search(len(postings), func(k int) bool { return postings[k].Record >= limit })
 			postings = postings[:cut]
 		}
-		processed += int64(len(postings))
-		for _, p := range postings {
-			if sc.counts[p.Record] == 0 {
-				sc.touched = append(sc.touched, int32(p.Record))
-			}
-			sc.counts[p.Record] += mult * int32(p.Count)
-		}
+		processed += accumulate(postings, mult, sc)
 	}
 	out := sc.touched[:0]
 	for _, r := range sc.touched {
@@ -444,6 +487,20 @@ func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int
 	return out, processed
 }
 
+// accumulate folds one posting list into the per-record overlap counts,
+// recording first-touched records, and returns the number of posting
+// entries processed. It is the shared inner loop of the static count
+// filter and the dynamic snapshot filter.
+func accumulate(postings []invindex.Posting, mult int32, sc *probeScratch) int64 {
+	for _, p := range postings {
+		if sc.counts[p.Record] == 0 {
+			sc.touched = append(sc.touched, int32(p.Record))
+		}
+		sc.counts[p.Record] += mult * int32(p.Count)
+	}
+	return int64(len(postings))
+}
+
 // Join executes the filter-and-verification join between two record
 // collections and returns the matching pairs together with execution
 // statistics. The result pairs are sorted by (S, T) identifiers. Join is
@@ -452,7 +509,7 @@ func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int
 // to a BuildIndex result instead.
 func (j *Joiner) Join(s, t []strutil.Record, opts Options) ([]Pair, Stats) {
 	start := time.Now()
-	ix := j.buildIndex(s, j.BuildOrder(s, t), opts)
+	ix := j.buildIndex(s, j.BuildOrder(s, t), opts, nil)
 	return ix.probe(t, opts, time.Since(start))
 }
 

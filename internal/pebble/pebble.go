@@ -19,6 +19,7 @@ package pebble
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/aujoin/aujoin/internal/core"
 	"github.com/aujoin/aujoin/internal/sim"
@@ -179,12 +180,44 @@ func (g *Generator) segmentPebbles(seg core.Segment, idx int) []Pebble {
 // whose numeric order IS the global order: comparing IDs is equivalent to
 // Less on known keys. The hot paths (signature sorting, inverted indexing,
 // candidate counting) work exclusively on these IDs.
+//
+// # Dynamic region
+//
+// A finalized Order can still grow through InternDynamic: keys unseen at
+// Finalize time are appended after the built prefix, in first-seen order.
+// Dynamic IDs therefore sort after every frozen key — they are treated as
+// maximally frequent — while the frequency order of the built prefix is
+// untouched. Because the assignment is append-only, the relative order of
+// any two keys never changes once both are interned, so every signature
+// ever selected remains a valid prefix under every later state of the
+// order; this is the invariant the dynamic join index relies on. Frequency
+// order degrades as the dynamic region grows, which only costs filtering
+// selectivity, never correctness — the dynamic index re-finalizes (full
+// rebuild) once DynamicCount exceeds a fraction of the frozen prefix.
+//
+// InternDynamic calls must be serialized by the caller; all read-side
+// methods (ID, Intern, Sort, KeyOf, NumKeys, Frequency) may run
+// concurrently with them, as the dynamic table is swapped atomically and
+// never mutated in place.
 type Order struct {
 	freq map[string]int
 
 	once sync.Once
 	ids  map[string]uint32 // key -> dense ID, in (freq asc, key asc) order
 	keys []string          // dense ID -> key
+
+	dyn atomic.Pointer[dynTable] // append-only dynamic region, nil until first InternDynamic
+}
+
+// dynTable is one immutable state of the dynamic intern region. Writers
+// clone-and-swap it; readers load it once per operation. Document
+// frequencies are deliberately not tracked here: nothing consumes them (a
+// rebuild re-derives true frequencies from the live records), and their
+// absence lets an insert whose keys are all already interned skip the
+// clone entirely.
+type dynTable struct {
+	ids  map[string]uint32 // key -> ID (all IDs ≥ len(Order.keys))
+	keys []string          // ID - len(Order.keys) -> key
 }
 
 // NewOrder creates an empty frequency order.
@@ -233,24 +266,50 @@ func (o *Order) Finalize() {
 	})
 }
 
-// NumKeys returns the number of interned keys; valid after Finalize.
-func (o *Order) NumKeys() int { return len(o.keys) }
+// NumKeys returns the number of interned keys, frozen prefix plus dynamic
+// region; valid after Finalize.
+func (o *Order) NumKeys() int { return len(o.keys) + o.DynamicCount() }
+
+// FrozenKeys returns the number of keys interned at Finalize time.
+func (o *Order) FrozenKeys() int { return len(o.keys) }
+
+// DynamicCount returns the number of keys appended by InternDynamic since
+// Finalize.
+func (o *Order) DynamicCount() int {
+	if d := o.dyn.Load(); d != nil {
+		return len(d.keys)
+	}
+	return 0
+}
 
 // ID returns the interned ID of a key; ok is false when the key was never
 // registered. Valid after Finalize.
 func (o *Order) ID(key string) (id uint32, ok bool) {
-	id, ok = o.ids[key]
+	if id, ok = o.ids[key]; ok {
+		return id, true
+	}
+	if d := o.dyn.Load(); d != nil {
+		id, ok = d.ids[key]
+	}
 	return id, ok
 }
 
 // KeyOf returns the key of an interned ID; valid after Finalize.
-func (o *Order) KeyOf(id uint32) string { return o.keys[id] }
+func (o *Order) KeyOf(id uint32) string {
+	if int(id) < len(o.keys) {
+		return o.keys[id]
+	}
+	return o.dyn.Load().keys[int(id)-len(o.keys)]
+}
 
 // Intern stamps each pebble with the interned ID of its key (NoID for keys
 // unknown to the order). Valid after Finalize.
 func (o *Order) Intern(pebbles []Pebble) {
+	dyn := o.dyn.Load()
 	for i := range pebbles {
 		if id, ok := o.ids[pebbles[i].Key]; ok {
+			pebbles[i].ID = id
+		} else if id, ok := dyn.lookup(pebbles[i].Key); ok {
 			pebbles[i].ID = id
 		} else {
 			pebbles[i].ID = NoID
@@ -258,10 +317,75 @@ func (o *Order) Intern(pebbles []Pebble) {
 	}
 }
 
-// Frequency returns the recorded document frequency of a key (0 if unseen).
+// InternDynamic registers every key of the given pebble batches that is
+// unknown to the order as a new dynamic ID appended after the built prefix
+// (first-seen order across the batches). It returns the number of newly
+// appended keys. The dynamic table is cloned at most once per call — pass a
+// whole insert batch in one call rather than looping — and not at all when
+// every key is already interned. Callers must serialize InternDynamic calls
+// (the dynamic index holds its writer lock); concurrent readers are safe
+// because the dynamic table is replaced wholesale, never mutated.
+func (o *Order) InternDynamic(batches ...[]Pebble) int {
+	o.Finalize()
+	old := o.dyn.Load()
+	var next *dynTable
+	added := 0
+	for _, pebbles := range batches {
+		for i := range pebbles {
+			key := pebbles[i].Key
+			if _, ok := o.ids[key]; ok {
+				continue
+			}
+			if next == nil {
+				if _, ok := old.lookup(key); ok {
+					continue
+				}
+				next = old.clone()
+			}
+			if _, ok := next.ids[key]; !ok {
+				next.ids[key] = uint32(len(o.keys) + len(next.keys))
+				next.keys = append(next.keys, key)
+				added++
+			}
+		}
+	}
+	if next != nil {
+		o.dyn.Store(next)
+	}
+	return added
+}
+
+// lookup is a nil-safe dynamic-table probe.
+func (d *dynTable) lookup(key string) (uint32, bool) {
+	if d == nil {
+		return 0, false
+	}
+	id, ok := d.ids[key]
+	return id, ok
+}
+
+// clone deep-copies a dynamic table (nil yields an empty table).
+func (d *dynTable) clone() *dynTable {
+	c := &dynTable{ids: map[string]uint32{}}
+	if d == nil {
+		return c
+	}
+	c.keys = append([]string(nil), d.keys...)
+	c.ids = make(map[string]uint32, len(d.ids))
+	for k, v := range d.ids {
+		c.ids[k] = v
+	}
+	return c
+}
+
+// Frequency returns the document frequency recorded at Finalize time (0 for
+// keys unseen then, including dynamically interned ones — a rebuild
+// re-derives true frequencies from the live records).
 func (o *Order) Frequency(key string) int { return o.freq[key] }
 
-// Less reports whether pebble a precedes pebble b in the global order.
+// Less reports whether pebble a precedes pebble b in the frozen global
+// order (it predates the dynamic region and ignores it; interned
+// comparisons go through Sort, whose ID comparison is authoritative).
 func (o *Order) Less(a, b Pebble) bool {
 	fa, fb := o.freq[a.Key], o.freq[b.Key]
 	if fa != fb {
@@ -279,7 +403,9 @@ func (o *Order) Less(a, b Pebble) bool {
 // Known keys compare by their dense IDs (one integer comparison instead of
 // two map lookups and a string comparison); unknown keys have frequency
 // zero, so they sort before every known key, ordered among themselves by
-// key. This is exactly the order Less defines.
+// key. On the frozen prefix this is exactly the order Less defines;
+// dynamically interned keys compare by ID too and therefore sort after
+// every frozen key (see the Order doc for why that stays sound).
 func (o *Order) Sort(pebbles []Pebble) {
 	o.Finalize()
 	o.Intern(pebbles)

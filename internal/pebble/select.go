@@ -88,6 +88,14 @@ type Presig struct {
 // and computes its accumulated-similarity table.
 func (sel *Selector) Prepare(tokens []string) Presig {
 	pebbles, segments := sel.Gen.Pebbles(tokens)
+	return sel.PreparePebbles(pebbles, segments, tokens)
+}
+
+// PreparePebbles is Prepare for callers that already generated the token
+// sequence's pebbles (the dynamic index generates them once to intern new
+// keys and then prepares from the same slice). The pebbles are interned and
+// sorted in place.
+func (sel *Selector) PreparePebbles(pebbles []Pebble, segments []core.Segment, tokens []string) Presig {
 	sel.Order.Sort(pebbles)
 	mp := sel.Gen.Segmenter().MinPartitionSize(tokens)
 	pre := Presig{Pebbles: pebbles, Segments: segments, MinPartition: mp}
