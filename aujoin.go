@@ -48,6 +48,12 @@
 //	top := view.QueryTopK("espresso", 10)  // ranked serving
 //	ix.Remove(ids[0])                      // tombstoned for later snapshots
 //
+// IndexWith partitions the catalog across shards that mutate in parallel
+// and rebuild independently — queries fan out and merge, results stay
+// identical to the unsharded index:
+//
+//	ix := j.IndexWith(catalog, opts, aujoin.IndexOptions{Shards: 0}) // GOMAXPROCS shards
+//
 // cmd/aujoind wraps this in an HTTP server; `benchrun -exp serve` load
 // tests it.
 //
@@ -328,9 +334,26 @@ func (j *Joiner) SelfJoin(s []string, opts JoinOptions) ([]Match, Stats) {
 // while Insert and Remove mutate the catalog: writers publish immutable
 // snapshots (Snapshot), so reads never block and always observe a
 // consistent catalog state. Theta, Tau and Filter are fixed at build time.
+//
+// An Index may be partitioned (IndexOptions.Shards): records are hashed by
+// stable ID across independent shards that share one global pebble order
+// and one prepared-record cache, so mutations on different shards proceed
+// in parallel, a rebuild pauses writers of one shard only, and queries fan
+// out across all shards with results identical to the unsharded index.
 type Index struct {
-	inner *join.DynamicIndex
+	inner *join.ShardedIndex
 	tau   int
+}
+
+// IndexOptions configures the construction of an Index beyond the join
+// parameters.
+type IndexOptions struct {
+	// Shards is the number of partitions the catalog is hashed across.
+	// 0 selects GOMAXPROCS; 1 builds the classic single-partition index.
+	// More shards mean more parallel mutation throughput and shorter
+	// per-rebuild writer stalls, at the cost of one inverted index and
+	// posting-array header block per shard.
+	Shards int
 }
 
 // QueryMatch is one result of a single-string Query: the stable ID of the
@@ -345,8 +368,16 @@ type QueryMatch struct {
 // Index builds a probe-ready dynamic index over the collection. Theta, Tau
 // and Filter are fixed at build time (AutoTau is ignored — suggesting τ
 // needs a probe side; use SuggestTau and rebuild to re-tune). Each record's
-// stable ID is its position in the input collection.
+// stable ID is its position in the input collection. The index is
+// single-partition; IndexWith builds a sharded one.
 func (j *Joiner) Index(records []string, opts JoinOptions) *Index {
+	return j.IndexWith(records, opts, IndexOptions{Shards: 1})
+}
+
+// IndexWith is Index with explicit construction options; IndexOptions
+// {Shards: 1} reproduces Index exactly, and Shards = 0 partitions across
+// GOMAXPROCS shards.
+func (j *Joiner) IndexWith(records []string, opts JoinOptions, iopts IndexOptions) *Index {
 	tau := opts.Tau
 	if tau < 1 {
 		tau = 1
@@ -358,21 +389,31 @@ func (j *Joiner) Index(records []string, opts JoinOptions) *Index {
 		Workers: opts.Workers,
 	}
 	recs := strutil.NewCollection(records)
-	return &Index{inner: j.joiner.BuildDynamicIndex(recs, jopts, join.DynamicOptions{}), tau: tau}
+	return &Index{inner: j.joiner.BuildShardedIndex(recs, iopts.Shards, jopts, join.DynamicOptions{}), tau: tau}
 }
 
-// Insert adds records to the indexed catalog and returns their stable IDs.
-// New signature keys are interned into an append-only dynamic region of the
-// pebble order and the records become immediately visible to subsequent
-// snapshots; once the appended mass crosses an internal threshold the index
-// re-finalizes (full rebuild under a freshly frozen frequency order).
-// Insert is safe to call concurrently with reads and other writers.
-func (ix *Index) Insert(records []string) []int { return ix.inner.Insert(records) }
+// Insert adds a batch of records to the indexed catalog and returns their
+// stable IDs. New signature keys are interned into an append-only dynamic
+// region of the pebble order and the records become immediately visible to
+// subsequent snapshots; once the appended mass (or tombstone mass, or
+// segment-chain length) of a shard crosses an internal threshold that shard
+// rebuilds, pausing only its own writers. On a sharded index the batch is
+// grouped by destination shard and inserted in parallel, taking each shard's
+// writer lock once. Insert is safe to call concurrently with reads and
+// other writers.
+func (ix *Index) Insert(records []string) []int { return ix.inner.InsertBatch(records) }
 
 // Remove deletes the record with the given stable ID from the catalog,
 // reporting whether it was present. The record is tombstoned — skipped by
-// all subsequent snapshots — and physically dropped at the next rebuild.
+// all subsequent snapshots — and physically dropped at its shard's next
+// rebuild.
 func (ix *Index) Remove(id int) bool { return ix.inner.Remove(id) }
+
+// RemoveBatch deletes a batch of records by stable ID, reporting per ID
+// whether it was present and live. IDs are grouped by shard and removed in
+// parallel, each shard taking its writer lock — and publishing a snapshot —
+// once for the whole batch.
+func (ix *Index) RemoveBatch(ids []int) []bool { return ix.inner.RemoveBatch(ids) }
 
 // Snapshot returns an immutable view of the catalog as of now. All View
 // methods are lock-free and safe for unbounded concurrency; later Insert
@@ -400,8 +441,9 @@ func (ix *Index) QueryTopK(q string, k int) []QueryMatch {
 }
 
 // IndexStats describes one snapshot of a dynamic Index: catalog size and
-// tombstone counts, the delta-segment chain, the interned-key split between
-// the frozen order prefix and the dynamic region, and the rebuild history.
+// tombstone counts, the delta-segment chain, the shard count, the
+// interned-key split between the frozen order prefix and the dynamic
+// region, the rebuild history, and the prepared-record cache counters.
 type IndexStats struct {
 	// Records is the catalog length including tombstones; Live and Dead
 	// split it.
@@ -409,16 +451,23 @@ type IndexStats struct {
 	Live    int `json:"live"`
 	Dead    int `json:"dead"`
 	// Segments is the length of the delta-segment chain (one per Insert
-	// batch since the last rebuild).
+	// batch since the last rebuild), summed over shards.
 	Segments int `json:"segments"`
+	// Shards is the number of index partitions.
+	Shards int `json:"shards"`
 	// FrozenKeys and DynamicKeys count the interned pebble keys in the
 	// frozen order prefix and the append-only dynamic region.
 	FrozenKeys  int `json:"frozen_keys"`
 	DynamicKeys int `json:"dynamic_keys"`
-	// Rebuilds counts re-finalize/rebuild cycles; Inserts the records
-	// appended over the index lifetime.
+	// Rebuilds counts re-finalize/rebuild cycles across all shards; Inserts
+	// the records appended over the index lifetime.
 	Rebuilds int `json:"rebuilds"`
 	Inserts  int `json:"inserts"`
+	// CacheHits and CacheMisses are the cumulative counters of the
+	// prepared-record cache consulted on Insert (shared across all shards;
+	// both zero when the cache is disabled).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 	// Theta and Tau are the join parameters fixed at build time.
 	Theta float64 `json:"theta"`
 	Tau   int     `json:"tau"`
@@ -436,7 +485,7 @@ func statsFromInternal(st join.DynamicStats) IndexStats { return IndexStats(st) 
 // lock-free, safe for unbounded concurrency, and unaffected by concurrent
 // Insert/Remove activity on the Index it came from.
 type View struct {
-	inner *join.View
+	inner *join.ShardedView
 	tau   int
 }
 
@@ -460,8 +509,13 @@ func (v *View) Query(q string) []QueryMatch {
 
 // QueryTopK returns the k best matches for q, ordered by descending
 // similarity (ascending ID on ties). The candidate scan is thresholded at
-// the index θ and a bounded heap keeps memory O(k).
+// the index θ and a bounded heap keeps memory O(k); on a sharded index the
+// per-shard top-k streams are merged through one more k-bounded heap. k ≤ 0
+// returns an empty slice without touching the index.
 func (v *View) QueryTopK(q string, k int) []QueryMatch {
+	if k <= 0 {
+		return []QueryMatch{}
+	}
 	return convertHits(v.inner.QueryTopK(strutil.Tokenize(q), k))
 }
 

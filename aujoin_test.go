@@ -281,3 +281,93 @@ func TestJoinOptionsDefaults(t *testing.T) {
 		t.Errorf("defaults broken: %v %+v", matches, stats)
 	}
 }
+
+// TestIndexShardedMatchesSingle pins the public shard-count invariance: an
+// index partitioned across several shards must serve exactly what the
+// classic single-partition index serves, through Probe, Query and QueryTopK,
+// before and after batched mutations.
+func TestIndexShardedMatchesSingle(t *testing.T) {
+	j := paperJoiner(t)
+	catalog := []string{
+		"coffee shop latte Helsingki", "apple cake bakery", "nothing in common",
+		"espresso machines shop", "database systems course", "corner market town",
+	}
+	opts := JoinOptions{Theta: 0.75, Tau: 2, Filter: AUFilterDP}
+	single := j.Index(catalog, opts)
+	sharded := j.IndexWith(catalog, opts, IndexOptions{Shards: 3})
+	if got := sharded.Stats().Shards; got != 3 {
+		t.Fatalf("Shards = %d, want 3", got)
+	}
+
+	mutate := func(ix *Index) {
+		ids := ix.Insert([]string{"espresso cafe Helsinki central", "apple gateau bakery", "coffee corner shop"})
+		removed := ix.RemoveBatch([]int{ids[1], 1, 999})
+		if want := []bool{true, true, false}; len(removed) != 3 || removed[0] != want[0] || removed[1] != want[1] || removed[2] != want[2] {
+			t.Fatalf("RemoveBatch = %v, want %v", removed, want)
+		}
+	}
+	mutate(single)
+	mutate(sharded)
+
+	batch := []string{"espresso cafe Helsinki", "cake gateau bakery", "coffee shop latte"}
+	wantPairs, _ := single.Probe(batch)
+	gotPairs, stats := sharded.Probe(batch)
+	if len(gotPairs) != len(wantPairs) {
+		t.Fatalf("sharded Probe = %v, want %v", gotPairs, wantPairs)
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("sharded Probe[%d] = %+v, want %+v", i, gotPairs[i], wantPairs[i])
+		}
+	}
+	if stats.Results != len(gotPairs) {
+		t.Errorf("stats.Results = %d, want %d", stats.Results, len(gotPairs))
+	}
+	for _, q := range append(batch, "zzz qqq") {
+		wantQ := single.Query(q)
+		gotQ := sharded.Query(q)
+		if len(gotQ) != len(wantQ) {
+			t.Fatalf("sharded Query(%q) = %v, want %v", q, gotQ, wantQ)
+		}
+		for i := range gotQ {
+			if gotQ[i] != wantQ[i] {
+				t.Fatalf("sharded Query(%q)[%d] = %+v, want %+v", q, i, gotQ[i], wantQ[i])
+			}
+		}
+		for _, k := range []int{1, 2, 10} {
+			wantK := single.QueryTopK(q, k)
+			gotK := sharded.QueryTopK(q, k)
+			if len(gotK) != len(wantK) {
+				t.Fatalf("sharded QueryTopK(%q, %d) = %v, want %v", q, k, gotK, wantK)
+			}
+			for i := range gotK {
+				if gotK[i] != wantK[i] {
+					t.Fatalf("sharded QueryTopK(%q, %d)[%d] = %+v, want %+v", q, k, i, gotK[i], wantK[i])
+				}
+			}
+		}
+	}
+
+	// The shared prepared cache across shards surfaces its counters.
+	if st := sharded.Stats(); st.CacheMisses == 0 {
+		t.Errorf("expected cache misses after inserts: %+v", st)
+	}
+}
+
+// TestQueryTopKDegenerateK pins the k ≤ 0 guard at the public API: an empty
+// slice, no panic, on both sharded and single indexes.
+func TestQueryTopKDegenerateK(t *testing.T) {
+	j := paperJoiner(t)
+	catalog := []string{"coffee shop latte Helsingki", "apple cake bakery"}
+	for _, shards := range []int{1, 2} {
+		ix := j.IndexWith(catalog, JoinOptions{Theta: 0.75, Tau: 2}, IndexOptions{Shards: shards})
+		for _, k := range []int{0, -1, -100} {
+			if got := ix.QueryTopK("coffee shop latte", k); len(got) != 0 {
+				t.Errorf("shards=%d QueryTopK(k=%d) = %v, want empty", shards, k, got)
+			}
+			if got := ix.Snapshot().QueryTopK("coffee shop latte", k); len(got) != 0 {
+				t.Errorf("shards=%d View.QueryTopK(k=%d) = %v, want empty", shards, k, got)
+			}
+		}
+	}
+}

@@ -6,17 +6,23 @@
 //
 // Usage:
 //
-//	aujoind -catalog catalog.txt -theta 0.8 -tau 2 [-addr :8321] \
+//	aujoind -catalog catalog.txt -theta 0.8 -tau 2 [-addr :8321] [-shards N] \
 //	        [-synonyms rules.tsv] [-taxonomy tax.tsv] [-measures TJS]
+//
+// -shards partitions the index so insert/remove batches parallelize across
+// shards and rebuild stalls are bounded by shard size (0 = GOMAXPROCS,
+// default 1 = classic single partition).
 //
 // Endpoints:
 //
-//	GET  /query?q=<string>[&k=<n>]   matches for one query string; k>0
-//	                                 returns the top-k by similarity
-//	POST /insert {"records": [...]}  append records, returns their ids
-//	POST /remove {"id": <n>}         tombstone one record by stable id
-//	GET  /stats                      snapshot statistics
-//	GET  /healthz                    liveness probe
+//	GET  /query?q=<string>&k=<n>         top-k matches for one query string;
+//	                                     k is required and must be ≥ 1
+//	POST /insert {"records": [...]}      append a batch, returns stable ids
+//	POST /remove {"id": <n>}             tombstone one record by stable id
+//	POST /remove-batch {"ids": [...]}    tombstone a batch, returns per-id
+//	                                     booleans
+//	GET  /stats                          snapshot statistics
+//	GET  /healthz                        liveness probe
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -50,6 +56,7 @@ func main() {
 		theta    = flag.Float64("theta", 0.8, "unified similarity threshold in [0,1]")
 		tau      = flag.Int("tau", 2, "overlap constraint")
 		filter   = flag.String("filter", "dp", "signature filter: u, heuristic or dp")
+		shards   = flag.Int("shards", 1, "index partitions (0 = GOMAXPROCS)")
 		synPath  = flag.String("synonyms", "", "optional synonym rules file (lhs<TAB>rhs[<TAB>closeness])")
 		taxPath  = flag.String("taxonomy", "", "optional taxonomy file (node<TAB>parent)")
 		measures = flag.String("measures", "TJS", "measure combination (e.g. J, TS, TJS)")
@@ -85,14 +92,18 @@ func main() {
 		}
 	}
 	start := time.Now()
-	ix := joiner.Index(records, aujoin.JoinOptions{Theta: *theta, Tau: *tau, Filter: cmdutil.ParseFilter(*filter)})
-	log.Printf("indexed %d records in %v (θ=%v τ=%d)", len(records), time.Since(start).Round(time.Millisecond), *theta, *tau)
+	ix := joiner.IndexWith(records,
+		aujoin.JoinOptions{Theta: *theta, Tau: *tau, Filter: cmdutil.ParseFilter(*filter)},
+		aujoin.IndexOptions{Shards: *shards})
+	log.Printf("indexed %d records in %v (θ=%v τ=%d shards=%d)",
+		len(records), time.Since(start).Round(time.Millisecond), *theta, *tau, ix.Stats().Shards)
 
 	srv := &server{ix: ix}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/insert", srv.handleInsert)
 	mux.HandleFunc("/remove", srv.handleRemove)
+	mux.HandleFunc("/remove-batch", srv.handleRemoveBatch)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -156,21 +167,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	k := 0
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		var err error
-		if k, err = strconv.Atoi(ks); err != nil || k < 0 || k > maxTopK {
-			http.Error(w, fmt.Sprintf("k must be an integer in [0, %d]", maxTopK), http.StatusBadRequest)
-			return
-		}
+	// A missing or non-positive k is rejected rather than passed through: an
+	// unbounded "all matches" response is never what a serving client wants,
+	// and silently treating k=0 as "everything" made the degenerate case the
+	// most expensive one.
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 || k > maxTopK {
+		http.Error(w, fmt.Sprintf("k is required and must be an integer in [1, %d]", maxTopK), http.StatusBadRequest)
+		return
 	}
-	view := s.ix.Snapshot()
-	var matches []aujoin.QueryMatch
-	if k > 0 {
-		matches = view.QueryTopK(q, k)
-	} else {
-		matches = view.Query(q)
-	}
+	matches := s.ix.Snapshot().QueryTopK(q, k)
 	if matches == nil {
 		matches = []aujoin.QueryMatch{}
 	}
@@ -221,6 +227,40 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, removeResponse{Removed: s.ix.Remove(req.ID)})
+}
+
+type removeBatchRequest struct {
+	IDs []int `json:"ids"`
+}
+
+type removeBatchResponse struct {
+	// Removed reports, positionally for each requested id, whether it was
+	// present and live; RemovedCount totals the true entries.
+	Removed      []bool `json:"removed"`
+	RemovedCount int    `json:"removed_count"`
+}
+
+func (s *server) handleRemoveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req removeBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	removed := s.ix.RemoveBatch(req.IDs)
+	if removed == nil {
+		removed = []bool{}
+	}
+	count := 0
+	for _, ok := range removed {
+		if ok {
+			count++
+		}
+	}
+	writeJSON(w, removeBatchResponse{Removed: removed, RemovedCount: count})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

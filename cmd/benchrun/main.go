@@ -6,7 +6,7 @@
 //
 //	benchrun -exp table8            # one experiment
 //	benchrun -exp all -med 2000 -wiki 4000
-//	benchrun -exp serve -serve-duration 10s -serve-workers 8
+//	benchrun -exp serve -serve-duration 10s -serve-workers 8 -shards 4
 //
 // Experiment identifiers follow DESIGN.md §3: table8, table9, fig3, fig4,
 // fig5, fig6, fig7, table10, table11, table12, fig8, table13, table14.
@@ -43,6 +43,7 @@ func main() {
 		serveTau      = flag.Int("serve-tau", 2, "serve mode: overlap constraint")
 		serveTopK     = flag.Int("serve-k", 10, "serve mode: top-k per query")
 		serveMutate   = flag.Duration("serve-mutate-every", 10*time.Millisecond, "serve mode: pause between mutation batches")
+		shards        = flag.Int("shards", 1, "serve mode: index partitions (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func main() {
 				Duration:    *serveDuration,
 				Workers:     *serveWorkers,
 				TopK:        *serveTopK,
+				Shards:      *shards,
 				MutateEvery: *serveMutate,
 				Seed:        *seed,
 			})

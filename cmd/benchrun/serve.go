@@ -26,6 +26,10 @@ type serveConfig struct {
 	Duration    time.Duration
 	Workers     int
 	TopK        int
+	// Shards partitions the index (1 = classic single partition,
+	// 0 = GOMAXPROCS); mutation batches parallelize across shards and
+	// rebuild stalls are bounded by shard size.
+	Shards int
 	// MutateEvery is the pause between mutation batches; each batch
 	// inserts a handful of records and removes one.
 	MutateEvery time.Duration
@@ -40,22 +44,28 @@ type serveResult struct {
 	latencies []float64 // milliseconds, sampled
 	inserted  int64
 	removed   int64
+	pauses    []float64 // per-rebuild writer stalls, milliseconds
 	stats     join.DynamicStats
 }
 
 func (r serveResult) String() string {
 	var b strings.Builder
 	qps := float64(r.queries) / r.elapsed.Seconds()
-	fmt.Fprintf(&b, "catalog=%d θ=%v τ=%d workers=%d duration=%v\n",
-		r.cfg.CatalogSize, r.cfg.Theta, r.cfg.Tau, r.cfg.Workers, r.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "catalog=%d θ=%v τ=%d workers=%d shards=%d duration=%v\n",
+		r.cfg.CatalogSize, r.cfg.Theta, r.cfg.Tau, r.cfg.Workers, r.stats.Shards, r.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "queries=%d (%.0f qps) inserted=%d removed=%d\n", r.queries, qps, r.inserted, r.removed)
 	if len(r.latencies) > 0 {
 		ps := metrics.Percentiles(r.latencies, 50, 95, 99)
 		fmt.Fprintf(&b, "latency ms: p50=%.3f p95=%.3f p99=%.3f\n", ps[0], ps[1], ps[2])
 	}
+	if len(r.pauses) > 0 {
+		ps := metrics.Percentiles(r.pauses, 50, 95, 99, 100)
+		fmt.Fprintf(&b, "rebuild pause ms: n=%d p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			len(r.pauses), ps[0], ps[1], ps[2], ps[3])
+	}
 	st := r.stats
-	fmt.Fprintf(&b, "index: records=%d live=%d dead=%d segments=%d frozen-keys=%d dynamic-keys=%d rebuilds=%d\n",
-		st.Records, st.Live, st.Dead, st.Segments, st.FrozenKeys, st.DynamicKeys, st.Rebuilds)
+	fmt.Fprintf(&b, "index: records=%d live=%d dead=%d segments=%d frozen-keys=%d dynamic-keys=%d rebuilds=%d cache-hits=%d cache-misses=%d\n",
+		st.Records, st.Live, st.Dead, st.Segments, st.FrozenKeys, st.DynamicKeys, st.Rebuilds, st.CacheHits, st.CacheMisses)
 	return b.String()
 }
 
@@ -64,7 +74,8 @@ func runServe(cfg serveConfig) serveResult {
 	gen := datagen.New(datagen.MEDLike(cfg.CatalogSize, cfg.Seed))
 	ds := gen.Generate()
 	j := join.NewJoiner(ds.Context())
-	dx := j.BuildDynamicIndex(ds.S, join.Options{Theta: cfg.Theta, Tau: cfg.Tau, Method: pebble.AUDP}, join.DynamicOptions{})
+	dx := j.BuildShardedIndex(ds.S, cfg.Shards,
+		join.Options{Theta: cfg.Theta, Tau: cfg.Tau, Method: pebble.AUDP}, join.DynamicOptions{})
 
 	queryPool := ds.T
 	insertPool := make([]string, len(ds.T))
@@ -130,6 +141,10 @@ func runServe(cfg serveConfig) serveResult {
 	for _, l := range latAll {
 		lat = append(lat, l...)
 	}
+	var pauses []float64
+	for _, p := range dx.RebuildPauses() {
+		pauses = append(pauses, float64(p.Microseconds())/1000)
+	}
 	return serveResult{
 		cfg:       cfg,
 		queries:   queries,
@@ -137,6 +152,7 @@ func runServe(cfg serveConfig) serveResult {
 		latencies: lat,
 		inserted:  inserted,
 		removed:   removed,
+		pauses:    pauses,
 		stats:     dx.Stats(),
 	}
 }

@@ -101,3 +101,21 @@ func BenchmarkQuery(b *testing.B) {
 		ix.ProbeRecord(probe[i%len(probe)].Tokens)
 	}
 }
+
+// BenchmarkQuerySharded is BenchmarkQuery against a GOMAXPROCS-sharded
+// index: the same single-record workload, served through the fan-out
+// snapshot (one signature selection, per-shard count filters, merged
+// results).
+func BenchmarkQuerySharded(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(400, 1)
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	sx := j.BuildShardedIndex(s, 0, opts, DynamicOptions{})
+	probe := benchCorpus(64, 9)
+	v := sx.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.ProbeRecord(probe[i%len(probe)].Tokens)
+	}
+}

@@ -50,6 +50,13 @@ type DynamicIndex struct {
 	calc   *core.Calculator
 	cache  *core.PreparedCache
 
+	// sharedOrder marks a shard of a ShardedIndex: the pebble order is owned
+	// by the router and shared with the sibling shards, so rebuilds compact
+	// this shard under the *same* order (append-only forever) instead of
+	// re-freezing a private one — re-freezing would re-assign IDs other
+	// shards' signatures still reference.
+	sharedOrder bool
+
 	rebuildFraction float64
 	maxSegments     int
 
@@ -74,6 +81,24 @@ type DynamicIndex struct {
 	// indexed-side signature length even between rebuilds.
 	sigLens    []int
 	sigLenLive int
+	// dynAtBuild is the order's dynamic-region size when the current base
+	// was adopted, and dynAdded counts the keys *this* index appended since
+	// then. The rebuild trigger fires on dynAdded: in shared-order mode the
+	// region grows from all shards and never resets, so neither its absolute
+	// size nor its growth is attributable to one shard — only the shard's
+	// own interning is (for a standalone index the two coincide).
+	dynAtBuild int
+	dynAdded   int
+	// pauses records the wall-clock duration of every rebuild, i.e. how long
+	// this shard's writers stalled; readers never pause. The serve benchmark
+	// reports their percentiles.
+	pauses []time.Duration
+	// gen is the router's order generation this shard's base was built
+	// under (0 for a standalone index, which never changes generation). A
+	// ShardedIndex global re-finalize bumps it on every shard while holding
+	// every writer lock, and snapshots use it to detect mixed-generation
+	// view sets.
+	gen int
 
 	pool sync.Pool // *probeScratch shared across Views and generations
 }
@@ -111,6 +136,16 @@ const (
 // records. The join Options (θ, τ, filter method) are fixed for the life of
 // the index, exactly as for BuildIndex.
 func (j *Joiner) BuildDynamicIndex(records []strutil.Record, opts Options, dopts DynamicOptions) *DynamicIndex {
+	return j.buildDynamic(records, nil, opts, dopts, nil)
+}
+
+// buildDynamic is the shared constructor of standalone dynamic indexes and
+// ShardedIndex shards. A non-nil order puts the index in shared-order mode
+// (the base is built under it and rebuilds keep it); a non-nil cache
+// overrides DynamicOptions.CacheSize (the router shares one cache across all
+// shards so delete/re-insert churn hits regardless of which shard the
+// record lands on after compaction).
+func (j *Joiner) buildDynamic(records []strutil.Record, order *pebble.Order, opts Options, dopts DynamicOptions, cache *core.PreparedCache) *DynamicIndex {
 	dx := &DynamicIndex{
 		joiner:          j,
 		opts:            opts,
@@ -124,10 +159,19 @@ func (j *Joiner) BuildDynamicIndex(records []strutil.Record, opts Options, dopts
 	if dx.maxSegments <= 0 {
 		dx.maxSegments = defaultMaxSegments
 	}
-	if dopts.CacheSize >= 0 {
+	switch {
+	case cache != nil:
+		dx.cache = cache
+	case dopts.CacheSize >= 0:
 		dx.cache = core.NewPreparedCache(dopts.CacheSize)
 	}
-	base := j.BuildIndex(records, opts)
+	var base *Index
+	if order != nil {
+		dx.sharedOrder = true
+		base = j.buildIndex(records, order, opts, nil)
+	} else {
+		base = j.BuildIndex(records, opts)
+	}
 	dx.calc = base.calc
 	dx.adoptBaseLocked(base)
 	dx.publishLocked()
@@ -155,6 +199,8 @@ func (dx *DynamicIndex) adoptBaseLocked(base *Index) {
 		dx.sigLens[i] = base.sigs[i].Len()
 		dx.sigLenLive += dx.sigLens[i]
 	}
+	dx.dynAtBuild = base.order.DynamicCount()
+	dx.dynAdded = 0
 }
 
 // publishLocked snapshots the writer state into a fresh immutable View and
@@ -168,11 +214,13 @@ func (dx *DynamicIndex) publishLocked() {
 		records:  dx.records,
 		prepared: dx.prepared,
 		dead:     dx.dead,
+		gen:      dx.gen,
 		stats: DynamicStats{
 			Records:     len(dx.records),
 			Live:        len(dx.records) - dx.deadCount,
 			Dead:        dx.deadCount,
 			Segments:    len(dx.segs),
+			Shards:      1,
 			FrozenKeys:  frozen,
 			DynamicKeys: dx.base.order.DynamicCount(),
 			Rebuilds:    dx.rebuilds,
@@ -181,6 +229,9 @@ func (dx *DynamicIndex) publishLocked() {
 			Tau:         dx.tau,
 			BuildTime:   dx.base.BuildTime,
 		},
+	}
+	if dx.cache != nil {
+		v.stats.CacheHits, v.stats.CacheMisses = dx.cache.Stats()
 	}
 	if live := len(dx.records) - dx.deadCount; live > 0 {
 		v.avgSig = float64(dx.sigLenLive) / float64(live)
@@ -203,20 +254,41 @@ func (dx *DynamicIndex) Insert(raw []string) []int {
 	}
 	dx.mu.Lock()
 	defer dx.mu.Unlock()
-	ids := make([]int, len(raw))
+	recs := make([]strutil.Record, len(raw))
+	for i, s := range raw {
+		recs[i] = strutil.NewRecord(dx.nextID, s)
+		dx.nextID++
+	}
+	return dx.insertRecordsLocked(recs)
+}
+
+// insertRecords is Insert for records whose stable IDs were assigned by the
+// caller — the sharded router allocates IDs centrally so they stay unique
+// across shards and hash-routable.
+func (dx *DynamicIndex) insertRecords(recs []strutil.Record) []int {
+	if len(recs) == 0 {
+		return nil
+	}
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	return dx.insertRecordsLocked(recs)
+}
+
+func (dx *DynamicIndex) insertRecordsLocked(recs []strutil.Record) []int {
+	ids := make([]int, len(recs))
 	delta := invindex.NewDelta()
 	// Generate each record's pebbles once: the whole batch is interned in a
 	// single InternDynamic call (at most one dynamic-table clone), and the
 	// same slices then feed signature selection via PreparePebbles.
-	recs := make([]strutil.Record, len(raw))
-	pebs := make([][]pebble.Pebble, len(raw))
-	segs := make([][]core.Segment, len(raw))
-	for i, s := range raw {
-		recs[i] = strutil.NewRecord(dx.nextID, s)
-		dx.nextID++
+	pebs := make([][]pebble.Pebble, len(recs))
+	segs := make([][]core.Segment, len(recs))
+	for i := range recs {
+		if recs[i].ID >= dx.nextID {
+			dx.nextID = recs[i].ID + 1
+		}
 		pebs[i], segs[i] = dx.joiner.gen.Pebbles(recs[i].Tokens)
 	}
-	dx.base.order.InternDynamic(pebs...)
+	dx.dynAdded += dx.base.order.InternDynamic(pebs...)
 	var idbuf []uint32
 	for i := range recs {
 		pos := len(dx.records)
@@ -235,7 +307,7 @@ func (dx *DynamicIndex) Insert(raw []string) []int {
 		dx.dead = append(dx.dead, 0)
 	}
 	dx.segs = append(dx.segs, &segment{inv: delta})
-	dx.inserts += len(raw)
+	dx.inserts += len(recs)
 	dx.maybeRebuildLocked()
 	dx.publishLocked()
 	return ids
@@ -248,18 +320,51 @@ func (dx *DynamicIndex) Insert(raw []string) []int {
 func (dx *DynamicIndex) Remove(id int) bool {
 	dx.mu.Lock()
 	defer dx.mu.Unlock()
-	pos, ok := dx.positions[id]
-	if !ok {
+	return dx.removeBatchLocked([]int{id}, nil)
+}
+
+// RemoveBatch tombstones every given stable ID, reporting per ID whether it
+// was present and live. The writer lock is taken once and the tombstone
+// bitmap cloned at most once for the whole batch, so bulk deletions cost one
+// publish instead of one per record.
+func (dx *DynamicIndex) RemoveBatch(ids []int) []bool {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]bool, len(ids))
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	dx.removeBatchLocked(ids, out)
+	return out
+}
+
+// removeBatchLocked tombstones the ids, recording per-id success in out when
+// non-nil, and reports whether any record was removed. The bitmap is cloned
+// once, before the first bit set (clone-before-set: published Views keep
+// observing the old bitmap); nothing is published when every id misses.
+func (dx *DynamicIndex) removeBatchLocked(ids []int, out []bool) bool {
+	var nd []uint64
+	for i, id := range ids {
+		pos, ok := dx.positions[id]
+		if !ok {
+			continue
+		}
+		delete(dx.positions, id)
+		if nd == nil {
+			nd = make([]uint64, len(dx.dead))
+			copy(nd, dx.dead)
+		}
+		nd[pos>>6] |= 1 << (uint(pos) & 63)
+		dx.deadCount++
+		dx.sigLenLive -= dx.sigLens[pos]
+		if out != nil {
+			out[i] = true
+		}
+	}
+	if nd == nil {
 		return false
 	}
-	delete(dx.positions, id)
-	// Clone-before-set: published Views keep observing the old bitmap.
-	nd := make([]uint64, len(dx.dead))
-	copy(nd, dx.dead)
-	nd[pos>>6] |= 1 << (uint(pos) & 63)
 	dx.dead = nd
-	dx.deadCount++
-	dx.sigLenLive -= dx.sigLens[pos]
 	dx.maybeRebuildLocked()
 	dx.publishLocked()
 	return true
@@ -275,11 +380,20 @@ func (dx *DynamicIndex) maybeRebuildLocked() {
 	if dx.rebuildFraction < 0 {
 		return
 	}
-	frozen := dx.base.order.FrozenKeys()
-	if frozen < 1 {
-		frozen = 1
+	// The trigger compares the keys this index interned since adoption
+	// (dynAdded) against the keys known at adoption. Counting only our own
+	// interning matters for a shard of a ShardedIndex: the shared dynamic
+	// region grows from every sibling's inserts, and triggering on global
+	// growth would make all shards cross the threshold on the same batch
+	// and stall its caller on N correlated rebuilds — exactly the
+	// stop-the-world pause sharding exists to bound. For a standalone index
+	// the order is private, so dynAdded equals the region size and
+	// dynAtBuild is 0: the classic absolute trigger.
+	known := dx.base.order.FrozenKeys() + dx.dynAtBuild
+	if known < 1 {
+		known = 1
 	}
-	if dyn := dx.base.order.DynamicCount(); float64(dyn) >= dx.rebuildFraction*float64(frozen) && dyn > 0 {
+	if dx.dynAdded > 0 && float64(dx.dynAdded) >= dx.rebuildFraction*float64(known) {
 		dx.rebuildLocked()
 		return
 	}
@@ -288,11 +402,45 @@ func (dx *DynamicIndex) maybeRebuildLocked() {
 	}
 }
 
-// rebuildLocked compacts the live records into a fresh base index under a
-// newly frozen order (true document frequencies, empty dynamic region),
-// reusing each survivor's prepared verification record. Stable IDs are
-// preserved; positions are reassigned.
+// rebuildLocked compacts the live records into a fresh base index, reusing
+// each survivor's prepared verification record. A standalone index freezes a
+// new order (true document frequencies, empty dynamic region); a shard of a
+// ShardedIndex keeps the shared order — re-freezing would re-assign IDs the
+// sibling shards' signatures still reference — and re-selects its signatures
+// under the order's current append-only state, so the compaction win is the
+// dense base (segments merged, tombstones dropped), not a fresher frequency
+// ranking. Stable IDs are preserved; positions are reassigned. The pause is
+// recorded for the serve benchmark's percentiles.
 func (dx *DynamicIndex) rebuildLocked() {
+	start := time.Now()
+	live, prep := dx.liveLocked()
+	order := dx.base.order
+	if !dx.sharedOrder {
+		order = dx.joiner.BuildOrder(live)
+	}
+	base := dx.joiner.buildIndex(live, order, dx.opts, prep)
+	dx.adoptBaseLocked(base)
+	dx.rebuilds++
+	dx.pauses = appendPause(dx.pauses, time.Since(start))
+}
+
+// maxPauseLog bounds each pause history: a long-running daemon rebuilds
+// indefinitely, and the log exists for recent-percentile reporting, not as
+// an unbounded archive.
+const maxPauseLog = 1024
+
+// appendPause appends a pause, dropping the older half of the log once it
+// outgrows maxPauseLog (amortized O(1), keeps the recent window).
+func appendPause(log []time.Duration, d time.Duration) []time.Duration {
+	if len(log) >= maxPauseLog {
+		log = append(log[:0], log[len(log)/2:]...)
+	}
+	return append(log, d)
+}
+
+// liveLocked collects the live records and their prepared verification
+// records in position order.
+func (dx *DynamicIndex) liveLocked() ([]strutil.Record, []*core.PreparedRecord) {
 	live := make([]strutil.Record, 0, len(dx.records)-dx.deadCount)
 	prep := make([]*core.PreparedRecord, 0, len(dx.records)-dx.deadCount)
 	for pos, rec := range dx.records {
@@ -302,9 +450,31 @@ func (dx *DynamicIndex) rebuildLocked() {
 		live = append(live, rec)
 		prep = append(prep, dx.prepared[pos])
 	}
-	base := dx.joiner.buildIndex(live, dx.joiner.BuildOrder(live), dx.opts, prep)
+	return live, prep
+}
+
+// refreezeLocked rebuilds this shard's base under a freshly frozen order of
+// a ShardedIndex global re-finalize, stamping the new generation. The caller
+// (the router) holds dx.mu — and every sibling's — for the whole refreeze,
+// so no view mixing old-order bases with the new selector can be published;
+// it also supplies the live records it already collected and logs the whole
+// refreeze as one router-level pause (per-shard entries here would both
+// double-count the stall and hide its corpus-sized total).
+func (dx *DynamicIndex) refreezeLocked(order *pebble.Order, gen int, live []strutil.Record, prep []*core.PreparedRecord) {
+	base := dx.joiner.buildIndex(live, order, dx.opts, prep)
+	dx.gen = gen
 	dx.adoptBaseLocked(base)
 	dx.rebuilds++
+	dx.publishLocked()
+}
+
+// RebuildPauses returns the wall-clock durations of recent rebuilds — the
+// history is capped at maxPauseLog entries — (writer stall per rebuild;
+// readers keep serving the previous view).
+func (dx *DynamicIndex) RebuildPauses() []time.Duration {
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	return append([]time.Duration(nil), dx.pauses...)
 }
 
 // Stats returns the statistics of the current snapshot.
@@ -316,14 +486,22 @@ type DynamicStats struct {
 	// split it.
 	Records, Live, Dead int
 	// Segments is the length of the delta-segment chain (one per Insert
-	// batch since the last rebuild).
+	// batch since the last rebuild); for a ShardedIndex it is summed over
+	// the shards.
 	Segments int
+	// Shards is the number of index partitions (1 for a standalone
+	// DynamicIndex).
+	Shards int
 	// FrozenKeys and DynamicKeys count the interned pebble keys in the
 	// frozen order prefix and the append-only dynamic region.
 	FrozenKeys, DynamicKeys int
 	// Rebuilds counts re-finalize/rebuild cycles; Inserts the records
 	// appended over the index lifetime.
 	Rebuilds, Inserts int
+	// CacheHits and CacheMisses are the cumulative prepared-record cache
+	// counters (one cache is shared across all shards of a ShardedIndex;
+	// zero when the cache is disabled).
+	CacheHits, CacheMisses uint64
 	// Theta and Tau are the join parameters fixed at build time.
 	Theta float64
 	Tau   int
@@ -342,6 +520,7 @@ type View struct {
 	prepared []*core.PreparedRecord
 	dead     []uint64
 	avgSig   float64 // mean signature length over live records
+	gen      int     // order generation of the base (see DynamicIndex.gen)
 	stats    DynamicStats
 }
 
@@ -418,16 +597,41 @@ func (v *View) candidatesRecord(sig pebble.Signature, sc *probeScratch) ([]int32
 	return out, processed
 }
 
+// lazyPrepared derives the prepared verification record of a query on first
+// use and shares it across consumers — the sharded fan-out hands one to
+// every shard, so the query is prepared at most once per request and not at
+// all when no shard yields a candidate.
+type lazyPrepared struct {
+	once   sync.Once
+	calc   *core.Calculator
+	tokens []string
+	pr     *core.PreparedRecord
+}
+
+func (lp *lazyPrepared) get() *core.PreparedRecord {
+	lp.once.Do(func() { lp.pr = lp.calc.Prepare(lp.tokens) })
+	return lp.pr
+}
+
 // ProbeRecord runs the filter-and-verify pipeline for one tokenised query
 // against the snapshot and returns the matching live records — identified
 // by their stable IDs — in ascending ID order.
 func (v *View) ProbeRecord(tokens []string) []QueryMatch {
 	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
+	out := v.probeRecordPrepared(sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens})
+	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
+	return out
+}
+
+// probeRecordPrepared is ProbeRecord for a ready-made probe signature and a
+// lazily shared prepared query; results are unordered (the callers sort —
+// the sharded router merges several shards' results first).
+func (v *View) probeRecordPrepared(sig pebble.Signature, lp *lazyPrepared) []QueryMatch {
 	sc := v.scratch()
 	cands, _ := v.candidatesRecord(sig, sc)
 	var out []QueryMatch
 	if len(cands) > 0 {
-		pq := v.dx.calc.Prepare(tokens)
+		pq := lp.get()
 		for _, r := range cands {
 			if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, v.dx.opts.Theta, sc.sim); ok {
 				out = append(out, QueryMatch{Record: v.records[r].ID, Similarity: val})
@@ -435,7 +639,6 @@ func (v *View) ProbeRecord(tokens []string) []QueryMatch {
 		}
 	}
 	v.dx.pool.Put(sc)
-	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
 	return out
 }
 
@@ -443,17 +646,27 @@ func (v *View) ProbeRecord(tokens []string) []QueryMatch {
 // candidates from the thresholded scan are verified through the prepared
 // engine while a bounded min-heap keeps the current top k, so memory stays
 // O(k) however many records clear θ. Results are ordered by descending
-// similarity (ascending ID on ties).
+// similarity (ascending ID on ties). k ≤ 0 yields an empty result without
+// touching the index.
 func (v *View) QueryTopK(tokens []string, k int) []QueryMatch {
 	if k <= 0 {
 		return nil
 	}
 	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
+	heap := v.queryTopKPrepared(sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k)
+	return heap.sorted()
+}
+
+// queryTopKPrepared runs the thresholded scan and bounded-heap verification
+// for a ready-made signature and lazily shared prepared query, returning the
+// unsorted heap (the sharded router folds several shards' heaps together
+// before sorting once).
+func (v *View) queryTopKPrepared(sig pebble.Signature, lp *lazyPrepared, k int) topKHeap {
 	sc := v.scratch()
 	cands, _ := v.candidatesRecord(sig, sc)
 	var heap topKHeap
 	if len(cands) > 0 {
-		pq := v.dx.calc.Prepare(tokens)
+		pq := lp.get()
 		for _, r := range cands {
 			if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, v.dx.opts.Theta, sc.sim); ok {
 				heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
@@ -461,7 +674,19 @@ func (v *View) QueryTopK(tokens []string, k int) []QueryMatch {
 		}
 	}
 	v.dx.pool.Put(sc)
-	out := heap.entries
+	return heap
+}
+
+// topKHeap is a bounded min-heap on similarity (ties broken towards keeping
+// the smaller record ID), so the root is always the weakest retained match.
+type topKHeap struct {
+	entries []QueryMatch
+}
+
+// sorted returns the retained matches ordered by descending similarity with
+// ascending-ID ties — the result order of QueryTopK. The heap is consumed.
+func (h *topKHeap) sorted() []QueryMatch {
+	out := h.entries
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Similarity != out[b].Similarity {
 			return out[a].Similarity > out[b].Similarity
@@ -469,12 +694,6 @@ func (v *View) QueryTopK(tokens []string, k int) []QueryMatch {
 		return out[a].Record < out[b].Record
 	})
 	return out
-}
-
-// topKHeap is a bounded min-heap on similarity (ties broken towards keeping
-// the smaller record ID), so the root is always the weakest retained match.
-type topKHeap struct {
-	entries []QueryMatch
 }
 
 // less orders the heap: the root must be the entry to evict first, i.e. the

@@ -170,10 +170,13 @@ type Index struct {
 
 // probeScratch is the per-worker probe state: one count slot per indexed
 // record plus the list of touched slots to reset, and the verification
-// scratch of the prepared similarity engine.
+// scratch of the prepared similarity engine. merged collects shard-remapped
+// candidate positions when a sharded view fans one probe record out across
+// shard filters (each shard reuses touched, so survivors are staged here).
 type probeScratch struct {
 	counts  []int32
 	touched []int32
+	merged  []int32
 	sim     *core.Scratch
 }
 
@@ -193,10 +196,7 @@ func (j *Joiner) BuildIndex(records []strutil.Record, opts Options) *Index {
 func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts Options, prepared []*core.PreparedRecord) *Index {
 	start := time.Now()
 	tau := opts.tau()
-	calc := opts.Calculator
-	if calc == nil {
-		calc = j.calc
-	}
+	calc := j.calcFor(opts)
 	sel := pebble.NewSelector(j.gen, order, opts.Theta)
 	sigs := j.signatures(records, sel, opts.Method, tau)
 	inv := invindex.New(order.NumKeys())

@@ -1,0 +1,601 @@
+package join
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// ShardedIndex partitions a dynamic join index across N DynamicIndex shards
+// so that mutations parallelize and rebuild pauses are bounded by shard
+// size, not corpus size. Records are routed by hashing their stable ID;
+// every shard has its own writer mutex, snapshot View, tombstone bitmap and
+// rebuild thresholds, so inserts and removes on different shards proceed in
+// parallel and a threshold-crossing rebuild compacts one shard while the
+// other N−1 keep serving unchanged.
+//
+// All shards share one global pebble frequency order (pebble.Order), which
+// is what keeps signatures comparable across shards: signature selection and
+// the ≥τ-overlap count filter depend only on the order, so a record's
+// signature is the same whichever shard holds it, and the union of per-shard
+// probe results is exactly the unsharded result. InternDynamic calls from
+// concurrently mutating shards serialize on the order's own small mutex,
+// decoupled from the shard writer locks. A consequence of sharing is that
+// per-shard rebuilds never re-freeze the order — the dynamic region is
+// append-only for the router's lifetime and frequency selectivity degrades
+// with it; what a shard rebuild restores is a dense compacted base (segments
+// merged, tombstones dropped).
+//
+// Because per-shard rebuilds keep the shared order, its dynamic region
+// would otherwise grow for the router's lifetime (degrading filter
+// selectivity and inflating every shard's dense posting-array universe).
+// A rare *global re-finalize* bounds that: once the dynamic region grows
+// as large as the frozen prefix, the router takes every shard's writer
+// lock, freezes a fresh order over all live records and rebuilds every
+// shard under it — the one deliberate stop-the-world pause for writers,
+// amortized over at least a doubling of the key universe. Generations make
+// it safe for concurrent readers: every shard view is stamped with the
+// order generation of its base and Snapshot only returns
+// single-generation view sets, so a fan-out query never mixes signatures
+// of one order with posting lists of another; while the re-finalize is in
+// flight, readers are served the cached pre-refreeze snapshot instead of
+// blocking.
+//
+// One core.PreparedCache is shared across all shards: delete/re-insert
+// churn routes a re-ingested record by its new ID, which may hash to a
+// different shard, and a per-shard cache would miss there.
+//
+// With N = 1 the router degenerates to a single standalone DynamicIndex
+// (private order, re-freezing rebuilds) — exactly the pre-sharding engine.
+type ShardedIndex struct {
+	joiner *Joiner
+	opts   Options
+	tau    int
+	shards []*DynamicIndex
+	cache  *core.PreparedCache
+
+	// gen is the current order generation (nil for the single legacy shard,
+	// which owns and re-freezes a private order). Replaced wholesale by a
+	// global re-finalize; refreezeMu serializes re-finalizes. lastView is
+	// the freshest generation-consistent snapshot, refreshed at the start
+	// of every re-finalize (under all writer locks, so it is exactly the
+	// pre-refreeze state) — readers are served from it while the
+	// re-finalize runs instead of blocking.
+	gen            atomic.Pointer[orderGen]
+	refreezeMu     sync.Mutex
+	refreezes      int             // guarded by refreezeMu
+	refreezePauses []time.Duration // guarded by refreezeMu; whole-refreeze writer stalls
+	noRefreeze     bool
+	lastView       atomic.Pointer[ShardedView]
+
+	mu     sync.Mutex // guards nextID only; never held during shard work
+	nextID int
+}
+
+// orderGen is one immutable generation of the shared global order: the
+// order itself, the selector over it, and a monotonically increasing id
+// matched against the per-shard view stamps.
+type orderGen struct {
+	order *pebble.Order
+	sel   *pebble.Selector
+	id    int
+}
+
+// BuildShardedIndex builds a partitioned dynamic index over the records.
+// shards ≤ 0 selects GOMAXPROCS. The join Options are fixed for the life of
+// the index, exactly as for BuildDynamicIndex; DynamicOptions apply to every
+// shard (thresholds are evaluated against per-shard sizes, so rebuild work
+// is bounded by the shard, and the CacheSize bounds the one cache shared by
+// all shards).
+func (j *Joiner) BuildShardedIndex(records []strutil.Record, shards int, opts Options, dopts DynamicOptions) *ShardedIndex {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	sx := &ShardedIndex{joiner: j, opts: opts, tau: opts.tau()}
+	if dopts.CacheSize >= 0 {
+		sx.cache = core.NewPreparedCache(dopts.CacheSize)
+	}
+	parts := make([][]strutil.Record, shards)
+	for _, rec := range records {
+		w := shardOf(rec.ID, shards)
+		parts[w] = append(parts[w], rec)
+		if rec.ID >= sx.nextID {
+			sx.nextID = rec.ID + 1
+		}
+	}
+	var order *pebble.Order
+	if shards > 1 {
+		// The shared order spans the whole corpus so document frequencies —
+		// and therefore signatures — are identical to the unsharded build.
+		order = j.BuildOrder(records)
+		order.Finalize()
+	}
+	sx.noRefreeze = dopts.RebuildFraction < 0
+	sx.shards = make([]*DynamicIndex, shards)
+	parallelFor(shards, shards, func(w int) {
+		sx.shards[w] = j.buildDynamic(parts[w], order, opts, dopts, sx.cache)
+	})
+	// The generation stays nil for the single legacy shard: it owns a
+	// private order that re-freezing rebuilds replace, so a router-held
+	// reference would go stale — every read path delegates to the shard
+	// instead, and a future misuse fails fast rather than probing under a
+	// dead order.
+	if order != nil {
+		// id 0 matches the zero-value generation stamp every freshly built
+		// shard publishes.
+		sx.gen.Store(&orderGen{order: order, sel: pebble.NewSelector(j.gen, order, opts.Theta)})
+	}
+	return sx
+}
+
+// shardOf routes a stable record ID to its shard. IDs are allocated
+// sequentially by the router, so a multiplicative hash (Fibonacci hashing)
+// spreads both sequential ingest and arbitrary survivor sets evenly without
+// letting any stride pattern alias a shard.
+func shardOf(id, shards int) int {
+	if shards == 1 {
+		return 0
+	}
+	return int((uint64(id) * 0x9E3779B97F4A7C15 >> 33) % uint64(shards))
+}
+
+// Shards returns the number of partitions.
+func (sx *ShardedIndex) Shards() int { return len(sx.shards) }
+
+// InsertBatch appends records to the catalog and returns their stable IDs
+// (assigned centrally, so they are unique across shards). The batch is
+// grouped by destination shard and the groups are inserted concurrently,
+// each taking its shard's writer lock exactly once; shards untouched by the
+// batch never block, and neither do readers anywhere.
+func (sx *ShardedIndex) InsertBatch(raw []string) []int {
+	if len(raw) == 0 {
+		return nil
+	}
+	sx.mu.Lock()
+	startID := sx.nextID
+	sx.nextID += len(raw)
+	sx.mu.Unlock()
+
+	ids := make([]int, len(raw))
+	groups := make([][]strutil.Record, len(sx.shards))
+	for i, s := range raw {
+		id := startID + i
+		ids[i] = id
+		w := shardOf(id, len(sx.shards))
+		groups[w] = append(groups[w], strutil.NewRecord(id, s))
+	}
+	sx.runShards(nonEmptyShards(len(groups), func(w int) bool { return len(groups[w]) > 0 }), func(w int) {
+		sx.shards[w].insertRecords(groups[w])
+	})
+	sx.maybeRefreeze()
+	return ids
+}
+
+// maybeRefreeze triggers a global re-finalize of the shared order once its
+// append-only dynamic region has grown as large as the frozen prefix —
+// i.e. the key universe at least doubled since the last freeze, so the
+// stop-the-world cost is amortized over that growth. Inserts are the only
+// source of new keys, so this is checked after each InsertBatch.
+func (sx *ShardedIndex) maybeRefreeze() {
+	g := sx.gen.Load()
+	if g == nil || sx.noRefreeze {
+		return
+	}
+	frozen := g.order.FrozenKeys()
+	if frozen < 1 {
+		frozen = 1
+	}
+	if g.order.DynamicCount() < frozen {
+		return
+	}
+	sx.refreezeMu.Lock()
+	defer sx.refreezeMu.Unlock()
+	// Re-check against the current generation: a concurrent InsertBatch may
+	// have completed the refreeze while this one waited on the mutex.
+	g = sx.gen.Load()
+	frozen = g.order.FrozenKeys()
+	if frozen < 1 {
+		frozen = 1
+	}
+	if g.order.DynamicCount() < frozen {
+		return
+	}
+	// Stop the world for writers: every shard's writer lock is held while
+	// all live records are collected, a fresh order frozen over them (true
+	// document frequencies, empty dynamic region) and every shard rebuilt
+	// under it with the bumped generation. Readers never stall: Snapshot
+	// serves the pre-refreeze view cached below until the new generation is
+	// fully published.
+	start := time.Now()
+	for _, sh := range sx.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range sx.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	// With all writer locks held the current per-shard views are the exact
+	// pre-refreeze state and necessarily one generation — cache them for
+	// readers arriving mid-refreeze.
+	pre := make([]*View, len(sx.shards))
+	for w, sh := range sx.shards {
+		pre[w] = sh.Snapshot()
+	}
+	sx.lastView.Store(newShardedView(sx, g, pre))
+	// One live scan serves both the global order build and the per-shard
+	// base rebuilds.
+	liveAll := make([][]strutil.Record, len(sx.shards))
+	prepAll := make([][]*core.PreparedRecord, len(sx.shards))
+	var flat []strutil.Record
+	for w, sh := range sx.shards {
+		liveAll[w], prepAll[w] = sh.liveLocked()
+		flat = append(flat, liveAll[w]...)
+	}
+	order := sx.joiner.BuildOrder(flat)
+	order.Finalize()
+	next := &orderGen{order: order, sel: pebble.NewSelector(sx.joiner.gen, order, sx.opts.Theta), id: g.id + 1}
+	parallelFor(len(sx.shards), len(sx.shards), func(w int) {
+		sx.shards[w].refreezeLocked(order, next.id, liveAll[w], prepAll[w])
+	})
+	sx.gen.Store(next)
+	// The pre-refreeze view has served its purpose; dropping it releases
+	// the superseded generation's bases for collection (readers that
+	// already hold it keep it alive only as long as they keep it).
+	sx.lastView.Store(nil)
+	sx.refreezes++
+	// The whole stop-the-world window — live scans, order freeze and every
+	// shard rebuild — is one writer stall; log it whole so the pause
+	// percentiles cannot understate the one corpus-sized pause the design
+	// admits.
+	sx.refreezePauses = appendPause(sx.refreezePauses, time.Since(start))
+}
+
+// Refreezes returns the number of global re-finalizes of the shared order.
+func (sx *ShardedIndex) Refreezes() int {
+	sx.refreezeMu.Lock()
+	defer sx.refreezeMu.Unlock()
+	return sx.refreezes
+}
+
+// Insert is InsertBatch (kept for signature parity with DynamicIndex).
+func (sx *ShardedIndex) Insert(raw []string) []int { return sx.InsertBatch(raw) }
+
+// Remove tombstones the record with the given stable ID on its shard,
+// reporting whether it was present and live.
+func (sx *ShardedIndex) Remove(id int) bool {
+	return sx.shards[shardOf(id, len(sx.shards))].Remove(id)
+}
+
+// RemoveBatch tombstones every given stable ID, reporting per ID whether it
+// was present and live. IDs are grouped by shard and the groups removed
+// concurrently, each taking its shard's writer lock exactly once.
+func (sx *ShardedIndex) RemoveBatch(ids []int) []bool {
+	if len(ids) == 0 {
+		return nil
+	}
+	type ref struct{ id, at int }
+	groups := make([][]ref, len(sx.shards))
+	for i, id := range ids {
+		w := shardOf(id, len(sx.shards))
+		groups[w] = append(groups[w], ref{id, i})
+	}
+	out := make([]bool, len(ids))
+	sx.runShards(nonEmptyShards(len(groups), func(w int) bool { return len(groups[w]) > 0 }), func(w int) {
+		batch := make([]int, len(groups[w]))
+		for i, r := range groups[w] {
+			batch[i] = r.id
+		}
+		for i, ok := range sx.shards[w].RemoveBatch(batch) {
+			out[groups[w][i].at] = ok
+		}
+	})
+	return out
+}
+
+// nonEmptyShards collects the shard indexes a batch actually touches, so a
+// small mutation never pays goroutine spawns for uninvolved shards.
+func nonEmptyShards(n int, used func(w int) bool) []int {
+	var ws []int
+	for w := 0; w < n; w++ {
+		if used(w) {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// runShards runs fn(w) for the given shard indexes, concurrently when there
+// are several, inline when there is one.
+func (sx *ShardedIndex) runShards(ws []int, fn func(w int)) {
+	parallelFor(len(ws), len(ws), func(i int) { fn(ws[i]) })
+}
+
+// Snapshot captures every shard's current View into one ShardedView. Each
+// per-shard View is individually consistent and immutable; the combination
+// is not a single atomic cut across shards (a concurrent InsertBatch
+// spanning several shards may be partially visible), which is the standard
+// relaxation partitioned serving systems make in exchange for lock-free
+// writes on disjoint shards. What IS guaranteed is order-generation
+// consistency: all N views belong to one generation of the shared order,
+// so a fan-out query never mixes signatures of one order with posting
+// lists of another. While a global re-finalize is publishing the next
+// generation, Snapshot serves the cached pre-refreeze view — exact as of
+// the moment every writer stalled — so readers never block on the
+// stop-the-world rebuild.
+func (sx *ShardedIndex) Snapshot() *ShardedView {
+	for {
+		g := sx.gen.Load()
+		views := make([]*View, len(sx.shards))
+		consistent := true
+		for w, sh := range sx.shards {
+			views[w] = sh.Snapshot()
+			if g != nil && views[w].gen != g.id {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			return newShardedView(sx, g, views)
+		}
+		if sx.gen.Load() != g {
+			// The re-finalize completed between loading g and reading the
+			// shard views; retry against the new generation.
+			continue
+		}
+		// A re-finalize is mid-flight: serve the pre-refreeze snapshot it
+		// cached under all writer locks. (nil only before the first
+		// re-finalize, when every view is still generation-consistent, so
+		// this branch cannot be reached then — the barrier is a safety net.)
+		if sv := sx.lastView.Load(); sv != nil {
+			return sv
+		}
+		sx.refreezeMu.Lock()
+		sx.refreezeMu.Unlock() //nolint:staticcheck // empty critical section: barrier only
+	}
+}
+
+// Stats aggregates the current per-shard snapshot statistics. Catalog,
+// segment, rebuild and insert counts are summed; the interned-key split and
+// the cache counters are global (shared order, shared cache) and reported
+// once; BuildTime is the slowest shard's build (shards build in parallel).
+func (sx *ShardedIndex) Stats() DynamicStats { return sx.Snapshot().Stats() }
+
+// RebuildPauses returns every writer stall so far: the per-shard rebuild
+// durations (shard-local stalls; with N shards the expected maximum is the
+// full-corpus rebuild pause divided by N) plus one entry per global
+// re-finalize covering its whole stop-the-world window, so the rare
+// corpus-sized pause shows up in the percentiles rather than hiding behind
+// its per-shard components.
+func (sx *ShardedIndex) RebuildPauses() []time.Duration {
+	var out []time.Duration
+	for _, sh := range sx.shards {
+		out = append(out, sh.RebuildPauses()...)
+	}
+	sx.refreezeMu.Lock()
+	out = append(out, sx.refreezePauses...)
+	sx.refreezeMu.Unlock()
+	return out
+}
+
+// ShardedView is one fan-out snapshot: per-shard immutable Views of a
+// single order generation, the statistics captured when the snapshot was
+// taken, and the lazily built flattened catalog the batch-probe pipeline
+// runs over. All methods are read-only and safe for unbounded concurrency.
+type ShardedView struct {
+	sx    *ShardedIndex
+	gen   *orderGen // the views' shared-order generation; nil for one legacy shard
+	views []*View
+
+	statsOnce sync.Once
+	stats     DynamicStats
+
+	once sync.Once
+	flat struct {
+		records  []strutil.Record
+		prepared []*core.PreparedRecord
+		offsets  []int // shard -> base position in the flattened catalog
+		avgSig   float64
+	}
+}
+
+// newShardedView assembles a generation-consistent snapshot. Construction
+// is deliberately trivial — Snapshot sits on the per-query serving path, so
+// the stats aggregation (which touches the shared cache mutex) is deferred
+// to the first Stats call.
+func newShardedView(sx *ShardedIndex, g *orderGen, views []*View) *ShardedView {
+	return &ShardedView{sx: sx, gen: g, views: views}
+}
+
+// Stats aggregates the snapshot's per-shard statistics, computed once on
+// first call and immutable afterwards (the per-shard components were fixed
+// when the snapshot was taken; the global key split and cache counters are
+// read on that first call). Catalog, segment, rebuild and insert counts
+// are summed; the interned-key split and cache counters are global (shared
+// order, shared cache) and reported once; BuildTime is the slowest shard's
+// build (shards build in parallel).
+func (sv *ShardedView) Stats() DynamicStats {
+	sv.statsOnce.Do(func() {
+		st := sv.views[0].Stats()
+		st.Shards = len(sv.views)
+		for _, v := range sv.views[1:] {
+			vs := v.Stats()
+			st.Records += vs.Records
+			st.Live += vs.Live
+			st.Dead += vs.Dead
+			st.Segments += vs.Segments
+			st.Rebuilds += vs.Rebuilds
+			st.Inserts += vs.Inserts
+			if vs.BuildTime > st.BuildTime {
+				st.BuildTime = vs.BuildTime
+			}
+		}
+		if sv.gen != nil {
+			// The order is shared, so the key split is global. (A single
+			// legacy shard owns — and on rebuild replaces — its own order,
+			// so its published stats are the authoritative ones.)
+			st.FrozenKeys = sv.gen.order.FrozenKeys()
+			st.DynamicKeys = sv.gen.order.DynamicCount()
+		}
+		if sv.sx.cache != nil {
+			st.CacheHits, st.CacheMisses = sv.sx.cache.Stats()
+		}
+		sv.stats = st
+	})
+	return sv.stats
+}
+
+// Record returns the record with the given stable ID, if it is live in this
+// snapshot; the ID's hash identifies the one shard that can hold it.
+func (sv *ShardedView) Record(id int) (strutil.Record, bool) {
+	return sv.views[shardOf(id, len(sv.views))].Record(id)
+}
+
+// Live returns the snapshot's live records across all shards, in ascending
+// stable-ID order.
+func (sv *ShardedView) Live() []strutil.Record {
+	var out []strutil.Record
+	for _, v := range sv.views {
+		out = append(out, v.Live()...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ProbeRecord runs the filter-and-verify pipeline for one tokenised query
+// against every shard concurrently and merges the matches in ascending
+// stable-ID order. The signature is selected once (all shards share the
+// global order, so one signature is valid everywhere) and the query is
+// prepared at most once, on the first shard that produces a candidate.
+func (sv *ShardedView) ProbeRecord(tokens []string) []QueryMatch {
+	if len(sv.views) == 1 {
+		return sv.views[0].ProbeRecord(tokens)
+	}
+	sig := sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
+	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
+	parts := make([][]QueryMatch, len(sv.views))
+	parallelFor(len(sv.views), len(sv.views), func(w int) {
+		parts[w] = sv.views[w].probeRecordPrepared(sig, lp)
+	})
+	var out []QueryMatch
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
+	return out
+}
+
+// QueryTopK fans the thresholded top-k scan out to every shard concurrently
+// and k-bounds the merge: each shard returns its own top k through the
+// bounded heap, and the per-shard streams are folded through one more
+// k-bounded heap — sound because the global top k under the total order
+// (similarity desc, ID asc) is contained in the union of per-shard top k's.
+// Results are ordered by descending similarity (ascending ID on ties); k ≤ 0
+// yields an empty result without touching any shard.
+func (sv *ShardedView) QueryTopK(tokens []string, k int) []QueryMatch {
+	if k <= 0 {
+		return nil
+	}
+	if len(sv.views) == 1 {
+		return sv.views[0].QueryTopK(tokens, k)
+	}
+	sig := sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
+	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
+	heaps := make([]topKHeap, len(sv.views))
+	parallelFor(len(sv.views), len(sv.views), func(w int) {
+		heaps[w] = sv.views[w].queryTopKPrepared(sig, lp, k)
+	})
+	merged := heaps[0]
+	for _, h := range heaps[1:] {
+		for _, m := range h.entries {
+			merged.offer(m, k)
+		}
+	}
+	return merged.sorted()
+}
+
+// Probe joins a probe collection against the snapshot through the shared
+// runProbeStages pipeline: probe signatures and prepared records are
+// computed once, and the candidate stage fans each probe record out across
+// the per-shard count filters, remapping shard-local candidate positions
+// into the flattened catalog. Pair.S carries stable record IDs; results are
+// sorted by (S, T) and identical to the unsharded Probe.
+func (sv *ShardedView) Probe(records []strutil.Record) ([]Pair, Stats) {
+	if len(sv.views) == 1 {
+		return sv.views[0].Probe(records)
+	}
+	start := time.Now()
+	sv.initFlat()
+	j := sv.sx.joiner
+	calc := j.calcFor(sv.sx.opts)
+	sigs := j.signatures(records, sv.gen.sel, sv.sx.opts.Method, sv.sx.tau)
+	prep := prepareRecords(records, calc)
+	return runProbeStages(j, calc, sv.sx.opts, probeTarget{
+		records:    sv.flat.records,
+		prepared:   sv.flat.prepared,
+		avgSig:     sv.flat.avgSig,
+		candidates: sv.candidates,
+	}, records, sigs, prep, false, time.Since(start))
+}
+
+// initFlat concatenates the per-shard catalogs into one position space for
+// the batch-probe pipeline. Views are immutable, so this is done once per
+// ShardedView and shared by every Probe on it.
+func (sv *ShardedView) initFlat() {
+	sv.once.Do(func() {
+		total, live := 0, 0
+		var sigMass float64
+		for _, v := range sv.views {
+			total += len(v.records)
+			st := v.Stats()
+			live += st.Live
+			sigMass += v.avgSig * float64(st.Live)
+		}
+		sv.flat.records = make([]strutil.Record, 0, total)
+		sv.flat.prepared = make([]*core.PreparedRecord, 0, total)
+		sv.flat.offsets = make([]int, len(sv.views))
+		for w, v := range sv.views {
+			sv.flat.offsets[w] = len(sv.flat.records)
+			sv.flat.records = append(sv.flat.records, v.records...)
+			sv.flat.prepared = append(sv.flat.prepared, v.prepared...)
+		}
+		if live > 0 {
+			sv.flat.avgSig = sigMass / float64(live)
+		}
+	})
+}
+
+// candidates runs the fan-out count filter for a whole probe collection in
+// parallel: per probe record, every shard's filter runs over the shared
+// scratch (counts are zeroed between shards), and shard-local survivor
+// positions are remapped by the shard's offset into the flattened catalog.
+func (sv *ShardedView) candidates(sigs []pebble.Signature, workers int) ([]pairKey, int64) {
+	return parallelCandidates(len(sigs), len(sv.flat.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
+		sc.merged = sc.merged[:0]
+		var processed int64
+		for w, v := range sv.views {
+			recs, touched := v.candidatesRecord(sigs[t], sc)
+			processed += touched
+			off := int32(sv.flat.offsets[w])
+			for _, r := range recs {
+				sc.merged = append(sc.merged, off+r)
+			}
+		}
+		return sc.merged, processed
+	})
+}
+
+// calcFor resolves the calculator an Options selects: the override when
+// set, the joiner default otherwise.
+func (j *Joiner) calcFor(opts Options) *core.Calculator {
+	if opts.Calculator != nil {
+		return opts.Calculator
+	}
+	return j.calc
+}

@@ -195,7 +195,9 @@ func (g *Generator) segmentPebbles(seg core.Segment, idx int) []Pebble {
 // selectivity, never correctness — the dynamic index re-finalizes (full
 // rebuild) once DynamicCount exceeds a fraction of the frozen prefix.
 //
-// InternDynamic calls must be serialized by the caller; all read-side
+// InternDynamic serializes its callers behind the order's own small mutex,
+// so any number of writers — the shards of a sharded index intern
+// concurrently — may call it without external locking; all read-side
 // methods (ID, Intern, Sort, KeyOf, NumKeys, Frequency) may run
 // concurrently with them, as the dynamic table is swapped atomically and
 // never mutated in place.
@@ -206,6 +208,7 @@ type Order struct {
 	ids  map[string]uint32 // key -> dense ID, in (freq asc, key asc) order
 	keys []string          // dense ID -> key
 
+	dmu sync.Mutex               // serializes InternDynamic writers
 	dyn atomic.Pointer[dynTable] // append-only dynamic region, nil until first InternDynamic
 }
 
@@ -322,11 +325,14 @@ func (o *Order) Intern(pebbles []Pebble) {
 // (first-seen order across the batches). It returns the number of newly
 // appended keys. The dynamic table is cloned at most once per call — pass a
 // whole insert batch in one call rather than looping — and not at all when
-// every key is already interned. Callers must serialize InternDynamic calls
-// (the dynamic index holds its writer lock); concurrent readers are safe
-// because the dynamic table is replaced wholesale, never mutated.
+// every key is already interned. InternDynamic callers are serialized on an
+// internal mutex (shards of a sharded index intern into one shared order
+// concurrently, each under its own writer lock); concurrent readers are
+// safe because the dynamic table is replaced wholesale, never mutated.
 func (o *Order) InternDynamic(batches ...[]Pebble) int {
 	o.Finalize()
+	o.dmu.Lock()
+	defer o.dmu.Unlock()
 	old := o.dyn.Load()
 	var next *dynTable
 	added := 0
