@@ -13,13 +13,35 @@
 //
 // # Quick start
 //
-//	j := aujoin.New(
+//	j, err := aujoin.NewStrict(
 //		aujoin.WithSynonym("coffee shop", "cafe", 1.0),
 //		aujoin.WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "espresso"),
 //		aujoin.WithTaxonomyPath("wikipedia", "food", "coffee", "coffee drinks", "latte"),
 //	)
+//	if err != nil { ... }
 //	sim := j.Similarity("coffee shop latte Helsingki", "espresso cafe Helsinki")
 //	matches, _ := j.Join(left, right, aujoin.JoinOptions{Theta: 0.8, AutoTau: true})
+//
+// NewStrict is the recommended constructor; New is the panic-on-error
+// convenience wrapper for option lists known to be valid (tests, examples,
+// hard-coded configuration).
+//
+// # Streaming and cancellation
+//
+// Every batch entry point has a streaming sibling that accepts a
+// context.Context and yields matches one at a time as the parallel verify
+// stage confirms them (Go 1.23 range-over-func), so peak match buffering is
+// bounded by the worker count rather than the result size and a deadline or
+// a disconnected client cancels the join mid-flight:
+//
+//	for m, err := range j.JoinSeq(ctx, left, right, opts) {
+//		if err != nil { ... }   // ctx cancelled or deadline exceeded
+//		consume(m)              // breaking out stops the pipeline
+//	}
+//
+// QueryCtx and QueryTopKCtx serve single strings under the same contract and
+// take per-request QueryOptions (threshold, k, worker-count overrides) that
+// the batch API fixes at build time.
 //
 // # Build once, probe many
 //
@@ -63,8 +85,10 @@
 package aujoin
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"time"
 
 	"github.com/aujoin/aujoin/internal/core"
@@ -118,18 +142,27 @@ type Match struct {
 type Stats struct {
 	// Candidates is the number of pairs that survived filtering.
 	Candidates int
+	// ShardCandidates breaks Candidates down per shard when the probe ran
+	// against a sharded Index (IndexOptions.Shards ≥ 2): entry i counts the
+	// candidates shard i contributed, and the entries always sum to
+	// Candidates. It is nil for unsharded probes and one-shot joins.
+	ShardCandidates []int
 	// Results is the number of matches returned.
 	Results int
 	// SuggestedTau is the overlap constraint used (after auto-suggestion,
 	// when enabled).
 	SuggestedTau int
-	// SuggestionTime, FilterTime and VerifyTime break the total down.
+	// SuggestionTime, FilterTime and VerifyTime break the total down. Each
+	// is the wall-clock duration of its stage — elapsed time, NOT CPU time
+	// summed over verification workers or shards — so the three add up to
+	// the end-to-end latency the caller observed.
 	SuggestionTime time.Duration
 	FilterTime     time.Duration
 	VerifyTime     time.Duration
 }
 
-// Total returns the total join time.
+// Total returns the total join time: the sum of the per-stage wall-clock
+// durations, i.e. the end-to-end latency of the call (not CPU time).
 func (s Stats) Total() time.Duration { return s.SuggestionTime + s.FilterTime + s.VerifyTime }
 
 // JoinOptions configures Join and SelfJoin.
@@ -274,8 +307,11 @@ type Joiner struct {
 	joiner *join.Joiner
 }
 
-// New constructs a Joiner from the given options. Invalid options are
-// reported by Err on the returned Joiner; NewStrict returns them eagerly.
+// New constructs a Joiner from the given options, panicking on invalid
+// ones. It is the convenience wrapper for option lists known to be valid
+// (tests, examples, hard-coded configuration); code handling user-supplied
+// configuration should call NewStrict, the documented default constructor,
+// and handle the error.
 func New(opts ...Option) *Joiner {
 	j, err := NewStrict(opts...)
 	if err != nil {
@@ -284,7 +320,8 @@ func New(opts ...Option) *Joiner {
 	return j
 }
 
-// NewStrict is New with explicit error reporting.
+// NewStrict constructs a Joiner from the given options, reporting invalid
+// options as an error. It is the recommended constructor.
 func NewStrict(opts ...Option) (*Joiner, error) {
 	b := &builder{rules: synonym.NewRuleSet(), measures: sim.SetAll, q: sim.DefaultQ, t: core.DefaultT}
 	for _, opt := range opts {
@@ -325,6 +362,112 @@ func (j *Joiner) Join(s, t []string, opts JoinOptions) ([]Match, Stats) {
 func (j *Joiner) SelfJoin(s []string, opts JoinOptions) ([]Match, Stats) {
 	recs := strutil.NewCollection(s)
 	return j.joinRecords(recs, recs, opts, true)
+}
+
+// JoinSeq is the streaming form of Join: it returns a Go 1.23 range-over-func
+// sequence that yields each match as the parallel verify stage confirms it,
+// in completion order (collect and sort by (S, T) to reproduce Join's order).
+// All work — signature generation, filtering, verification — runs inside the
+// consumer's range loop, and peak match buffering is bounded by the worker
+// count, not the result size.
+//
+// Cancellation is cooperative and prompt: when ctx is cancelled or its
+// deadline passes, the pipeline stops between candidate pairs and the
+// sequence yields one final non-nil error (with AutoTau, a cancellation
+// during the sampling stage surfaces the same way). Breaking out of the loop
+// early stops the pipeline too, and is not an error. In both cases every
+// internal goroutine is released before the range statement returns.
+func (j *Joiner) JoinSeq(ctx context.Context, s, t []string, opts JoinOptions) iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		recsS := strutil.NewCollection(s)
+		recsT := strutil.NewCollection(t)
+		jopts, err := j.resolveSeqOptions(ctx, recsS, recsT, opts)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
+		forwardPairs(j.joiner.JoinSeq(ctx, recsS, recsT, jopts), yield)
+	}
+}
+
+// SelfJoinSeq is the streaming form of SelfJoin, under the same contract as
+// JoinSeq: each unordered pair (i < j) is yielded at most once, in
+// completion order.
+func (j *Joiner) SelfJoinSeq(ctx context.Context, s []string, opts JoinOptions) iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		recs := strutil.NewCollection(s)
+		jopts, err := j.resolveSeqOptions(ctx, recs, recs, opts)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
+		forwardPairs(j.joiner.SelfJoinSeq(ctx, recs, jopts), yield)
+	}
+}
+
+// resolveSeqOptions maps JoinOptions onto the internal join options, running
+// the τ estimator under ctx when AutoTau is set so a deadline also bounds
+// the sampling stage.
+func (j *Joiner) resolveSeqOptions(ctx context.Context, recsS, recsT []strutil.Record, opts JoinOptions) (join.Options, error) {
+	tau := opts.Tau
+	if tau < 1 {
+		tau = 1
+	}
+	if opts.AutoTau {
+		rec, err := estimator.SuggestCtx(ctx, j.joiner, recsS, recsT,
+			join.Options{Theta: opts.Theta, Method: opts.Filter.method()},
+			estimator.Config{Seed: opts.estimatorSeed()})
+		if err != nil {
+			return join.Options{}, err
+		}
+		tau = rec.BestTau
+	}
+	return join.Options{
+		Theta:   opts.Theta,
+		Tau:     tau,
+		Method:  opts.Filter.method(),
+		Workers: opts.Workers,
+	}, nil
+}
+
+// forwardPairs adapts an internal pair stream onto the public Match type,
+// preserving the streaming contract (errors forwarded once, consumer breaks
+// propagated back into the pipeline).
+func forwardPairs(seq iter.Seq2[join.Pair, error], yield func(Match, error) bool) {
+	for p, err := range seq {
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
+		if !yield(Match{S: p.S, T: p.T, Similarity: p.Similarity}, nil) {
+			return
+		}
+	}
+}
+
+// QueryOptions carries per-request overrides for QueryCtx and QueryTopKCtx —
+// parameters the batch Query/QueryTopK freeze at index build time. The zero
+// value changes nothing.
+type QueryOptions struct {
+	// MinSimilarity overrides the similarity threshold for this request;
+	// 0 keeps the build-time Theta. Values above the build-time Theta are
+	// exact (the filter over-admits and verification tightens). Values below
+	// it are best-effort: the candidate set is still bounded by the
+	// build-time filter, so matches between the override and the build-time
+	// Theta are returned only when they survive that filter.
+	MinSimilarity float64
+	// K bounds the number of matches QueryTopKCtx returns; it is ignored by
+	// QueryCtx, which returns every match. K ≤ 0 returns an empty result.
+	K int
+	// Workers bounds this request's verification parallelism; 0 or 1
+	// verifies sequentially (on a sharded index, the per-shard fan-out still
+	// runs concurrently).
+	Workers int
+}
+
+// internal maps the public options onto the internal per-request options.
+func (o QueryOptions) internal() join.QueryOpts {
+	return join.QueryOpts{Theta: o.MinSimilarity, Workers: o.Workers}
 }
 
 // Index is a dynamic, concurrently servable join target over one
@@ -429,15 +572,35 @@ func (ix *Index) Probe(records []string) ([]Match, Stats) {
 	return ix.Snapshot().Probe(records)
 }
 
+// ProbeSeq is the streaming form of Probe against the current snapshot,
+// under the same contract as Joiner.JoinSeq: matches are yielded in
+// completion order, breaking out stops the pipeline, and a ctx cancellation
+// surfaces as one final error.
+func (ix *Index) ProbeSeq(ctx context.Context, records []string) iter.Seq2[Match, error] {
+	return ix.Snapshot().ProbeSeq(ctx, records)
+}
+
 // Query runs the filter-and-verify pipeline for a single string against
 // the current snapshot and returns the matching records in ascending
 // stable-ID order.
 func (ix *Index) Query(q string) []QueryMatch { return ix.Snapshot().Query(q) }
 
+// QueryCtx is Query with cooperative cancellation and per-request options;
+// see View.QueryCtx.
+func (ix *Index) QueryCtx(ctx context.Context, q string, opts QueryOptions) ([]QueryMatch, error) {
+	return ix.Snapshot().QueryCtx(ctx, q, opts)
+}
+
 // QueryTopK returns the k best matches for q in the current snapshot,
 // ordered by descending similarity.
 func (ix *Index) QueryTopK(q string, k int) []QueryMatch {
 	return ix.Snapshot().QueryTopK(q, k)
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation and per-request
+// options; see View.QueryTopKCtx.
+func (ix *Index) QueryTopKCtx(ctx context.Context, q string, opts QueryOptions) ([]QueryMatch, error) {
+	return ix.Snapshot().QueryTopKCtx(ctx, q, opts)
 }
 
 // IndexStats describes one snapshot of a dynamic Index: catalog size and
@@ -500,23 +663,65 @@ func (v *View) Probe(records []string) ([]Match, Stats) {
 	return convertPairs(pairs, jstats, v.tau)
 }
 
+// ProbeSeq is the streaming form of Probe, under the same contract as
+// Joiner.JoinSeq: matches are yielded in completion order as the parallel
+// verify stage confirms them, breaking out of the range loop stops the
+// pipeline, and a ctx cancellation or deadline surfaces as one final
+// non-nil error.
+func (v *View) ProbeSeq(ctx context.Context, records []string) iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		forwardPairs(v.inner.ProbeSeq(ctx, strutil.NewCollection(records)), yield)
+	}
+}
+
 // Query runs the filter-and-verify pipeline for a single string and
-// returns the matching records in ascending stable-ID order.
+// returns the matching records in ascending stable-ID order. An empty (or
+// all-whitespace) query returns no matches without touching the index.
 func (v *View) Query(q string) []QueryMatch {
 	hits := v.inner.ProbeRecord(strutil.Tokenize(q))
 	return convertHits(hits)
+}
+
+// QueryCtx is Query with cooperative cancellation and per-request overrides:
+// verification checks ctx between candidates (aborting every shard of a
+// sharded index on the first cancellation) and opts may raise the similarity
+// threshold or bound the request's verification parallelism for this call
+// only. opts.K is ignored — every match is returned; use QueryTopKCtx for a
+// bounded result.
+func (v *View) QueryCtx(ctx context.Context, q string, opts QueryOptions) ([]QueryMatch, error) {
+	hits, err := v.inner.ProbeRecordCtx(ctx, strutil.Tokenize(q), opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertHits(hits), nil
 }
 
 // QueryTopK returns the k best matches for q, ordered by descending
 // similarity (ascending ID on ties). The candidate scan is thresholded at
 // the index θ and a bounded heap keeps memory O(k); on a sharded index the
 // per-shard top-k streams are merged through one more k-bounded heap. k ≤ 0
-// returns an empty slice without touching the index.
+// and empty queries return an empty slice without touching the index.
 func (v *View) QueryTopK(q string, k int) []QueryMatch {
 	if k <= 0 {
 		return []QueryMatch{}
 	}
 	return convertHits(v.inner.QueryTopK(strutil.Tokenize(q), k))
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation and per-request
+// overrides (the result size comes from opts.K). Verification checks ctx
+// between candidates, aborting every shard of a sharded index on the first
+// cancellation; opts may also raise the similarity threshold or bound this
+// request's verification parallelism.
+func (v *View) QueryTopKCtx(ctx context.Context, q string, opts QueryOptions) ([]QueryMatch, error) {
+	if opts.K <= 0 {
+		return []QueryMatch{}, ctx.Err()
+	}
+	hits, err := v.inner.QueryTopKCtx(ctx, strutil.Tokenize(q), opts.K, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertHits(hits), nil
 }
 
 // convertHits maps internal query results onto the public type.
@@ -535,37 +740,36 @@ func convertHits(hits []join.QueryMatch) []QueryMatch {
 // (for which τ is fixed at 1) is estimated as the heuristic AU-Filter, so
 // the zero-value Filter keeps the previous behaviour.
 func (j *Joiner) SuggestTau(s, t []string, opts JoinOptions) int {
+	tau, _ := j.SuggestTauCtx(context.Background(), s, t, opts)
+	return tau
+}
+
+// SuggestTauCtx is SuggestTau with deadline awareness: the sampling loop of
+// Algorithm 7 checks ctx between rounds and stops early when it is done, so
+// a request deadline bounds the suggestion stage too. The returned τ is the
+// best recommendation from the rounds that completed; the error is the
+// context error when the loop was truncated (callers that can tolerate a
+// lower-confidence suggestion may use the τ anyway).
+func (j *Joiner) SuggestTauCtx(ctx context.Context, s, t []string, opts JoinOptions) (int, error) {
 	recsS := strutil.NewCollection(s)
 	recsT := strutil.NewCollection(t)
 	method := opts.Filter.method()
 	if method == pebble.UFilter {
 		method = pebble.AUHeuristic
 	}
-	rec := estimator.Suggest(j.joiner, recsS, recsT,
+	rec, err := estimator.SuggestCtx(ctx, j.joiner, recsS, recsT,
 		join.Options{Theta: opts.Theta, Method: method},
 		estimator.Config{Seed: opts.estimatorSeed()})
-	return rec.BestTau
+	return rec.BestTau, err
 }
 
 func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, self bool) ([]Match, Stats) {
 	var suggestionTime time.Duration
-	tau := opts.Tau
-	if tau < 1 {
-		tau = 1
-	}
+	start := time.Now()
+	// The context is Background, so option resolution cannot fail.
+	jopts, _ := j.resolveSeqOptions(context.Background(), recsS, recsT, opts)
 	if opts.AutoTau {
-		start := time.Now()
-		rec := estimator.Suggest(j.joiner, recsS, recsT,
-			join.Options{Theta: opts.Theta, Method: opts.Filter.method()},
-			estimator.Config{Seed: opts.estimatorSeed()})
-		tau = rec.BestTau
 		suggestionTime = time.Since(start)
-	}
-	jopts := join.Options{
-		Theta:   opts.Theta,
-		Tau:     tau,
-		Method:  opts.Filter.method(),
-		Workers: opts.Workers,
 	}
 	var pairs []join.Pair
 	var jstats join.Stats
@@ -574,7 +778,7 @@ func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, se
 	} else {
 		pairs, jstats = j.joiner.Join(recsS, recsT, jopts)
 	}
-	out, stats := convertPairs(pairs, jstats, tau)
+	out, stats := convertPairs(pairs, jstats, jopts.Tau)
 	stats.SuggestionTime = suggestionTime
 	return out, stats
 }
@@ -582,11 +786,12 @@ func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, se
 // convertPairs maps internal join results onto the public types.
 func convertPairs(pairs []join.Pair, jstats join.Stats, tau int) ([]Match, Stats) {
 	stats := Stats{
-		Candidates:   jstats.Candidates,
-		Results:      len(pairs),
-		SuggestedTau: tau,
-		FilterTime:   jstats.SignatureTime + jstats.FilterTime,
-		VerifyTime:   jstats.VerifyTime,
+		Candidates:      jstats.Candidates,
+		ShardCandidates: jstats.ShardCandidates,
+		Results:         len(pairs),
+		SuggestedTau:    tau,
+		FilterTime:      jstats.SignatureTime + jstats.FilterTime,
+		VerifyTime:      jstats.VerifyTime,
 	}
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {

@@ -15,14 +15,24 @@
 //
 // Endpoints:
 //
-//	GET  /query?q=<string>&k=<n>         top-k matches for one query string;
-//	                                     k is required and must be ≥ 1
+//	GET  /query?q=<string>&k=<n>         top-k matches for one query string,
+//	                                     streamed as NDJSON (one match per
+//	                                     line); k is required and must be ≥ 1,
+//	                                     and min_sim=<f> optionally raises the
+//	                                     similarity threshold for this request
+//	POST /probe {"records": [...]}       join a batch against the catalog,
+//	                                     matches streamed as NDJSON lines as
+//	                                     they are confirmed
 //	POST /insert {"records": [...]}      append a batch, returns stable ids
 //	POST /remove {"id": <n>}             tombstone one record by stable id
 //	POST /remove-batch {"ids": [...]}    tombstone a batch, returns per-id
 //	                                     booleans
 //	GET  /stats                          snapshot statistics
 //	GET  /healthz                        liveness probe
+//
+// Every query and probe runs under the request's context: a client that
+// hangs up or times out cancels the in-flight filter-and-verify work instead
+// of leaving it to run to completion against a dead connection.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -101,6 +111,7 @@ func main() {
 	srv := &server{ix: ix}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/probe", srv.handleProbe)
 	mux.HandleFunc("/insert", srv.handleInsert)
 	mux.HandleFunc("/remove", srv.handleRemove)
 	mux.HandleFunc("/remove-batch", srv.handleRemoveBatch)
@@ -152,11 +163,6 @@ const (
 	maxTopK      = 10000
 )
 
-type queryResponse struct {
-	Query   string              `json:"query"`
-	Matches []aujoin.QueryMatch `json:"matches"`
-}
-
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -176,11 +182,71 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("k is required and must be an integer in [1, %d]", maxTopK), http.StatusBadRequest)
 		return
 	}
-	matches := s.ix.Snapshot().QueryTopK(q, k)
-	if matches == nil {
-		matches = []aujoin.QueryMatch{}
+	opts := aujoin.QueryOptions{K: k}
+	if raw := r.URL.Query().Get("min_sim"); raw != "" {
+		minSim, err := strconv.ParseFloat(raw, 64)
+		if err != nil || minSim <= 0 || minSim > 1 {
+			http.Error(w, "min_sim must be a float in (0, 1]", http.StatusBadRequest)
+			return
+		}
+		opts.MinSimilarity = minSim
 	}
-	writeJSON(w, queryResponse{Query: q, Matches: matches})
+	// The request context cancels the fan-out mid-verification when the
+	// client disconnects or times out; there is no one left to tell, so the
+	// handler just stops.
+	matches, err := s.ix.QueryTopKCtx(r.Context(), q, opts)
+	if err != nil {
+		return
+	}
+	nw := cmdutil.NewNDJSONWriter(w)
+	for _, m := range matches {
+		if nw.Write(m) != nil {
+			return
+		}
+	}
+}
+
+type probeRequest struct {
+	Records []string `json:"records"`
+}
+
+// probeMatch is one streamed probe result line: the stable ID of the matched
+// catalog record, the position of the probe record in the request batch, and
+// their unified similarity.
+type probeMatch struct {
+	S          int     `json:"s"`
+	T          int     `json:"t"`
+	Similarity float64 `json:"similarity"`
+}
+
+// handleProbe joins a batch of records against the current snapshot and
+// streams each match as an NDJSON line the moment the parallel verify stage
+// confirms it — the response starts before the join finishes, peak match
+// buffering stays bounded by the worker count, and a client hanging up
+// mid-stream cancels the remaining filter-and-verify work via the request
+// context.
+func (s *server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req probeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	nw := cmdutil.NewNDJSONWriter(w)
+	for m, err := range s.ix.ProbeSeq(r.Context(), req.Records) {
+		if err != nil {
+			// Cancelled (client gone or deadline passed) mid-join; the
+			// pipeline has already stopped, and an NDJSON stream has no
+			// in-band error channel worth inventing for a dead client.
+			return
+		}
+		if nw.Write(probeMatch{S: m.S, T: m.T, Similarity: m.Similarity}) != nil {
+			return
+		}
+	}
 }
 
 type insertRequest struct {

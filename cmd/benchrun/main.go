@@ -43,6 +43,7 @@ func main() {
 		serveTau      = flag.Int("serve-tau", 2, "serve mode: overlap constraint")
 		serveTopK     = flag.Int("serve-k", 10, "serve mode: top-k per query")
 		serveMutate   = flag.Duration("serve-mutate-every", 10*time.Millisecond, "serve mode: pause between mutation batches")
+		serveTimeout  = flag.Duration("serve-query-timeout", 0, "serve mode: per-query deadline (0 = none)")
 		shards        = flag.Int("shards", 1, "serve mode: index partitions (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -59,15 +60,16 @@ func main() {
 	runners := map[string]func() fmt.Stringer{
 		"serve": func() fmt.Stringer {
 			return runServe(serveConfig{
-				CatalogSize: cfg.MEDSize,
-				Theta:       *serveTheta,
-				Tau:         *serveTau,
-				Duration:    *serveDuration,
-				Workers:     *serveWorkers,
-				TopK:        *serveTopK,
-				Shards:      *shards,
-				MutateEvery: *serveMutate,
-				Seed:        *seed,
+				CatalogSize:  cfg.MEDSize,
+				Theta:        *serveTheta,
+				Tau:          *serveTau,
+				Duration:     *serveDuration,
+				Workers:      *serveWorkers,
+				TopK:         *serveTopK,
+				Shards:       *shards,
+				MutateEvery:  *serveMutate,
+				QueryTimeout: *serveTimeout,
+				Seed:         *seed,
 			})
 		},
 		"table8":  func() fmt.Stringer { return experiments.RunTable8(cfg, []float64{0.70, 0.75}) },

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -33,13 +34,19 @@ type serveConfig struct {
 	// MutateEvery is the pause between mutation batches; each batch
 	// inserts a handful of records and removes one.
 	MutateEvery time.Duration
-	Seed        int64
+	// QueryTimeout is the per-query deadline (0 = none): each top-k query
+	// runs under a context.WithTimeout, exercising the cancellation path a
+	// serving deployment relies on and bounding tail latency at the cost of
+	// dropped answers (counted in the result).
+	QueryTimeout time.Duration
+	Seed         int64
 }
 
 // serveResult aggregates what the load generator observed.
 type serveResult struct {
 	cfg       serveConfig
 	queries   int64
+	timeouts  int64 // queries abandoned at their per-query deadline
 	elapsed   time.Duration
 	latencies []float64 // milliseconds, sampled
 	inserted  int64
@@ -54,6 +61,9 @@ func (r serveResult) String() string {
 	fmt.Fprintf(&b, "catalog=%d θ=%v τ=%d workers=%d shards=%d duration=%v\n",
 		r.cfg.CatalogSize, r.cfg.Theta, r.cfg.Tau, r.cfg.Workers, r.stats.Shards, r.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "queries=%d (%.0f qps) inserted=%d removed=%d\n", r.queries, qps, r.inserted, r.removed)
+	if r.cfg.QueryTimeout > 0 {
+		fmt.Fprintf(&b, "query timeout %v: %d queries cancelled at deadline\n", r.cfg.QueryTimeout, r.timeouts)
+	}
 	if len(r.latencies) > 0 {
 		ps := metrics.Percentiles(r.latencies, 50, 95, 99)
 		fmt.Fprintf(&b, "latency ms: p50=%.3f p95=%.3f p99=%.3f\n", ps[0], ps[1], ps[2])
@@ -83,11 +93,14 @@ func runServe(cfg serveConfig) serveResult {
 		insertPool[i] = rec.Raw
 	}
 
-	var queries, inserted, removed int64
+	var queries, timeouts, inserted, removed int64
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 
-	// Readers: each worker keeps its own sampled latency slice.
+	// Readers: each worker keeps its own sampled latency slice. Every query
+	// runs through the context-aware serving path; with a per-query timeout
+	// configured, a deadline cancels the fan-out mid-verification exactly as
+	// a disconnecting client would in aujoind.
 	latAll := make([][]float64, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -99,9 +112,18 @@ func runServe(cfg serveConfig) serveResult {
 			for i := 0; time.Now().Before(deadline); i++ {
 				q := queryPool[rng.Intn(len(queryPool))]
 				t0 := time.Now()
-				dx.Snapshot().QueryTopK(q.Tokens, cfg.TopK)
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if cfg.QueryTimeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.QueryTimeout)
+				}
+				_, err := dx.Snapshot().QueryTopKCtx(ctx, q.Tokens, cfg.TopK, join.QueryOpts{})
+				cancel()
 				d := time.Since(t0)
 				atomic.AddInt64(&queries, 1)
+				if err != nil {
+					atomic.AddInt64(&timeouts, 1)
+				}
 				if i%8 == 0 { // sample 1-in-8 to bound memory
 					lat = append(lat, float64(d.Microseconds())/1000)
 				}
@@ -148,6 +170,7 @@ func runServe(cfg serveConfig) serveResult {
 	return serveResult{
 		cfg:       cfg,
 		queries:   queries,
+		timeouts:  timeouts,
 		elapsed:   time.Since(start),
 		latencies: lat,
 		inserted:  inserted,

@@ -1,3 +1,3 @@
 module github.com/aujoin/aujoin
 
-go 1.21
+go 1.23

@@ -1,11 +1,14 @@
 // Package cmdutil holds the small helpers shared by the command-line
-// binaries (cmd/aujoin, cmd/aujoind): line-oriented catalog loading and
-// flag-value parsing. It exists so the commands cannot drift apart on
-// details like scanner buffer limits or filter spellings.
+// binaries (cmd/aujoin, cmd/aujoind): line-oriented catalog loading,
+// flag-value parsing and NDJSON response streaming. It exists so the
+// commands cannot drift apart on details like scanner buffer limits or
+// filter spellings.
 package cmdutil
 
 import (
 	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 
 	"github.com/aujoin/aujoin"
@@ -39,4 +42,40 @@ func ParseFilter(name string) aujoin.Filter {
 	default:
 		return aujoin.AUFilterDP
 	}
+}
+
+// NDJSONWriter streams newline-delimited JSON (one object per line) over an
+// HTTP response, flushing after every line so results reach the client
+// incrementally — the transport half of a streaming endpoint: a consumer can
+// start processing (or hang up) long before the producer finishes.
+type NDJSONWriter struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+	err     error
+}
+
+// NewNDJSONWriter prepares w for NDJSON streaming, setting the content type.
+// It must be called before the first byte of the body is written.
+func NewNDJSONWriter(w http.ResponseWriter) *NDJSONWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	return &NDJSONWriter{enc: json.NewEncoder(w), flusher: flusher}
+}
+
+// Write encodes one value as a JSON line and flushes it. After the first
+// failure (typically the client hanging up mid-stream) every subsequent call
+// returns the same error without writing, so streaming loops can simply stop
+// on non-nil.
+func (nw *NDJSONWriter) Write(v any) error {
+	if nw.err != nil {
+		return nw.err
+	}
+	if err := nw.enc.Encode(v); err != nil {
+		nw.err = err
+		return err
+	}
+	if nw.flusher != nil {
+		nw.flusher.Flush()
+	}
+	return nil
 }

@@ -7,6 +7,7 @@
 package estimator
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -173,6 +174,19 @@ type Recommendation struct {
 // and variances, and stops when the worst-case regret of the current best τ
 // is smaller than the cost of one more sampling round (after the burn-in).
 func Suggest(j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Config) Recommendation {
+	rec, _ := SuggestCtx(context.Background(), j, s, t, base, cfg)
+	return rec
+}
+
+// SuggestCtx is Suggest with deadline awareness: the sampling loop checks
+// ctx between rounds (each round is one small Bernoulli sample, so the check
+// granularity is milliseconds) and stops early when the context is done.
+// The returned Recommendation is computed from the rounds that completed —
+// a deadline turns Algorithm 7's statistical stopping rule into a time
+// budget — and the context error reports the truncation; when no round
+// completed the recommendation falls back to the smallest τ of the universe
+// and callers should treat the error as fatal.
+func SuggestCtx(ctx context.Context, j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Config) (Recommendation, error) {
 	start := time.Now()
 	cfg = cfg.withDefaults(len(s), len(t))
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -184,7 +198,11 @@ func Suggest(j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Confi
 
 	scale := 1 / (cfg.SampleProbS * cfg.SampleProbT)
 	iterations := 0
+	var ctxErr error
 	for iterations < cfg.MaxIterations {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
 		iterations++
 		sampleS := bernoulliSample(s, cfg.SampleProbS, rng)
 		sampleT := bernoulliSample(t, cfg.SampleProbT, rng)
@@ -234,7 +252,12 @@ func Suggest(j *join.Joiner, s, t []strutil.Record, base join.Options, cfg Confi
 			rec.BestTau = st.tau
 		}
 	}
-	return rec
+	if rec.BestTau == 0 && len(cfg.Universe) > 0 {
+		// Cancelled before the first round: every estimate is degenerate, so
+		// recommend the smallest τ (the always-sound overlap constraint).
+		rec.BestTau = cfg.Universe[0]
+	}
+	return rec, ctxErr
 }
 
 // costInterval folds the T and V statistics into the cost estimate and its

@@ -1,10 +1,12 @@
 package estimator
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/aujoin/aujoin/internal/join"
 	"github.com/aujoin/aujoin/internal/pebble"
@@ -340,5 +342,59 @@ func TestShouldStopBehaviour(t *testing.T) {
 	}
 	if shouldStop([]*tauState{c, d}, cfg) {
 		t.Error("overlapping noisy estimates should not stop")
+	}
+}
+
+// TestSuggestCtxRespectsCancellation pins the deadline behaviour of the
+// sampling loop: an already-cancelled context stops before the first round
+// (still recommending the always-sound smallest τ), and a context cancelled
+// mid-loop truncates the iterations while keeping the estimates of the
+// completed rounds.
+func TestSuggestCtxRespectsCancellation(t *testing.T) {
+	j := join.NewJoiner(testContext())
+	s := testCorpus(120, 1)
+	u := testCorpus(120, 2)
+	base := join.Options{Theta: 0.8, Method: pebble.AUDP}
+	cfg := Config{Seed: 7, SampleProbS: 1, SampleProbT: 1, BurnIn: 50, MaxIterations: 50}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec, err := SuggestCtx(cancelled, j, s, u, base, cfg)
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled SuggestCtx error = %v, want context.Canceled", err)
+	}
+	if rec.Iterations != 0 {
+		t.Errorf("pre-cancelled SuggestCtx ran %d iterations", rec.Iterations)
+	}
+	if rec.BestTau < 1 {
+		t.Errorf("pre-cancelled SuggestCtx recommended τ=%d, want a sound fallback ≥ 1", rec.BestTau)
+	}
+
+	// Full-probability samples make every round substantial (a 120×120
+	// filter sweep), so a deadline a few rounds in reliably truncates the
+	// 50-round budget.
+	deadline, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	rec, err = SuggestCtx(deadline, j, s, u, base, cfg)
+	if err == nil {
+		t.Skip("machine fast enough to finish 50 full-sample rounds in 50ms")
+	}
+	if rec.Iterations == 0 || rec.Iterations >= cfg.MaxIterations {
+		t.Errorf("truncated SuggestCtx ran %d iterations, want in (0, %d)", rec.Iterations, cfg.MaxIterations)
+	}
+	if rec.BestTau < 1 {
+		t.Errorf("truncated SuggestCtx recommended τ=%d", rec.BestTau)
+	}
+
+	// Background never errors and matches Suggest bit-for-bit (a short
+	// round budget keeps the doubled run cheap).
+	quick := cfg
+	quick.BurnIn, quick.MaxIterations = 2, 3
+	recBG, err := SuggestCtx(context.Background(), j, s, u, base, quick)
+	if err != nil {
+		t.Fatalf("background SuggestCtx error: %v", err)
+	}
+	if recBG.BestTau != Suggest(j, s, u, base, quick).BestTau {
+		t.Error("SuggestCtx(Background) and Suggest disagree on BestTau")
 	}
 }

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -78,11 +79,54 @@ func BenchmarkVerify(b *testing.B) {
 	ix := j.buildIndex(s, j.BuildOrder(s, t), opts, nil)
 	sigs := j.signatures(t, ix.sel, opts.Method, ix.tau)
 	prepT := prepareRecords(t, ix.calc)
-	cands, _ := ix.candidates(sigs, false, opts.workers())
+	cands, _, _ := ix.candidates(context.Background(), sigs, false, opts.workers())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j.verify(s, t, ix.prepared, prepT, cands, ix.calc, opts)
+	}
+}
+
+// BenchmarkJoinSeq measures the streaming join on a result-heavy workload
+// (~120k matches): matches are consumed as yielded, never buffered, so the
+// reported allocs/op pin the streaming path's memory contract against
+// BenchmarkJoinBatch (same workload through batch Join, which additionally
+// buffers and sorts the full result).
+func BenchmarkJoinSeq(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := denseCorpus(600, 3, 5)
+	t := denseCorpus(600, 3, 6)
+	opts := Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for _, err := range j.JoinSeq(context.Background(), s, t, opts) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			count++
+		}
+		if count == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkJoinBatch is BenchmarkJoinSeq's baseline: the identical workload
+// through the buffering batch Join.
+func BenchmarkJoinBatch(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := denseCorpus(600, 3, 5)
+	t := denseCorpus(600, 3, 6)
+	opts := Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, _ := j.Join(s, t, opts)
+		if len(pairs) == 0 {
+			b.Fatal("empty result")
+		}
 	}
 }
 

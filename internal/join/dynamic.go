@@ -1,6 +1,8 @@
 package join
 
 import (
+	"context"
+	"iter"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -613,33 +615,119 @@ func (lp *lazyPrepared) get() *core.PreparedRecord {
 	return lp.pr
 }
 
+// QueryOpts carries per-request overrides of parameters that are otherwise
+// fixed when an index is built. The zero value changes nothing.
+type QueryOpts struct {
+	// Theta overrides the verification threshold for this request; 0 keeps
+	// the build-time θ. Values above the build θ are exact (the filter
+	// over-admits, verification tightens). Values below it are best-effort:
+	// the candidate set is still bounded by the build-time filter, so
+	// matches whose similarity falls between the override and the build θ
+	// are returned only when they happen to survive that filter.
+	Theta float64
+	// Workers bounds the verification parallelism of this request; 0 or 1
+	// verifies sequentially on the calling goroutine (per shard, on a
+	// sharded index — the shard fan-out itself always runs concurrently).
+	Workers int
+}
+
+// thetaFor resolves the verification threshold a request runs at.
+func (o Options) thetaFor(qo QueryOpts) float64 {
+	if qo.Theta > 0 {
+		return qo.Theta
+	}
+	return o.Theta
+}
+
+// minParallelVerify is the candidate count below which a per-query
+// verification request ignores QueryOpts.Workers: spawning goroutines for a
+// handful of candidates costs more than it saves.
+const minParallelVerify = 64
+
 // ProbeRecord runs the filter-and-verify pipeline for one tokenised query
 // against the snapshot and returns the matching live records — identified
 // by their stable IDs — in ascending ID order.
 func (v *View) ProbeRecord(tokens []string) []QueryMatch {
-	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
-	out := v.probeRecordPrepared(sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens})
-	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
+	out, _ := v.ProbeRecordCtx(context.Background(), tokens, QueryOpts{})
 	return out
 }
 
-// probeRecordPrepared is ProbeRecord for a ready-made probe signature and a
-// lazily shared prepared query; results are unordered (the callers sort —
+// ProbeRecordCtx is ProbeRecord with cooperative cancellation and
+// per-request options: verification checks ctx between candidates and
+// returns the context error on cancellation. An empty token slice returns
+// an empty result without touching the index (there is no zero-signature
+// probe to run).
+func (v *View) ProbeRecordCtx(ctx context.Context, tokens []string, qo QueryOpts) ([]QueryMatch, error) {
+	if len(tokens) == 0 {
+		return nil, ctx.Err()
+	}
+	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
+	out, err := v.probeRecordPrepared(ctx, sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, qo)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
+	return out, nil
+}
+
+// verifyCandidatesParallel verifies the candidates across qo.Workers workers
+// with one lazily built similarity scratch each, feeding every confirmed
+// match to sink. sink is called from worker w only (no synchronisation
+// needed on per-worker accumulators); the error is the context error when
+// the run was cut short.
+func (v *View) verifyCandidatesParallel(ctx context.Context, cands []int32, pq *core.PreparedRecord, theta float64, workers int, sink func(w int, m QueryMatch)) error {
+	scratches := make([]*core.Scratch, workers)
+	return parallelForWorkersCtx(ctx, len(cands), workers, func(w, i int) {
+		wsc := scratches[w]
+		if wsc == nil {
+			wsc = core.NewScratch()
+			scratches[w] = wsc
+		}
+		r := cands[i]
+		if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, wsc); ok {
+			sink(w, QueryMatch{Record: v.records[r].ID, Similarity: val})
+		}
+	})
+}
+
+// probeRecordPrepared is ProbeRecordCtx for a ready-made probe signature and
+// a lazily shared prepared query; results are unordered (the callers sort —
 // the sharded router merges several shards' results first).
-func (v *View) probeRecordPrepared(sig pebble.Signature, lp *lazyPrepared) []QueryMatch {
+func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, lp *lazyPrepared, qo QueryOpts) ([]QueryMatch, error) {
+	theta := v.dx.opts.thetaFor(qo)
 	sc := v.scratch()
 	cands, _ := v.candidatesRecord(sig, sc)
 	var out []QueryMatch
+	var err error
 	if len(cands) > 0 {
 		pq := lp.get()
-		for _, r := range cands {
-			if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, v.dx.opts.Theta, sc.sim); ok {
-				out = append(out, QueryMatch{Record: v.records[r].ID, Similarity: val})
+		if qo.Workers > 1 && len(cands) >= minParallelVerify {
+			outs := make([][]QueryMatch, qo.Workers)
+			err = v.verifyCandidatesParallel(ctx, cands, pq, theta, qo.Workers, func(w int, m QueryMatch) {
+				outs[w] = append(outs[w], m)
+			})
+			if err == nil {
+				for _, part := range outs {
+					out = append(out, part...)
+				}
+			}
+		} else {
+			for i, r := range cands {
+				if i%ctxCheckStride == 0 && ctx.Err() != nil {
+					err = ctx.Err()
+					break
+				}
+				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, sc.sim); ok {
+					out = append(out, QueryMatch{Record: v.records[r].ID, Similarity: val})
+				}
 			}
 		}
 	}
 	v.dx.pool.Put(sc)
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // QueryTopK is ProbeRecord restricted to the k highest-similarity matches:
@@ -649,32 +737,70 @@ func (v *View) probeRecordPrepared(sig pebble.Signature, lp *lazyPrepared) []Que
 // similarity (ascending ID on ties). k ≤ 0 yields an empty result without
 // touching the index.
 func (v *View) QueryTopK(tokens []string, k int) []QueryMatch {
-	if k <= 0 {
-		return nil
+	out, _ := v.QueryTopKCtx(context.Background(), tokens, k, QueryOpts{})
+	return out
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation and per-request
+// options. An empty token slice or k ≤ 0 returns an empty result without
+// touching the index.
+func (v *View) QueryTopKCtx(ctx context.Context, tokens []string, k int, qo QueryOpts) ([]QueryMatch, error) {
+	if k <= 0 || len(tokens) == 0 {
+		return nil, ctx.Err()
 	}
 	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
-	heap := v.queryTopKPrepared(sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k)
-	return heap.sorted()
+	heap, err := v.queryTopKPrepared(ctx, sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k, qo)
+	if err != nil {
+		return nil, err
+	}
+	return heap.sorted(), nil
 }
 
 // queryTopKPrepared runs the thresholded scan and bounded-heap verification
 // for a ready-made signature and lazily shared prepared query, returning the
 // unsorted heap (the sharded router folds several shards' heaps together
-// before sorting once).
-func (v *View) queryTopKPrepared(sig pebble.Signature, lp *lazyPrepared, k int) topKHeap {
+// before sorting once). With qo.Workers > 1 each worker keeps its own
+// k-bounded heap and the heaps are folded at the end — sound because the
+// top k of the union is contained in the union of per-worker top k's.
+func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, lp *lazyPrepared, k int, qo QueryOpts) (topKHeap, error) {
+	theta := v.dx.opts.thetaFor(qo)
 	sc := v.scratch()
 	cands, _ := v.candidatesRecord(sig, sc)
 	var heap topKHeap
+	var err error
 	if len(cands) > 0 {
 		pq := lp.get()
-		for _, r := range cands {
-			if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, v.dx.opts.Theta, sc.sim); ok {
-				heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
+		if qo.Workers > 1 && len(cands) >= minParallelVerify {
+			heaps := make([]topKHeap, qo.Workers)
+			err = v.verifyCandidatesParallel(ctx, cands, pq, theta, qo.Workers, func(w int, m QueryMatch) {
+				heaps[w].offer(m, k)
+			})
+			if err == nil {
+				// The fold is O(workers·k·log k); a cancelled request skips
+				// it — the result is discarded anyway.
+				for _, h := range heaps {
+					for _, m := range h.entries {
+						heap.offer(m, k)
+					}
+				}
+			}
+		} else {
+			for i, r := range cands {
+				if i%ctxCheckStride == 0 && ctx.Err() != nil {
+					err = ctx.Err()
+					break
+				}
+				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, sc.sim); ok {
+					heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
+				}
 			}
 		}
 	}
 	v.dx.pool.Put(sc)
-	return heap
+	if err != nil {
+		return topKHeap{}, err
+	}
+	return heap, nil
 }
 
 // topKHeap is a bounded min-heap on similarity (ties broken towards keeping
@@ -752,18 +878,43 @@ func (v *View) Probe(records []strutil.Record) ([]Pair, Stats) {
 	start := time.Now()
 	sigs := v.dx.joiner.signatures(records, v.base.sel, v.dx.opts.Method, v.dx.tau)
 	prep := prepareRecords(records, v.dx.calc)
-	return runProbeStages(v.dx.joiner, v.dx.calc, v.dx.opts, probeTarget{
+	return runProbeStages(v.dx.calc, v.dx.opts, v.target(), records, sigs, prep, false, time.Since(start))
+}
+
+// ProbeSeq is the streaming form of Probe: matches are yielded in
+// verification-completion order as they are confirmed, a consumer break
+// stops the pipeline, and a ctx cancellation surfaces as one final error.
+func (v *View) ProbeSeq(ctx context.Context, records []strutil.Record) iter.Seq2[Pair, error] {
+	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
+		return v.probeStream(ctx, records, emit)
+	})
+}
+
+// probeStream generates probe-side signatures and prepared records and runs
+// the streaming pipeline against the snapshot.
+func (v *View) probeStream(ctx context.Context, records []strutil.Record, emit func(Pair) bool) error {
+	start := time.Now()
+	sigs := v.dx.joiner.signatures(records, v.base.sel, v.dx.opts.Method, v.dx.tau)
+	prep := prepareRecords(records, v.dx.calc)
+	_, err := runProbeStream(ctx, v.dx.calc, v.dx.opts, v.target(), records, sigs, prep, false, time.Since(start), emit)
+	return err
+}
+
+// target reduces the snapshot to the probeTarget the shared probe stages
+// need.
+func (v *View) target() probeTarget {
+	return probeTarget{
 		records:    v.records,
 		prepared:   v.prepared,
 		avgSig:     v.avgSig,
 		candidates: v.candidates,
-	}, records, sigs, prep, false, time.Since(start))
+	}
 }
 
 // candidates runs the snapshot count filter for a whole probe collection in
 // parallel (shared strided-worker driver, one scratch per worker).
-func (v *View) candidates(sigs []pebble.Signature, workers int) ([]pairKey, int64) {
-	return parallelCandidates(len(sigs), len(v.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
+func (v *View) candidates(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error) {
+	return parallelCandidates(ctx, len(sigs), len(v.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
 		return v.candidatesRecord(sigs[t], sc)
 	})
 }

@@ -22,6 +22,7 @@
 package join
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -46,7 +47,12 @@ type Pair struct {
 type Stats struct {
 	// SignatureTime, FilterTime and VerifyTime are the wall-clock durations
 	// of signature generation + indexing, candidate generation, and
-	// verification.
+	// verification — elapsed time per stage, NOT CPU time summed across
+	// workers or shards. A stage that runs W workers (or fans out across N
+	// shards) for d seconds reports d, not W·d; the three values therefore
+	// add up to the end-to-end latency a caller observed, and comparing them
+	// across runs with different worker counts compares wall-clock speed,
+	// not total work.
 	SignatureTime time.Duration
 	FilterTime    time.Duration
 	VerifyTime    time.Duration
@@ -58,6 +64,10 @@ type Stats struct {
 	// Candidates is V_τ: the number of distinct pairs that reached
 	// verification (distinct unordered pairs for self-joins).
 	Candidates int
+	// ShardCandidates breaks Candidates down per shard on a sharded probe
+	// (ShardedView.Probe across ≥ 2 shards); its entries sum to Candidates.
+	// It is nil on unsharded paths.
+	ShardCandidates []int
 	// Results is the number of pairs whose unified similarity reached θ.
 	Results int
 	// AvgSignatureS / AvgSignatureT are the mean signature lengths.
@@ -269,14 +279,19 @@ func (ix *Index) probe(records []strutil.Record, opts Options, extraSigTime time
 // probeSignatures runs candidate generation and verification for
 // ready-made probe signatures and prepared records.
 func (ix *Index) probeSignatures(records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, opts Options, self bool, sigTime time.Duration) ([]Pair, Stats) {
-	return runProbeStages(ix.joiner, ix.calc, opts, probeTarget{
+	return runProbeStages(ix.calc, opts, ix.target(self), records, sigs, prep, self, sigTime)
+}
+
+// target reduces the index to the probeTarget the shared probe stages need.
+func (ix *Index) target(self bool) probeTarget {
+	return probeTarget{
 		records:  ix.records,
 		prepared: ix.prepared,
 		avgSig:   ix.avgSig,
-		candidates: func(sigs []pebble.Signature, workers int) ([]pairKey, int64) {
-			return ix.candidates(sigs, self, workers)
+		candidates: func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error) {
+			return ix.candidates(ctx, sigs, self, workers)
 		},
-	}, records, sigs, prep, self, sigTime)
+	}
 }
 
 // probeTarget is the indexed side of a probe — a static Index or a dynamic
@@ -285,39 +300,18 @@ type probeTarget struct {
 	records    []strutil.Record
 	prepared   []*core.PreparedRecord
 	avgSig     float64
-	candidates func(sigs []pebble.Signature, workers int) ([]pairKey, int64)
+	candidates func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error)
 }
 
-// runProbeStages runs candidate generation, verification and result
-// ordering for ready-made probe signatures against a probe target and
-// assembles the join statistics. The static probe path and the snapshot
-// probe path differ only in their candidate generators, so both ride this
-// one pipeline.
-func runProbeStages(j *Joiner, calc *core.Calculator, opts Options, tgt probeTarget, records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, self bool, sigTime time.Duration) ([]Pair, Stats) {
-	var stats Stats
-	stats.SignatureTime = sigTime
-	stats.AvgSignatureS = tgt.avgSig
-	if self {
-		stats.AvgSignatureT = tgt.avgSig
-	} else if len(records) > 0 {
-		total := 0
-		for i := range sigs {
-			total += sigs[i].Len()
-		}
-		stats.AvgSignatureT = float64(total) / float64(len(records))
-	}
-
-	start := time.Now()
-	candidates, processed := tgt.candidates(sigs, opts.workers())
-	stats.ProcessedPairs = processed
-	stats.Candidates = len(candidates)
-	stats.FilterTime = time.Since(start)
-
-	start = time.Now()
-	results := j.verify(tgt.records, records, tgt.prepared, prep, candidates, calc, opts)
-	stats.VerifyTime = time.Since(start)
-	stats.Results = len(results)
-
+// runProbeStages is the batch form of the streaming pipeline: it collects
+// every emitted pair from runProbeStream and orders the result by (S, T)
+// identifiers. It never cancels, so the returned statistics are complete.
+func runProbeStages(calc *core.Calculator, opts Options, tgt probeTarget, records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, self bool, sigTime time.Duration) ([]Pair, Stats) {
+	var results []Pair
+	stats, _ := runProbeStream(context.Background(), calc, opts, tgt, records, sigs, prep, self, sigTime, func(p Pair) bool {
+		results = append(results, p)
+		return true
+	})
 	sort.Slice(results, func(a, b int) bool {
 		if results[a].S != results[b].S {
 			return results[a].S < results[b].S
@@ -341,6 +335,11 @@ type QueryMatch struct {
 // scratch, so a query-serving workload allocates only for the query
 // preparation and its results.
 func (ix *Index) ProbeRecord(tokens []string) []QueryMatch {
+	if len(tokens) == 0 {
+		// No tokens means a zero-signature probe that could never reach the
+		// τ-overlap bar; return empty without walking the index.
+		return nil
+	}
 	sig := ix.sel.Signature(tokens, ix.opts.Method, ix.tau)
 	sc, _ := ix.scratch.Get().(*probeScratch)
 	if sc == nil {
@@ -362,8 +361,8 @@ func (ix *Index) ProbeRecord(tokens []string) []QueryMatch {
 }
 
 // candidates runs count filtering of probe signatures against the index.
-func (ix *Index) candidates(sigs []pebble.Signature, self bool, workers int) ([]pairKey, int64) {
-	return countFilterCandidates(ix.inv, len(ix.records), sigs, ix.tau, self, workers)
+func (ix *Index) candidates(ctx context.Context, sigs []pebble.Signature, self bool, workers int) ([]pairKey, int64, error) {
+	return countFilterCandidates(ctx, ix.inv, len(ix.records), sigs, ix.tau, self, workers)
 }
 
 // countFilterCandidates runs parallel count filtering of the probe
@@ -372,8 +371,8 @@ func (ix *Index) candidates(sigs []pebble.Signature, self bool, workers int) ([]
 // plus the number of touched posting entries (T_τ). In self mode only
 // postings of records preceding the probe record are counted, so mirrored
 // and diagonal pairs never appear.
-func countFilterCandidates(inv *invindex.Index, numRecords int, sigs []pebble.Signature, tau int, self bool, workers int) ([]pairKey, int64) {
-	return parallelCandidates(len(sigs), numRecords, workers, func(sc *probeScratch, t int) ([]int32, int64) {
+func countFilterCandidates(ctx context.Context, inv *invindex.Index, numRecords int, sigs []pebble.Signature, tau int, self bool, workers int) ([]pairKey, int64, error) {
+	return parallelCandidates(ctx, len(sigs), numRecords, workers, func(sc *probeScratch, t int) ([]int32, int64) {
 		limit := numRecords
 		if self {
 			limit = t
@@ -388,9 +387,11 @@ func countFilterCandidates(inv *invindex.Index, numRecords int, sigs []pebble.Si
 // own count scratch sized to numRecords, and merges the per-worker
 // candidate chunks and processed-posting counts. The static count filter
 // and the dynamic snapshot filter differ only in the record callback.
-func parallelCandidates(n, numRecords, workers int, record func(sc *probeScratch, t int) ([]int32, int64)) ([]pairKey, int64) {
+// Workers check ctx between probe records; on cancellation the partial
+// candidate set is discarded and the context error returned.
+func parallelCandidates(ctx context.Context, n, numRecords, workers int, record func(sc *probeScratch, t int) ([]int32, int64)) ([]pairKey, int64, error) {
 	if n == 0 || numRecords == 0 {
-		return nil, 0
+		return nil, 0, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -408,6 +409,9 @@ func parallelCandidates(n, numRecords, workers int, record func(sc *probeScratch
 		var out []pairKey
 		var processed int64
 		for t := start; t < n; t += step {
+			if ctx.Err() != nil {
+				break
+			}
 			recs, touched := record(sc, t)
 			processed += touched
 			for _, r := range recs {
@@ -432,6 +436,9 @@ func parallelCandidates(n, numRecords, workers int, record func(sc *probeScratch
 		}
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	var cands []pairKey
 	var processed int64
 	total := 0
@@ -443,7 +450,7 @@ func parallelCandidates(n, numRecords, workers int, record func(sc *probeScratch
 		cands = append(cands, chunks[i].cands...)
 		processed += chunks[i].processed
 	}
-	return cands, processed
+	return cands, processed, nil
 }
 
 // countFilterRecord is the classic count filter for one probe record:
@@ -545,36 +552,19 @@ func appendSignatureIDs(ids []uint32, sig pebble.Signature) []uint32 {
 type pairKey struct{ s, t int }
 
 // verify runs the thresholded prepared-record verification of every
-// candidate pair in parallel, with one similarity scratch per worker, and
-// keeps those reaching θ.
+// candidate pair through the streaming stage and collects the pairs reaching
+// θ, in completion order (callers sort). It is the batch convenience over
+// streamVerify, kept for the verification benchmark; nil when empty, matching
+// BruteForce, so oracle comparisons can use reflect.DeepEqual.
 func (j *Joiner) verify(s, t []strutil.Record, prepS, prepT []*core.PreparedRecord, candidates []pairKey, calc *core.Calculator, opts Options) []Pair {
-	results := make([]Pair, len(candidates))
-	keep := make([]bool, len(candidates))
-	workers := opts.workers()
-	scratches := make([]*core.Scratch, workers)
-	parallelForWorkers(len(candidates), workers, func(w, i int) {
-		c := candidates[i]
-		if c.s >= len(s) || c.t >= len(t) {
-			return
-		}
-		sc := scratches[w]
-		if sc == nil {
-			sc = core.NewScratch()
-			scratches[w] = sc
-		}
-		if v, ok := calc.VerifyPrepared(prepS[c.s], prepT[c.t], opts.Theta, sc); ok {
-			results[i] = Pair{S: s[c.s].ID, T: t[c.t].ID, Similarity: v}
-			keep[i] = true
-		}
-	})
-	// nil when empty, matching BruteForce, so oracle comparisons can use
-	// reflect.DeepEqual.
 	var out []Pair
-	for i, ok := range keep {
-		if ok {
-			out = append(out, results[i])
-		}
-	}
+	workers := opts.workers()
+	_, _ = collectStream(context.Background(), workers, func(ictx context.Context, ch chan<- Pair) error {
+		return streamVerify(ictx, s, t, prepS, prepT, candidates, calc, opts.Theta, workers, ch)
+	}, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 
@@ -720,7 +710,8 @@ func (fp *FilterProfile) filter(tau int) ([]pairKey, int64) {
 		ids = appendSignatureIDs(ids[:0], sigS[i])
 		inv.Add(i, ids)
 	}
-	return countFilterCandidates(inv, len(fp.preS), sigT, tau, false, 0)
+	cands, processed, _ := countFilterCandidates(context.Background(), inv, len(fp.preS), sigT, tau, false, 0)
+	return cands, processed
 }
 
 // selectAll derives the τ-specific signatures from the prepared pebble
@@ -746,6 +737,15 @@ func (j *Joiner) FilterStats(s, t []strutil.Record, opts Options) (processed int
 // integration tests compare the filtered joins against and the degenerate
 // baseline of the scalability experiments.
 func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Calculator) []Pair {
+	out, _ := j.BruteForceCtx(context.Background(), s, t, theta, calc)
+	return out
+}
+
+// BruteForceCtx is BruteForce with cooperative cancellation: verification
+// workers stop between pairs once ctx is done and the partial result is
+// discarded (a truncated oracle would silently weaken every comparison made
+// against it).
+func (j *Joiner) BruteForceCtx(ctx context.Context, s, t []strutil.Record, theta float64, calc *core.Calculator) ([]Pair, error) {
 	if calc == nil {
 		calc = j.calc
 	}
@@ -758,7 +758,7 @@ func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Cal
 	cells := make([]cell, len(s)*len(t))
 	workers := runtime.GOMAXPROCS(0)
 	scratches := make([]*core.Scratch, workers)
-	parallelForWorkers(len(s)*len(t), workers, func(w, k int) {
+	err := parallelForWorkersCtx(ctx, len(s)*len(t), workers, func(w, k int) {
 		i, l := k/len(t), k%len(t)
 		sc := scratches[w]
 		if sc == nil {
@@ -769,6 +769,9 @@ func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Cal
 			cells[k] = cell{pair: Pair{S: s[i].ID, T: t[l].ID, Similarity: v}, ok: true}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Pair
 	for _, c := range cells {
 		if c.ok {
@@ -781,7 +784,7 @@ func (j *Joiner) BruteForce(s, t []strutil.Record, theta float64, calc *core.Cal
 		}
 		return out[a].T < out[b].T
 	})
-	return out
+	return out, nil
 }
 
 // parallelFor runs fn(i) for i in [0, n) across the given number of workers

@@ -1,6 +1,8 @@
 package join
 
 import (
+	"context"
+	"iter"
 	"runtime"
 	"sort"
 	"sync"
@@ -468,27 +470,66 @@ func (sv *ShardedView) Live() []strutil.Record {
 	return out
 }
 
+// fanout runs fn for every shard view concurrently under a shared
+// cancellable context: the first shard to return an error cancels its
+// siblings (errgroup-style propagation, without the dependency) and that
+// error is returned. Since the only error source is context cancellation,
+// one cancelled shard means the whole fan-out aborts promptly.
+func (sv *ShardedView) fanout(ctx context.Context, fn func(ctx context.Context, w int) error) error {
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(sv.views))
+	parallelFor(len(sv.views), len(sv.views), func(w int) {
+		if errs[w] = fn(ictx, w); errs[w] != nil {
+			cancel()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ProbeRecord runs the filter-and-verify pipeline for one tokenised query
 // against every shard concurrently and merges the matches in ascending
 // stable-ID order. The signature is selected once (all shards share the
 // global order, so one signature is valid everywhere) and the query is
 // prepared at most once, on the first shard that produces a candidate.
 func (sv *ShardedView) ProbeRecord(tokens []string) []QueryMatch {
+	out, _ := sv.ProbeRecordCtx(context.Background(), tokens, QueryOpts{})
+	return out
+}
+
+// ProbeRecordCtx is ProbeRecord with cooperative cancellation and
+// per-request options: the first shard to observe the cancelled context
+// aborts the whole fan-out. An empty token slice returns an empty result
+// without touching any shard.
+func (sv *ShardedView) ProbeRecordCtx(ctx context.Context, tokens []string, qo QueryOpts) ([]QueryMatch, error) {
+	if len(tokens) == 0 {
+		return nil, ctx.Err()
+	}
 	if len(sv.views) == 1 {
-		return sv.views[0].ProbeRecord(tokens)
+		return sv.views[0].ProbeRecordCtx(ctx, tokens, qo)
 	}
 	sig := sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
 	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
 	parts := make([][]QueryMatch, len(sv.views))
-	parallelFor(len(sv.views), len(sv.views), func(w int) {
-		parts[w] = sv.views[w].probeRecordPrepared(sig, lp)
+	err := sv.fanout(ctx, func(ictx context.Context, w int) error {
+		var werr error
+		parts[w], werr = sv.views[w].probeRecordPrepared(ictx, sig, lp, qo)
+		return werr
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []QueryMatch
 	for _, p := range parts {
 		out = append(out, p...)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
-	return out
+	return out, nil
 }
 
 // QueryTopK fans the thresholded top-k scan out to every shard concurrently
@@ -499,49 +540,95 @@ func (sv *ShardedView) ProbeRecord(tokens []string) []QueryMatch {
 // Results are ordered by descending similarity (ascending ID on ties); k ≤ 0
 // yields an empty result without touching any shard.
 func (sv *ShardedView) QueryTopK(tokens []string, k int) []QueryMatch {
-	if k <= 0 {
-		return nil
+	out, _ := sv.QueryTopKCtx(context.Background(), tokens, k, QueryOpts{})
+	return out
+}
+
+// QueryTopKCtx is QueryTopK with cooperative cancellation and per-request
+// options: the first shard to observe the cancelled context aborts the whole
+// fan-out. An empty token slice or k ≤ 0 returns an empty result without
+// touching any shard.
+func (sv *ShardedView) QueryTopKCtx(ctx context.Context, tokens []string, k int, qo QueryOpts) ([]QueryMatch, error) {
+	if k <= 0 || len(tokens) == 0 {
+		return nil, ctx.Err()
 	}
 	if len(sv.views) == 1 {
-		return sv.views[0].QueryTopK(tokens, k)
+		return sv.views[0].QueryTopKCtx(ctx, tokens, k, qo)
 	}
 	sig := sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
 	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
 	heaps := make([]topKHeap, len(sv.views))
-	parallelFor(len(sv.views), len(sv.views), func(w int) {
-		heaps[w] = sv.views[w].queryTopKPrepared(sig, lp, k)
+	err := sv.fanout(ctx, func(ictx context.Context, w int) error {
+		var werr error
+		heaps[w], werr = sv.views[w].queryTopKPrepared(ictx, sig, lp, k, qo)
+		return werr
 	})
+	if err != nil {
+		return nil, err
+	}
 	merged := heaps[0]
 	for _, h := range heaps[1:] {
 		for _, m := range h.entries {
 			merged.offer(m, k)
 		}
 	}
-	return merged.sorted()
+	return merged.sorted(), nil
 }
 
 // Probe joins a probe collection against the snapshot through the shared
-// runProbeStages pipeline: probe signatures and prepared records are
-// computed once, and the candidate stage fans each probe record out across
-// the per-shard count filters, remapping shard-local candidate positions
-// into the flattened catalog. Pair.S carries stable record IDs; results are
-// sorted by (S, T) and identical to the unsharded Probe.
+// probe pipeline: probe signatures and prepared records are computed once,
+// and the candidate stage fans each probe record out across the per-shard
+// count filters, remapping shard-local candidate positions into the
+// flattened catalog. Pair.S carries stable record IDs; results are sorted by
+// (S, T) and identical to the unsharded Probe. Stats.ShardCandidates breaks
+// the candidate count down per shard (its entries sum to Stats.Candidates);
+// the stage durations are wall-clock across the whole fan-out, not per-shard
+// CPU sums.
 func (sv *ShardedView) Probe(records []strutil.Record) ([]Pair, Stats) {
 	if len(sv.views) == 1 {
 		return sv.views[0].Probe(records)
 	}
 	start := time.Now()
+	tgt, shardCands := sv.probeTarget()
+	sigs := sv.sx.joiner.signatures(records, sv.gen.sel, sv.sx.opts.Method, sv.sx.tau)
+	prep := prepareRecords(records, sv.sx.joiner.calcFor(sv.sx.opts))
+	pairs, stats := runProbeStages(sv.sx.joiner.calcFor(sv.sx.opts), sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start))
+	stats.ShardCandidates = shardCands()
+	return pairs, stats
+}
+
+// ProbeSeq is the streaming form of Probe: matches are yielded in
+// verification-completion order as the fan-out verify stage confirms them,
+// a consumer break stops the pipeline, and a ctx cancellation aborts the
+// candidate fan-out and every verification worker before surfacing as one
+// final error.
+func (sv *ShardedView) ProbeSeq(ctx context.Context, records []strutil.Record) iter.Seq2[Pair, error] {
+	if len(sv.views) == 1 {
+		return sv.views[0].ProbeSeq(ctx, records)
+	}
+	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
+		start := time.Now()
+		tgt, _ := sv.probeTarget()
+		calc := sv.sx.joiner.calcFor(sv.sx.opts)
+		sigs := sv.sx.joiner.signatures(records, sv.gen.sel, sv.sx.opts.Method, sv.sx.tau)
+		prep := prepareRecords(records, calc)
+		_, err := runProbeStream(ctx, calc, sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start), emit)
+		return err
+	})
+}
+
+// probeTarget flattens the snapshot into the probe target the shared stages
+// run over, wiring the fan-out candidate stage in. The returned accessor
+// reads the per-shard candidate counts the stage accumulated.
+func (sv *ShardedView) probeTarget() (probeTarget, func() []int) {
 	sv.initFlat()
-	j := sv.sx.joiner
-	calc := j.calcFor(sv.sx.opts)
-	sigs := j.signatures(records, sv.gen.sel, sv.sx.opts.Method, sv.sx.tau)
-	prep := prepareRecords(records, calc)
-	return runProbeStages(j, calc, sv.sx.opts, probeTarget{
+	stage, shardCands := sv.candidateStage()
+	return probeTarget{
 		records:    sv.flat.records,
 		prepared:   sv.flat.prepared,
 		avgSig:     sv.flat.avgSig,
-		candidates: sv.candidates,
-	}, records, sigs, prep, false, time.Since(start))
+		candidates: stage,
+	}, shardCands
 }
 
 // initFlat concatenates the per-shard catalogs into one position space for
@@ -571,24 +658,38 @@ func (sv *ShardedView) initFlat() {
 	})
 }
 
-// candidates runs the fan-out count filter for a whole probe collection in
-// parallel: per probe record, every shard's filter runs over the shared
+// candidateStage builds the fan-out count filter for a whole probe
+// collection: per probe record, every shard's filter runs over the shared
 // scratch (counts are zeroed between shards), and shard-local survivor
 // positions are remapped by the shard's offset into the flattened catalog.
-func (sv *ShardedView) candidates(sigs []pebble.Signature, workers int) ([]pairKey, int64) {
-	return parallelCandidates(len(sigs), len(sv.flat.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
-		sc.merged = sc.merged[:0]
-		var processed int64
-		for w, v := range sv.views {
-			recs, touched := v.candidatesRecord(sigs[t], sc)
-			processed += touched
-			off := int32(sv.flat.offsets[w])
-			for _, r := range recs {
-				sc.merged = append(sc.merged, off+r)
+// The second return value reads the per-shard candidate counts accumulated
+// across all probe records (each stage invocation gets fresh counters).
+func (sv *ShardedView) candidateStage() (func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error), func() []int) {
+	counters := make([]atomic.Int64, len(sv.views))
+	stage := func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error) {
+		return parallelCandidates(ctx, len(sigs), len(sv.flat.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
+			sc.merged = sc.merged[:0]
+			var processed int64
+			for w, v := range sv.views {
+				recs, touched := v.candidatesRecord(sigs[t], sc)
+				processed += touched
+				counters[w].Add(int64(len(recs)))
+				off := int32(sv.flat.offsets[w])
+				for _, r := range recs {
+					sc.merged = append(sc.merged, off+r)
+				}
 			}
+			return sc.merged, processed
+		})
+	}
+	shardCands := func() []int {
+		out := make([]int, len(counters))
+		for i := range counters {
+			out[i] = int(counters[i].Load())
 		}
-		return sc.merged, processed
-	})
+		return out
+	}
+	return stage, shardCands
 }
 
 // calcFor resolves the calculator an Options selects: the override when

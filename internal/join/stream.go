@@ -1,0 +1,275 @@
+package join
+
+import (
+	"context"
+	"iter"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// This file is the streaming heart of the join pipeline. Every entry point —
+// batch Join/Probe/SelfJoin as much as the iter.Seq2 streaming variants —
+// runs through runProbeStream: candidate generation feeds a parallel
+// verification stage whose workers push confirmed pairs into a bounded emit
+// channel, and a single collector goroutine (the caller's) hands them to an
+// emit callback as they arrive. Peak Match buffering is therefore
+// O(workers·emitBatch) regardless of the result size; the batch wrappers
+// simply collect and sort, so there is one pipeline, not two.
+//
+// Cancellation is cooperative and prompt: the candidate stage checks the
+// context between probe records, verification workers between candidate
+// pairs, and a consumer abandoning an iter.Seq2 mid-stream cancels an
+// internal context that unblocks every worker parked on the emit channel.
+// No goroutine outlives its seq iteration.
+
+// emitBatch is the per-worker slack of the bounded emit channel: verification
+// workers may run at most this many confirmed matches ahead of the consumer
+// before they block, which is what bounds the streaming path's Match
+// buffering at O(workers·emitBatch).
+const emitBatch = 64
+
+// ctxCheckStride bounds how many loop iterations a sequential stage runs
+// between context checks; Err on an idle context is a few nanoseconds, so a
+// small stride keeps cancellation prompt without measurable overhead.
+const ctxCheckStride = 16
+
+// parallelForWorkersCtx is parallelForWorkers with cooperative cancellation:
+// once ctx is done, no new index is dispatched, workers skip whatever is
+// still queued, and — crucially — the context error is reported even when
+// the cancellation raced with the end of the dispatch loop, so a caller can
+// never mistake a run with silently skipped items for a complete one.
+func parallelForWorkersCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n <= 1 || workers == 1 {
+		for i := 0; i < n; i++ {
+			if i%ctxCheckStride == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(0, i)
+		}
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() == nil {
+					fn(w, i)
+				}
+			}
+		}(w)
+	}
+	done := ctx.Done()
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	// The final check (not the feed loop) is authoritative: a cancellation
+	// landing after the last dispatch still made workers skip queued items.
+	return ctx.Err()
+}
+
+// streamVerify runs the thresholded prepared-record verification of the
+// candidate pairs in parallel, with one similarity scratch per worker, and
+// sends every pair reaching theta to out in completion order. It returns nil
+// after the last send, or the context error when cancelled; it never closes
+// out (the caller owns the channel).
+func streamVerify(ctx context.Context, s, t []strutil.Record, prepS, prepT []*core.PreparedRecord, candidates []pairKey, calc *core.Calculator, theta float64, workers int, out chan<- Pair) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scratches := make([]*core.Scratch, workers)
+	done := ctx.Done()
+	return parallelForWorkersCtx(ctx, len(candidates), workers, func(w, i int) {
+		c := candidates[i]
+		if c.s >= len(s) || c.t >= len(t) {
+			return
+		}
+		sc := scratches[w]
+		if sc == nil {
+			sc = core.NewScratch()
+			scratches[w] = sc
+		}
+		if v, ok := calc.VerifyPrepared(prepS[c.s], prepT[c.t], theta, sc); ok {
+			select {
+			case out <- Pair{S: s[c.s].ID, T: t[c.t].ID, Similarity: v}:
+			case <-done:
+			}
+		}
+	})
+}
+
+// collectStream drives one producer goroutine that sends pairs to a bounded
+// channel and forwards each pair to emit on the caller's goroutine. When emit
+// returns false the internal context is cancelled, the channel drained, and
+// the producer joined — the consumer walking away mid-stream leaks nothing
+// and is not an error. The returned count is the number of pairs emitted.
+func collectStream(ctx context.Context, workers int, produce func(ctx context.Context, out chan<- Pair) error, emit func(Pair) bool) (int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make(chan Pair, workers*emitBatch)
+	done := make(chan error, 1)
+	go func() {
+		err := produce(ictx, out)
+		close(out)
+		done <- err
+	}()
+	emitted := 0
+	stopped := false
+	for p := range out {
+		if stopped {
+			continue
+		}
+		if !emit(p) {
+			stopped = true
+			cancel()
+			continue
+		}
+		emitted++
+	}
+	err := <-done
+	if stopped {
+		// The consumer broke out of the stream; the induced cancellation is
+		// bookkeeping, not a failure.
+		return emitted, nil
+	}
+	return emitted, err
+}
+
+// runProbeStream runs candidate generation and streaming verification for
+// ready-made probe signatures against a probe target, invoking emit for every
+// confirmed pair in completion order (unordered across workers) on the
+// caller's goroutine. It returns the join statistics accumulated up to the
+// point of return and the context error when the run was cancelled. The
+// batch runProbeStages and every Seq entry point ride this one pipeline.
+func runProbeStream(ctx context.Context, calc *core.Calculator, opts Options, tgt probeTarget, records []strutil.Record, sigs []pebble.Signature, prep []*core.PreparedRecord, self bool, sigTime time.Duration, emit func(Pair) bool) (Stats, error) {
+	var stats Stats
+	stats.SignatureTime = sigTime
+	stats.AvgSignatureS = tgt.avgSig
+	if self {
+		stats.AvgSignatureT = tgt.avgSig
+	} else if len(records) > 0 {
+		total := 0
+		for i := range sigs {
+			total += sigs[i].Len()
+		}
+		stats.AvgSignatureT = float64(total) / float64(len(records))
+	}
+
+	start := time.Now()
+	candidates, processed, err := tgt.candidates(ctx, sigs, opts.workers())
+	stats.ProcessedPairs = processed
+	stats.Candidates = len(candidates)
+	stats.FilterTime = time.Since(start)
+	if err != nil {
+		return stats, err
+	}
+
+	start = time.Now()
+	results, err := collectStream(ctx, opts.workers(), func(ictx context.Context, out chan<- Pair) error {
+		return streamVerify(ictx, tgt.records, records, tgt.prepared, prep, candidates, calc, opts.Theta, opts.workers(), out)
+	}, emit)
+	stats.VerifyTime = time.Since(start)
+	stats.Results = results
+	return stats, err
+}
+
+// pairSeq adapts a streaming run function into an iter.Seq2: the run executes
+// inside the consumer's range loop, forwarding pairs through yield; a
+// consumer break stops the run (and its goroutines) before the range
+// statement returns, and a cancellation surfaces as one final yielded error.
+func pairSeq(ctx context.Context, run func(ctx context.Context, emit func(Pair) bool) error) iter.Seq2[Pair, error] {
+	return func(yield func(Pair, error) bool) {
+		stopped := false
+		err := run(ctx, func(p Pair) bool {
+			if !yield(p, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(Pair{}, err)
+		}
+	}
+}
+
+// JoinSeq is the streaming form of Join: it yields matching pairs in
+// verification-completion order (sort by (S, T) for Join's order) as they are
+// confirmed, instead of buffering the full result. The work — order
+// construction, signatures, filtering, verification — runs inside the
+// consumer's range loop; breaking out of the loop stops the pipeline and
+// releases its goroutines, and a ctx cancellation or deadline surfaces as one
+// final non-nil error.
+func (j *Joiner) JoinSeq(ctx context.Context, s, t []strutil.Record, opts Options) iter.Seq2[Pair, error] {
+	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		ix := j.buildIndex(s, j.BuildOrder(s, t), opts, nil)
+		return ix.probeStream(ctx, t, opts, time.Since(start), emit)
+	})
+}
+
+// SelfJoinSeq is the streaming form of SelfJoin: each unordered pair (i < j)
+// is yielded at most once, in completion order.
+func (j *Joiner) SelfJoinSeq(ctx context.Context, s []strutil.Record, opts Options) iter.Seq2[Pair, error] {
+	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ix := j.BuildIndex(s, opts)
+		_, err := runProbeStream(ctx, ix.calc, ix.opts, ix.target(true), ix.records, ix.sigs, ix.prepared, true, ix.BuildTime, emit)
+		return err
+	})
+}
+
+// ProbeSeq is the streaming form of Probe against the prebuilt index: matches
+// are yielded in completion order as the parallel verify stage confirms them.
+func (ix *Index) ProbeSeq(ctx context.Context, records []strutil.Record) iter.Seq2[Pair, error] {
+	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
+		return ix.probeStream(ctx, records, ix.opts, 0, emit)
+	})
+}
+
+// SelfJoinSeq is the streaming form of Index.SelfJoin.
+func (ix *Index) SelfJoinSeq(ctx context.Context) iter.Seq2[Pair, error] {
+	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
+		_, err := runProbeStream(ctx, ix.calc, ix.opts, ix.target(true), ix.records, ix.sigs, ix.prepared, true, ix.BuildTime, emit)
+		return err
+	})
+}
+
+// probeStream generates probe-side signatures and prepared records and runs
+// the streaming pipeline; it is the streaming analogue of Index.probe and the
+// shared body of ProbeSeq and the legacy batch Probe.
+func (ix *Index) probeStream(ctx context.Context, records []strutil.Record, opts Options, extraSigTime time.Duration, emit func(Pair) bool) error {
+	start := time.Now()
+	sigs := ix.joiner.signatures(records, ix.sel, opts.Method, ix.tau)
+	prep := prepareRecords(records, ix.calc)
+	_, err := runProbeStream(ctx, ix.calc, opts, ix.target(false), records, sigs, prep, false, extraSigTime+time.Since(start), emit)
+	return err
+}

@@ -1,0 +1,453 @@
+package join
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// collectSeq drains a pair stream, returning the pairs in emission order and
+// the first error the stream yielded.
+func collectSeq(t *testing.T, seq func(func(Pair, error) bool)) ([]Pair, error) {
+	t.Helper()
+	var out []Pair
+	for p, err := range seq {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// sortPairs orders pairs by (S, T), the batch API's result order.
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].S != pairs[b].S {
+			return pairs[a].S < pairs[b].S
+		}
+		return pairs[a].T < pairs[b].T
+	})
+}
+
+// checkGoroutines waits for the goroutine count to settle back to the
+// pre-test level, failing with a full stack dump when it does not — the
+// streaming pipeline must not leak workers however the consumer leaves.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSeqMatchesBatch pins the streaming contract: collecting a Seq and
+// sorting by (S, T) reproduces the batch result exactly — same pairs, same
+// similarities — across all three filter methods and θ ∈ {0.7, 0.8, 0.9},
+// for R×S joins, self-joins and index probes.
+func TestSeqMatchesBatch(t *testing.T) {
+	ctx := propertyContexts()["full"]
+	rng := rand.New(rand.NewSource(77))
+	s := propertyCorpus(40, rng)
+	u := propertyCorpus(35, rng)
+	for _, method := range []pebble.Method{pebble.UFilter, pebble.AUHeuristic, pebble.AUDP} {
+		for _, theta := range []float64{0.7, 0.8, 0.9} {
+			j := NewJoiner(ctx)
+			opts := Options{Theta: theta, Tau: 2, Method: method}
+
+			want, _ := j.Join(s, u, opts)
+			got, err := collectSeq(t, j.JoinSeq(context.Background(), s, u, opts))
+			if err != nil {
+				t.Fatalf("%v θ=%v: JoinSeq error: %v", method, theta, err)
+			}
+			sortPairs(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v θ=%v: JoinSeq %v != Join %v", method, theta, got, want)
+			}
+
+			wantSelf, _ := j.SelfJoin(s, opts)
+			gotSelf, err := collectSeq(t, j.SelfJoinSeq(context.Background(), s, opts))
+			if err != nil {
+				t.Fatalf("%v θ=%v: SelfJoinSeq error: %v", method, theta, err)
+			}
+			sortPairs(gotSelf)
+			if !reflect.DeepEqual(gotSelf, wantSelf) {
+				t.Errorf("%v θ=%v: SelfJoinSeq %v != SelfJoin %v", method, theta, gotSelf, wantSelf)
+			}
+
+			ix := j.BuildIndex(s, opts)
+			wantProbe, _ := ix.Probe(u)
+			gotProbe, err := collectSeq(t, ix.ProbeSeq(context.Background(), u))
+			if err != nil {
+				t.Fatalf("%v θ=%v: ProbeSeq error: %v", method, theta, err)
+			}
+			sortPairs(gotProbe)
+			if !reflect.DeepEqual(gotProbe, wantProbe) {
+				t.Errorf("%v θ=%v: ProbeSeq %v != Probe %v", method, theta, gotProbe, wantProbe)
+			}
+
+			wantIxSelf, _ := ix.SelfJoin()
+			gotIxSelf, err := collectSeq(t, ix.SelfJoinSeq(context.Background()))
+			if err != nil {
+				t.Fatalf("%v θ=%v: Index.SelfJoinSeq error: %v", method, theta, err)
+			}
+			sortPairs(gotIxSelf)
+			if !reflect.DeepEqual(gotIxSelf, wantIxSelf) {
+				t.Errorf("%v θ=%v: Index.SelfJoinSeq differs from Index.SelfJoin", method, theta)
+			}
+		}
+	}
+}
+
+// TestShardedProbeSeqMatchesProbe extends the shard-count invariance to the
+// streaming path: ShardedView.ProbeSeq collected and sorted must equal the
+// batch Probe for every shard count, including after mutations.
+func TestShardedProbeSeqMatchesProbe(t *testing.T) {
+	ctx := propertyContexts()["full"]
+	rng := rand.New(rand.NewSource(99))
+	corpus := propertyCorpus(30, rng)
+	probe := propertyCorpus(20, rng)
+	for _, shards := range shardCounts {
+		j := NewJoiner(ctx)
+		opts := Options{Theta: 0.75, Tau: 2, Method: pebble.AUDP}
+		sx := j.BuildShardedIndex(corpus, shards, opts, DynamicOptions{})
+		sx.InsertBatch(rawCorpus(8, rng))
+		sx.Remove(3)
+		sv := sx.Snapshot()
+		want, wantStats := sv.Probe(probe)
+		got, err := collectSeq(t, sv.ProbeSeq(context.Background(), probe))
+		if err != nil {
+			t.Fatalf("shards=%d: ProbeSeq error: %v", shards, err)
+		}
+		sortPairs(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: ProbeSeq %v != Probe %v", shards, got, want)
+		}
+		if shards >= 2 {
+			if len(wantStats.ShardCandidates) != shards {
+				t.Fatalf("shards=%d: ShardCandidates has %d entries", shards, len(wantStats.ShardCandidates))
+			}
+			sum := 0
+			for _, c := range wantStats.ShardCandidates {
+				sum += c
+			}
+			if sum != wantStats.Candidates {
+				t.Errorf("shards=%d: ShardCandidates sum %d != Candidates %d",
+					shards, sum, wantStats.Candidates)
+			}
+		} else if wantStats.ShardCandidates != nil {
+			t.Errorf("shards=1: ShardCandidates should be nil, got %v", wantStats.ShardCandidates)
+		}
+	}
+}
+
+// denseCorpus builds n records in a few near-duplicate families (five shared
+// tokens plus one variable token), so an R×S join at moderate θ produces on
+// the order of (n/families)²·families matches — the result-heavy workload
+// the streaming path exists for.
+func denseCorpus(n, families int, seed int64) []strutil.Record {
+	rng := rand.New(rand.NewSource(seed))
+	templates := [][]string{
+		{"espresso", "cafe", "helsinki", "city", "center"},
+		{"apple", "cake", "bakery", "market", "street"},
+		{"database", "systems", "course", "spring", "term"},
+		{"machine", "learning", "lab", "open", "day"},
+	}
+	tail := []string{"north", "south", "east", "west", "old", "new"}
+	raws := make([]string, n)
+	for i := range raws {
+		toks := append([]string(nil), templates[i%families]...)
+		toks = append(toks, tail[rng.Intn(len(tail))])
+		raws[i] = strutil.JoinTokens(toks)
+	}
+	return strutil.NewCollection(raws)
+}
+
+// TestJoinSeqCancellation pins the cancellation contract on a long join:
+// cancelling after the first yielded match returns promptly (well under the
+// full-join wall time), surfaces the context error exactly once, and leaks
+// no goroutines.
+func TestJoinSeqCancellation(t *testing.T) {
+	j := NewJoiner(paperContext())
+	s := denseCorpus(220, 3, 1)
+	u := denseCorpus(220, 3, 2)
+	opts := Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}
+
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	full, err := collectSeq(t, j.JoinSeq(context.Background(), s, u, opts))
+	if err != nil {
+		t.Fatalf("full JoinSeq error: %v", err)
+	}
+	fullTime := time.Since(start)
+	if len(full) < 10000 {
+		t.Fatalf("workload too small to time cancellation: %d results", len(full))
+	}
+	checkGoroutines(t, before)
+
+	before = runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start = time.Now()
+	seen := 0
+	var seqErr error
+	for _, err := range j.JoinSeq(ctx, s, u, opts) {
+		if err != nil {
+			seqErr = err
+			break
+		}
+		seen++
+		cancel()
+	}
+	cancelTime := time.Since(start)
+	if seqErr == nil {
+		t.Fatal("cancelled JoinSeq yielded no error")
+	}
+	if seqErr != context.Canceled {
+		t.Fatalf("cancelled JoinSeq error = %v, want context.Canceled", seqErr)
+	}
+	if seen >= len(full) {
+		t.Fatalf("cancellation delivered all %d results", seen)
+	}
+	if cancelTime >= fullTime {
+		t.Errorf("cancelled join took %v, full join %v — cancellation did not stop work early",
+			cancelTime, fullTime)
+	}
+	checkGoroutines(t, before)
+}
+
+// TestSeqConsumerBreak pins the early-exit contract: breaking out of the
+// range loop mid-stream is not an error, stops the pipeline, and leaks no
+// goroutines.
+func TestSeqConsumerBreak(t *testing.T) {
+	ctx := propertyContexts()["full"]
+	rng := rand.New(rand.NewSource(5))
+	j := NewJoiner(ctx)
+	s := propertyCorpus(40, rng)
+	u := propertyCorpus(40, rng)
+	opts := Options{Theta: 0.7, Tau: 1, Method: pebble.AUDP}
+	full, _ := j.Join(s, u, opts)
+	if len(full) < 4 {
+		t.Fatalf("corpus yields only %d matches; break test needs a few", len(full))
+	}
+	before := runtime.NumGoroutine()
+	seen := 0
+	for _, err := range j.JoinSeq(context.Background(), s, u, opts) {
+		if err != nil {
+			t.Fatalf("unexpected error before break: %v", err)
+		}
+		seen++
+		if seen == 2 {
+			break
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("consumer break saw %d pairs, want 2", seen)
+	}
+	checkGoroutines(t, before)
+}
+
+// TestProbeSeqCancellation covers the snapshot streaming path: a cancelled
+// context aborts a View.ProbeSeq mid-verify with the context error and no
+// goroutine leak.
+func TestProbeSeqCancellation(t *testing.T) {
+	j := NewJoiner(paperContext())
+	catalog := denseCorpus(200, 3, 3)
+	probe := denseCorpus(200, 3, 4)
+	sx := j.BuildShardedIndex(catalog, 2, Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}, DynamicOptions{})
+	sv := sx.Snapshot()
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	var seqErr error
+	for _, err := range sv.ProbeSeq(ctx, probe) {
+		if err != nil {
+			seqErr = err
+			break
+		}
+		seen++
+		cancel()
+	}
+	if seqErr != context.Canceled {
+		t.Fatalf("ProbeSeq error = %v, want context.Canceled", seqErr)
+	}
+	full, _ := sv.Probe(probe)
+	if seen >= len(full) {
+		t.Fatalf("cancellation delivered all %d results", seen)
+	}
+	checkGoroutines(t, before)
+}
+
+// TestQueryCtxParityAndOverrides pins the context-aware single-record paths
+// against their batch counterparts and checks the per-request overrides:
+// the zero QueryOpts reproduces ProbeRecord/QueryTopK exactly (sharded and
+// not), a raised threshold drops exactly the matches below it, and a
+// parallel-verification request returns the same matches as a sequential
+// one.
+func TestQueryCtxParityAndOverrides(t *testing.T) {
+	ctx := propertyContexts()["full"]
+	rng := rand.New(rand.NewSource(13))
+	corpus := propertyCorpus(40, rng)
+	queries := propertyCorpus(15, rng)
+	bg := context.Background()
+	for _, shards := range shardCounts {
+		j := NewJoiner(ctx)
+		sx := j.BuildShardedIndex(corpus, shards, Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}, DynamicOptions{})
+		sv := sx.Snapshot()
+		for _, q := range queries {
+			want := sv.ProbeRecord(q.Tokens)
+			got, err := sv.ProbeRecordCtx(bg, q.Tokens, QueryOpts{})
+			if err != nil || !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d: ProbeRecordCtx = %v (%v), want %v", shards, got, err, want)
+			}
+			gotPar, err := sv.ProbeRecordCtx(bg, q.Tokens, QueryOpts{Workers: 4})
+			if err != nil || !reflect.DeepEqual(gotPar, want) {
+				t.Fatalf("shards=%d: parallel ProbeRecordCtx = %v (%v), want %v", shards, gotPar, err, want)
+			}
+
+			wantTop := sv.QueryTopK(q.Tokens, 5)
+			gotTop, err := sv.QueryTopKCtx(bg, q.Tokens, 5, QueryOpts{})
+			if err != nil || !reflect.DeepEqual(gotTop, wantTop) {
+				t.Fatalf("shards=%d: QueryTopKCtx = %v (%v), want %v", shards, gotTop, err, wantTop)
+			}
+
+			strict, err := sv.ProbeRecordCtx(bg, q.Tokens, QueryOpts{Theta: 0.9})
+			if err != nil {
+				t.Fatalf("shards=%d: raised-θ query error: %v", shards, err)
+			}
+			var wantStrict []QueryMatch
+			for _, m := range want {
+				if m.Similarity >= 0.9 {
+					wantStrict = append(wantStrict, m)
+				}
+			}
+			if !reflect.DeepEqual(strict, wantStrict) {
+				t.Fatalf("shards=%d: θ=0.9 override = %v, want %v", shards, strict, wantStrict)
+			}
+		}
+
+		// A cancelled context aborts the fan-out with its error.
+		cancelled, cancel := context.WithCancel(bg)
+		cancel()
+		if _, err := sv.ProbeRecordCtx(cancelled, queries[0].Tokens, QueryOpts{}); err != context.Canceled {
+			t.Errorf("shards=%d: cancelled ProbeRecordCtx error = %v", shards, err)
+		}
+		if _, err := sv.QueryTopKCtx(cancelled, queries[0].Tokens, 3, QueryOpts{}); err != context.Canceled {
+			t.Errorf("shards=%d: cancelled QueryTopKCtx error = %v", shards, err)
+		}
+	}
+}
+
+// TestEmptyQueryReturnsEarly is the regression test for the zero-signature
+// probe: empty (or all-whitespace, i.e. zero-token) queries must return an
+// empty result on every query path instead of running the pipeline with an
+// empty signature.
+func TestEmptyQueryReturnsEarly(t *testing.T) {
+	ctx := propertyContexts()["full"]
+	rng := rand.New(rand.NewSource(21))
+	corpus := propertyCorpus(25, rng)
+	j := NewJoiner(ctx)
+	ix := j.BuildIndex(corpus, Options{Theta: 0.7, Tau: 1, Method: pebble.AUDP})
+	if got := ix.ProbeRecord(nil); got != nil {
+		t.Errorf("Index.ProbeRecord(nil) = %v, want nil", got)
+	}
+	if got := ix.ProbeRecord(strutil.Tokenize("   ")); got != nil {
+		t.Errorf("Index.ProbeRecord(whitespace) = %v, want nil", got)
+	}
+	for _, shards := range shardCounts {
+		sx := j.BuildShardedIndex(corpus, shards, Options{Theta: 0.7, Tau: 1, Method: pebble.AUDP}, DynamicOptions{})
+		sv := sx.Snapshot()
+		if got := sv.ProbeRecord(nil); got != nil {
+			t.Errorf("shards=%d: ProbeRecord(nil) = %v, want nil", shards, got)
+		}
+		if got := sv.QueryTopK(strutil.Tokenize(""), 5); got != nil {
+			t.Errorf("shards=%d: QueryTopK(empty) = %v, want nil", shards, got)
+		}
+		if got, err := sv.ProbeRecordCtx(context.Background(), nil, QueryOpts{}); err != nil || got != nil {
+			t.Errorf("shards=%d: ProbeRecordCtx(nil) = %v, %v", shards, got, err)
+		}
+		if got, err := sv.QueryTopKCtx(context.Background(), nil, 5, QueryOpts{}); err != nil || got != nil {
+			t.Errorf("shards=%d: QueryTopKCtx(nil) = %v, %v", shards, got, err)
+		}
+	}
+}
+
+// TestBruteForceCtxCancelled pins the oracle's cancellation behaviour: a
+// cancelled context yields no partial result.
+func TestBruteForceCtxCancelled(t *testing.T) {
+	ctx := propertyContexts()["plain"]
+	rng := rand.New(rand.NewSource(8))
+	j := NewJoiner(ctx)
+	s := propertyCorpus(20, rng)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := j.BruteForceCtx(cancelled, s, s, 0.7, nil)
+	if err != context.Canceled || out != nil {
+		t.Fatalf("BruteForceCtx cancelled = %v, %v; want nil, context.Canceled", out, err)
+	}
+	full, err := j.BruteForceCtx(context.Background(), s, s, 0.7, nil)
+	if err != nil {
+		t.Fatalf("BruteForceCtx background error: %v", err)
+	}
+	if !reflect.DeepEqual(full, j.BruteForce(s, s, 0.7, nil)) {
+		t.Fatal("BruteForceCtx(Background) differs from BruteForce")
+	}
+}
+
+// TestProbeSeqAllocsBelowBatch enforces the memory contract of the streaming
+// path: consuming ProbeSeq without retaining matches must allocate strictly
+// less than the batch Probe on a result-heavy workload (the batch path pays
+// for the O(results) buffer and its sort; the stream does not).
+func TestProbeSeqAllocsBelowBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("result-heavy workload; skipped with -short")
+	}
+	j := NewJoiner(paperContext())
+	catalog := denseCorpus(600, 3, 5)
+	probe := denseCorpus(600, 3, 6)
+	opts := Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP, Workers: 4}
+	ix := j.buildIndex(catalog, j.BuildOrder(catalog, probe), opts, nil)
+
+	results, _ := ix.Probe(probe)
+	if len(results) < 100000 {
+		t.Fatalf("workload yields %d results, want ≥ 100000", len(results))
+	}
+
+	batchAllocs := testing.AllocsPerRun(1, func() {
+		ix.Probe(probe)
+	})
+	streamAllocs := testing.AllocsPerRun(1, func() {
+		count := 0
+		for _, err := range ix.ProbeSeq(context.Background(), probe) {
+			if err != nil {
+				t.Errorf("ProbeSeq error: %v", err)
+				return
+			}
+			count++
+		}
+		if count != len(results) {
+			t.Errorf("ProbeSeq yielded %d matches, want %d", count, len(results))
+		}
+	})
+	t.Logf("allocs: stream=%.0f batch=%.0f (%d results)", streamAllocs, batchAllocs, len(results))
+	if streamAllocs >= batchAllocs {
+		t.Errorf("streaming allocations (%.0f) not below batch (%.0f)", streamAllocs, batchAllocs)
+	}
+}
