@@ -149,6 +149,16 @@ type Stats struct {
 	ShardCandidates []int
 	// Results is the number of matches returned.
 	Results int
+	// FilterPostings is the number of posting entries (record IDs, whether
+	// walked in a sorted list or popcounted out of a packed bitmap block)
+	// the candidate phase processed — the T_τ cost measure of the paper.
+	FilterPostings int64
+	// BitsetTokens and SliceTokens split the signature tokens the candidate
+	// phase looked up by posting-list representation: packed bitmap form
+	// versus sorted slice form. Their sum is the number of distinct indexed
+	// tokens across all probe signatures.
+	BitsetTokens int64
+	SliceTokens  int64
 	// SuggestedTau is the overlap constraint used (after auto-suggestion,
 	// when enabled).
 	SuggestedTau int
@@ -626,6 +636,20 @@ type IndexStats struct {
 	// the records appended over the index lifetime.
 	Rebuilds int `json:"rebuilds"`
 	Inserts  int `json:"inserts"`
+	// DenseKeys and SparseKeys split the non-empty posting lists of the
+	// base inverted indexes by representation: packed bitmap form (lists
+	// past the hybrid density cutoff) versus sorted slice form, summed over
+	// shards.
+	DenseKeys  int `json:"dense_keys"`
+	SparseKeys int `json:"sparse_keys"`
+	// ProbePostings counts posting entries processed by the count filter
+	// over every probe served since the index was built;
+	// ProbeBitsetTokens and ProbeSliceTokens split the probe signature
+	// tokens by the posting-list representation they were served from
+	// (packed bitmap versus sorted slice), summed over shards.
+	ProbePostings     int64 `json:"probe_postings"`
+	ProbeBitsetTokens int64 `json:"probe_bitset_tokens"`
+	ProbeSliceTokens  int64 `json:"probe_slice_tokens"`
 	// CacheHits and CacheMisses are the cumulative counters of the
 	// prepared-record cache consulted on Insert (shared across all shards;
 	// both zero when the cache is disabled).
@@ -789,6 +813,9 @@ func convertPairs(pairs []join.Pair, jstats join.Stats, tau int) ([]Match, Stats
 		Candidates:      jstats.Candidates,
 		ShardCandidates: jstats.ShardCandidates,
 		Results:         len(pairs),
+		FilterPostings:  jstats.ProcessedPairs,
+		BitsetTokens:    jstats.BitsetTokens,
+		SliceTokens:     jstats.SliceTokens,
 		SuggestedTau:    tau,
 		FilterTime:      jstats.SignatureTime + jstats.FilterTime,
 		VerifyTime:      jstats.VerifyTime,

@@ -1,0 +1,235 @@
+// Command benchgate turns `go test -bench` output into a committed JSON
+// snapshot and enforces the perf-regression gate of the CI bench job.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./internal/join | \
+//	    benchgate -out BENCH_2026-08-08.json
+//	go test -run=NONE -bench=. -benchmem ./internal/join | \
+//	    benchgate -out bench.json -baseline BENCH_2026-08-08.json \
+//	    -gate BenchmarkFilterPhase -max-regress 0.20
+//
+// Parsing accepts standard benchmark result lines (with or without the
+// -cpu suffix); repeated runs of one benchmark (-count N) keep the fastest
+// ns/op, the usual noise floor estimate.
+//
+// The gate compares the *ratio* of the gated benchmark to its "Classic"
+// sibling (<name>Classic) when both sides have one — a machine-independent
+// measure, since CI runners and the baseline machine differ in absolute
+// speed — and falls back to absolute ns/op otherwise. The run fails (exit
+// 1) when the current metric exceeds the baseline metric by more than
+// -max-regress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Result is one benchmark's parsed measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the committed JSON shape: environment plus results.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName[-cpus]  iters  123 ns/op [...]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+
+	var (
+		in         = flag.String("in", "", "benchmark output file (default stdin)")
+		out        = flag.String("out", "", "JSON snapshot to write (default BENCH_<date>.json)")
+		baseline   = flag.String("baseline", "", "baseline JSON snapshot to gate against (no gating when empty)")
+		gate       = flag.String("gate", "BenchmarkFilterPhase", "benchmark name the gate applies to")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximal allowed relative regression of the gated metric")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark result lines found in the input")
+	}
+
+	snap := Snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", path, len(results))
+
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := check(base, snap, *gate, *maxRegress); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("gate passed: %s within %.0f%% of %s", *gate, *maxRegress*100, *baseline)
+}
+
+// parse reads benchmark result lines, keeping each name's fastest run.
+func parse(r io.Reader) ([]Result, error) {
+	best := map[string]Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		res.BytesPerOp, res.AllocsOp = parseMem(m[4])
+		if prev, ok := best[res.Name]; !ok {
+			best[res.Name] = res
+			order = append(order, res.Name)
+		} else if res.NsPerOp < prev.NsPerOp {
+			best[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, best[name])
+	}
+	return out, nil
+}
+
+var memField = regexp.MustCompile(`(\d+) (B/op|allocs/op)`)
+
+func parseMem(rest string) (bytes, allocs int64) {
+	for _, m := range memField.FindAllStringSubmatch(rest, -1) {
+		v, _ := strconv.ParseInt(m[1], 10, 64)
+		switch m[2] {
+		case "B/op":
+			bytes = v
+		case "allocs/op":
+			allocs = v
+		}
+	}
+	return bytes, allocs
+}
+
+func load(path string) (Snapshot, error) {
+	var s Snapshot
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	return s, json.Unmarshal(buf, &s)
+}
+
+// metric returns the gated measure for one snapshot: ns(gate)/ns(gateClassic)
+// when the snapshot holds both (ratio=true), else the absolute ns/op.
+func metric(s Snapshot, gate string) (val float64, ratio, ok bool) {
+	var g, c *Result
+	for i := range s.Benchmarks {
+		switch s.Benchmarks[i].Name {
+		case gate:
+			g = &s.Benchmarks[i]
+		case gate + "Classic":
+			c = &s.Benchmarks[i]
+		}
+	}
+	if g == nil {
+		return 0, false, false
+	}
+	if c != nil && c.NsPerOp > 0 {
+		return g.NsPerOp / c.NsPerOp, true, true
+	}
+	return g.NsPerOp, false, true
+}
+
+func check(base, cur Snapshot, gate string, maxRegress float64) error {
+	baseVal, bratio, ok := metric(base, gate)
+	if !ok {
+		return fmt.Errorf("baseline has no %s result", gate)
+	}
+	curVal, cratio, ok := metric(cur, gate)
+	if !ok {
+		return fmt.Errorf("current run has no %s result", gate)
+	}
+	kind := "ns/op"
+	if bratio && cratio {
+		kind = "hybrid/classic ratio"
+	} else if bratio != cratio {
+		// One side is missing the Classic sibling: compare absolutes.
+		baseVal, _, _ = absMetric(base, gate)
+		curVal, _, _ = absMetric(cur, gate)
+	}
+	limit := baseVal * (1 + maxRegress)
+	log.Printf("%s %s: baseline %.4g, current %.4g, limit %.4g", gate, kind, baseVal, curVal, limit)
+	if curVal > limit {
+		return fmt.Errorf("%s regressed: %s %.4g exceeds baseline %.4g by more than %.0f%%",
+			gate, kind, curVal, baseVal, maxRegress*100)
+	}
+	return nil
+}
+
+func absMetric(s Snapshot, gate string) (float64, bool, bool) {
+	for _, b := range s.Benchmarks {
+		if b.Name == gate {
+			return b.NsPerOp, false, true
+		}
+	}
+	return 0, false, false
+}

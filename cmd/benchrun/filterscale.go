@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/datagen"
+	"github.com/aujoin/aujoin/internal/join"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// filterScaleConfig parameterizes the large-corpus filter-phase comparison
+// (the "filterscale" experiment): an R×S join with a zipfian-token corpus
+// on the indexed side, run once with the hybrid bitmap posting layout and
+// once with the classic slice-only layout, reporting the candidate-phase
+// wall time of each.
+type filterScaleConfig struct {
+	Records int     // indexed-side corpus size
+	Probes  int     // probe-side record count
+	Vocab   int     // vocabulary size; 0 derives Records/100
+	ZipfS   float64 // token-frequency Zipf exponent
+	Theta   float64
+	Tau     int
+	Seed    int64
+}
+
+type filterScaleRow struct {
+	layout string
+	stats  join.Stats
+	pairs  int
+}
+
+type filterScaleResult struct {
+	cfg  filterScaleConfig
+	gen  time.Duration
+	rows []filterScaleRow
+}
+
+func (r filterScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "filter phase at scale: %d indexed records × %d probes (vocab %d, zipf s=%.2f, θ=%.2f, τ=%d, seed %d)\n",
+		r.cfg.Records, r.cfg.Probes, r.cfg.Vocab, r.cfg.ZipfS, r.cfg.Theta, r.cfg.Tau, r.cfg.Seed)
+	fmt.Fprintf(&b, "corpus generation: %v\n\n", r.gen.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-8s %10s %12s %12s %14s %12s %12s %10s %10s\n",
+		"layout", "sig", "filter", "verify", "postings", "bitset-tok", "slice-tok", "cands", "results")
+	for _, row := range r.rows {
+		st := row.stats
+		fmt.Fprintf(&b, "%-8s %10v %12v %12v %14d %12d %12d %10d %10d\n",
+			row.layout, st.SignatureTime.Round(time.Millisecond),
+			st.FilterTime.Round(time.Millisecond), st.VerifyTime.Round(time.Millisecond),
+			st.ProcessedPairs, st.BitsetTokens, st.SliceTokens, st.Candidates, row.pairs)
+	}
+	if len(r.rows) == 2 && r.rows[0].stats.FilterTime > 0 {
+		fmt.Fprintf(&b, "\nfilter-phase speedup (classic / hybrid): %.2f×\n",
+			float64(r.rows[1].stats.FilterTime)/float64(r.rows[0].stats.FilterTime))
+	}
+	return b.String()
+}
+
+// runFilterScale generates the corpus, runs the join under both posting
+// layouts and returns the comparison. The two runs share the collections
+// and the joiner, so the only variable is Options.ClassicFilter.
+func runFilterScale(cfg filterScaleConfig) fmt.Stringer {
+	if cfg.Vocab <= 0 {
+		cfg.Vocab = 200
+	}
+	// Longer plain-token records than the MED preset: with 10–14 tokens a
+	// record's signature is long enough for the τ constraint to prune
+	// candidates hard, keeping the run filter-bound rather than
+	// verification-bound (the point of this experiment is the candidate
+	// phase, not the verifier).
+	gcfg := datagen.MEDLike(cfg.Records, cfg.Seed)
+	gcfg.VocabSize = cfg.Vocab
+	gcfg.ZipfS = cfg.ZipfS
+	gcfg.MinTokens, gcfg.MaxTokens = 10, 14
+	gcfg.DistinctTokens = true
+	gcfg.EntityRate, gcfg.SynonymTermRate = 0.05, 0.05
+	// A lean rule set keeps per-record signature selection linear-ish: the
+	// selector's cost grows with the applicable-rule count, and at millions
+	// of records that, not the filter under test, would dominate the run.
+	gcfg.SynonymRules, gcfg.TaxonomyNodes = 20, 100
+	gen := datagen.New(gcfg)
+
+	genStart := time.Now()
+	s := strutil.NewCollection(gen.Collection(cfg.Records))
+	t := strutil.NewCollection(gen.Collection(cfg.Probes))
+	genTime := time.Since(genStart)
+
+	ctx := sim.NewContext(gen.Rules(), gen.Taxonomy())
+	// 5-grams instead of the default: the generator's pronounceable
+	// CV-syllable vocabulary shares shorter grams so heavily that no τ can
+	// prune the candidate set, and the run would be verification-bound.
+	ctx.Q = 5
+	j := join.NewJoiner(ctx)
+	res := filterScaleResult{cfg: cfg, gen: genTime}
+	for _, classic := range []bool{false, true} {
+		layout := "hybrid"
+		if classic {
+			layout = "classic"
+		}
+		opts := join.Options{Theta: cfg.Theta, Tau: cfg.Tau, Method: pebble.AUHeuristic, ClassicFilter: classic}
+		pairs, st := j.Join(s, t, opts)
+		res.rows = append(res.rows, filterScaleRow{layout: layout, stats: st, pairs: len(pairs)})
+	}
+	return res
+}

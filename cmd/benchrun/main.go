@@ -10,9 +10,17 @@
 //
 // Experiment identifiers follow DESIGN.md §3: table8, table9, fig3, fig4,
 // fig5, fig6, fig7, table10, table11, table12, fig8, table13, table14.
-// The extra identifier "serve" (not part of the paper) drives concurrent
-// QueryTopK traffic against a mutating dynamic index and reports QPS,
-// latency percentiles and rebuild counts; it is excluded from "all".
+// Three extra identifiers (not part of the paper, excluded from "all"):
+//
+//   - "serve" drives concurrent QueryTopK traffic against a mutating
+//     dynamic index and reports QPS, latency percentiles and rebuild
+//     counts.
+//   - "profile" samples a mixed join + serving workload under the CPU
+//     profiler and writes a pprof profile (default default.pgo) for
+//     profile-guided optimization: go build -pgo=default.pgo ./...
+//   - "filterscale" compares the hybrid bitmap candidate phase against the
+//     classic slice layout on a large zipfian corpus (default 1M indexed
+//     records), reporting per-layout filter wall time and the speedup.
 package main
 
 import (
@@ -45,6 +53,16 @@ func main() {
 		serveMutate   = flag.Duration("serve-mutate-every", 10*time.Millisecond, "serve mode: pause between mutation batches")
 		serveTimeout  = flag.Duration("serve-query-timeout", 0, "serve mode: per-query deadline (0 = none)")
 		shards        = flag.Int("shards", 1, "serve mode: index partitions (0 = GOMAXPROCS)")
+
+		profileOut  = flag.String("profile-out", "default.pgo", "profile mode: output file (pprof format)")
+		profileSize = flag.Int("profile-size", 4000, "profile mode: dataset size for the sampled workload")
+
+		scaleRecords = flag.Int("scale-records", 1_000_000, "filterscale mode: indexed-side corpus size")
+		scaleProbes  = flag.Int("scale-probes", 200, "filterscale mode: probe-side record count")
+		scaleVocab   = flag.Int("scale-vocab", 0, "filterscale mode: vocabulary size (0 = 200: every list dense)")
+		scaleZipf    = flag.Float64("scale-zipf", 0, "filterscale mode: token-frequency Zipf exponent s > 1 (0 = legacy mild skew)")
+		scaleTheta   = flag.Float64("scale-theta", 0.9, "filterscale mode: similarity threshold")
+		scaleTau     = flag.Int("scale-tau", 12, "filterscale mode: overlap constraint")
 	)
 	flag.Parse()
 
@@ -72,6 +90,18 @@ func main() {
 				Seed:         *seed,
 			})
 		},
+		"profile": func() fmt.Stringer { return runProfile(*profileOut, *profileSize, *seed) },
+		"filterscale": func() fmt.Stringer {
+			return runFilterScale(filterScaleConfig{
+				Records: *scaleRecords,
+				Probes:  *scaleProbes,
+				Vocab:   *scaleVocab,
+				ZipfS:   *scaleZipf,
+				Theta:   *scaleTheta,
+				Tau:     *scaleTau,
+				Seed:    *seed,
+			})
+		},
 		"table8":  func() fmt.Stringer { return experiments.RunTable8(cfg, []float64{0.70, 0.75}) },
 		"table9":  func() fmt.Stringer { return experiments.RunTable9(cfg, []int{3, 4, 5, 6}, 100) },
 		"fig3":    func() fmt.Stringer { return experiments.RunFig3(cfg) },
@@ -96,7 +126,7 @@ func main() {
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
-			log.Printf("unknown experiment %q; known: %s, serve", id, strings.Join(order, ", "))
+			log.Printf("unknown experiment %q; known: %s, serve, profile, filterscale", id, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s ===\n%s\n", id, run().String())

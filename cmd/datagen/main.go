@@ -5,6 +5,19 @@
 // Usage:
 //
 //	datagen -preset med -size 20000 -seed 1 -out ./data/med
+//
+// Large corpora (1M–10M records) are generated with -stream, which writes
+// records as they are drawn instead of materialising both collections in
+// memory, and typically with -zipf to give token frequencies a true
+// zipfian skew and -vocab to widen the vocabulary:
+//
+//	datagen -preset wiki -size 5000000 -stream -zipf 1.3 -vocab 200000 -seed 1 -out ./data/wiki5m
+//
+// Output is a deterministic function of the flags: the same invocation
+// (including -seed) reproduces the same files byte for byte. Streamed and
+// batch modes draw records in a different order from the shared generator,
+// so -stream and non--stream outputs of the same seed differ — pick one
+// mode per corpus and keep it.
 package main
 
 import (
@@ -27,6 +40,9 @@ func main() {
 		size   = flag.Int("size", 10000, "number of records per collection")
 		seed   = flag.Int64("seed", 1, "random seed")
 		outDir = flag.String("out", "./data", "output directory")
+		stream = flag.Bool("stream", false, "write records incrementally (constant memory; use for 1M+ records)")
+		vocab  = flag.Int("vocab", 0, "override the preset's vocabulary size (0 keeps the preset)")
+		zipfS  = flag.Float64("zipf", 0, "token-frequency Zipf exponent s > 1 (0 keeps the preset's legacy skew)")
 	)
 	flag.Parse()
 
@@ -37,12 +53,22 @@ func main() {
 	default:
 		cfg = datagen.MEDLike(*size, *seed)
 	}
+	if *vocab > 0 {
+		cfg.VocabSize = *vocab
+	}
+	cfg.ZipfS = *zipfS
 	gen := datagen.New(cfg)
-	ds := gen.Generate()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
+
+	if *stream {
+		streamDataset(gen, cfg, *outDir)
+		return
+	}
+
+	ds := gen.Generate()
 	writeLines(filepath.Join(*outDir, "left.txt"), func(w *bufio.Writer) {
 		for _, r := range ds.S {
 			fmt.Fprintln(w, r.Raw)
@@ -63,6 +89,60 @@ func main() {
 
 	log.Printf("wrote %s dataset (%d + %d records, %d truth pairs, %d taxonomy nodes, %d rules) to %s",
 		ds.Name, len(ds.S), len(ds.T), len(ds.Truth), ds.Tax.Len(), ds.Rules.Len(), *outDir)
+}
+
+// streamDataset writes the same file set as the batch path but one record
+// at a time: each loop iteration draws a left record, then the matching
+// right record (a variant of the left one on even positions — recorded in
+// the truth file — or an independent draw on odd ones), so memory stays
+// bounded by the generator's vocabulary whatever -size is.
+func streamDataset(gen *datagen.Generator, cfg datagen.Config, outDir string) {
+	left := newLineWriter(filepath.Join(outDir, "left.txt"))
+	right := newLineWriter(filepath.Join(outDir, "right.txt"))
+	truth := newLineWriter(filepath.Join(outDir, "truth.tsv"))
+	truthPairs := 0
+	for i := 0; i < cfg.Size; i++ {
+		base := gen.BaseRecord()
+		fmt.Fprintln(left.w, base)
+		if i%2 == 0 {
+			variant, prov := gen.Variant(base)
+			fmt.Fprintln(right.w, variant)
+			fmt.Fprintf(truth.w, "%d\t%d\ttypo=%v syn=%v tax=%v\n", i, i, prov.Typo, prov.SynonymSwap, prov.TaxonomySwap)
+			truthPairs++
+		} else {
+			fmt.Fprintln(right.w, gen.BaseRecord())
+		}
+	}
+	left.close()
+	right.close()
+	truth.close()
+	writeFile(filepath.Join(outDir, "taxonomy.tsv"), func(f *os.File) error { return gen.Taxonomy().Write(f) })
+	writeFile(filepath.Join(outDir, "synonyms.tsv"), func(f *os.File) error { return gen.Rules().Write(f) })
+
+	log.Printf("streamed %s dataset (%d + %d records, %d truth pairs, %d taxonomy nodes, %d rules) to %s",
+		cfg.Name, cfg.Size, cfg.Size, truthPairs, gen.Taxonomy().Len(), gen.Rules().Len(), outDir)
+}
+
+type lineWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func newLineWriter(path string) *lineWriter {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &lineWriter{f: f, w: bufio.NewWriterSize(f, 1<<20)}
+}
+
+func (lw *lineWriter) close() {
+	if err := lw.w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := lw.f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func writeLines(path string, fill func(*bufio.Writer)) {

@@ -1,0 +1,405 @@
+package invindex
+
+import "math/bits"
+
+// This file implements the block accumulation engine of the hybrid count
+// filter. The classic count filter walks every posting entry of every probe
+// token and bumps a per-record overlap counter; with frequent tokens in
+// Bitset form the same counts can be produced block-at-a-time: 64 records
+// per machine word, added through a carry-save adder network of bit-sliced
+// counters that live entirely in registers while every dense token's word
+// for that block is folded in, then drained once.
+//
+// The accumulation is word-major: for each bitmap word position w, the 64
+// records' counters are held as countPlanes bit-planes in registers — plane
+// k holds bit k of 64 independent counters — plus a saturation mask
+// (counters that reached satCount stop counting; the accumulator routes any
+// probe that could legitimately need larger counts through the exact
+// per-bit path instead, so saturation is never observable). Adding a bitmap
+// word is a ripple-carry add of 1 restricted to the set bits: two ALU ops
+// per plane, independent of how many of the 64 records are present, with no
+// loads or stores. Survivors are extracted from the registers bit-parallel
+// before they die, so the per-record counter array is never touched on a
+// pure-dense probe. Which records were touched at all falls out of the
+// planes themselves (some plane or saturation bit set).
+
+const (
+	// countPlanes bounds the exact counter range of the register block:
+	// counts 0..satCount-1 are exact, satCount is the saturation ceiling.
+	countPlanes = 5
+	// satCount is the first count the planes cannot represent exactly. The
+	// accumulator only batches a token into the register block when the
+	// probe's τ and the token's multiplicity guarantee saturation cannot
+	// change the filter's verdict (see AddBitset).
+	satCount = 1 << countPlanes
+)
+
+// The unrolled ripple and extraction in FlushDense spell out all five
+// planes.
+var _ = [1]struct{}{}[countPlanes-5]
+
+// denseAdd is one deferred dense-token accumulation: the token's bitmap
+// words (the slice header is copied here so the fold loop never chases the
+// *Bitset pointer) and the probe-side multiplicity it contributes per
+// record.
+type denseAdd struct {
+	words []uint64
+	mult  int32
+}
+
+// Accumulator is the per-probe scratch of the hybrid count filter: a bump
+// arena holding the per-record overlap counters and the touched list, plus
+// a deferred list of dense tokens folded block-at-a-time by FlushDense. It
+// replaces the counts/touched pair of the classic filter; one Accumulator
+// serves any number of sequential probes (Begin resets per probe, Reset
+// re-sizes per corpus) and is not safe for concurrent use — pool one per
+// worker.
+//
+// The protocol per probe record is:
+//
+//	acc.Begin(tau)
+//	acc.AddPostings(...) / acc.AddBitset(...)   // once per probe token
+//	acc.FlushDense(limit)                       // drain deferred bitmaps
+//	recs := acc.Collect(dead)                   // survivors; counters re-zeroed
+//
+// Counts produced this way are bit-identical to the classic entry-at-a-time
+// accumulation: AddBitset defers a token into the block path only when τ
+// and the multiplicity guarantee the saturation ceiling cannot flip the
+// ≥ τ verdict, and falls back to exact per-bit accumulation otherwise.
+type Accumulator struct {
+	// block is the arena: one allocation backing both counts (first half)
+	// and the touched list (second half). touched can never outgrow its
+	// half — a record is appended only on its 0→nonzero transition, so at
+	// most one entry per record.
+	block   []int32
+	counts  []int32
+	touched []int32
+	sized   int // counts length of the last Reset (the zeroed prefix bound)
+	tau     int32
+	dense   []denseAdd
+	// sliceBits marks the records whose counter received a direct write
+	// (slice postings or the per-bit fallback) this probe: exactly the
+	// lanes whose block extraction cannot be skipped. Collect re-zeroes it
+	// alongside the counters, so unlike the arena it needs no watermark —
+	// it never aliases the touched list.
+	sliceBits []uint64
+	// mixed records whether any counter was written directly (slice
+	// postings or the exact per-bit fallback) this probe; a probe whose
+	// every token went through the block path can skip counter extraction
+	// and read the survivors straight out of the register planes.
+	mixed bool
+	// collected is set when FlushDense already produced the final survivor
+	// list in touched (pure-dense fast path); Collect then only applies the
+	// dead filter, and there are no nonzero counters to restore.
+	collected bool
+}
+
+// NewAccumulator returns an empty accumulator; Reset sizes it.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Reset sizes the arena for a corpus of numRecords records, reusing the
+// backing block when it is large enough. Counters are zero afterwards: the
+// prefix up to the previous size is zero by the Collect invariant, and a
+// growing counter region — which overlaps the previous probe's touched
+// list — is cleared explicitly.
+func (a *Accumulator) Reset(numRecords int) {
+	if cap(a.block) < 2*numRecords {
+		a.block = make([]int32, 2*numRecords)
+	} else if numRecords > a.sized {
+		clear(a.block[a.sized:numRecords])
+	}
+	a.sized = numRecords
+	a.counts = a.block[:numRecords]
+	a.touched = a.block[numRecords:numRecords]
+	nwords := (numRecords + 63) >> 6
+	if cap(a.sliceBits) < nwords {
+		a.sliceBits = make([]uint64, nwords)
+	} else {
+		// Zero by the Collect invariant, like the counter prefix.
+		a.sliceBits = a.sliceBits[:nwords]
+	}
+	a.dense = a.dense[:0]
+}
+
+// Begin starts one probe record with overlap threshold tau.
+func (a *Accumulator) Begin(tau int) {
+	a.tau = int32(tau)
+	a.touched = a.touched[:0]
+	a.dense = a.dense[:0]
+	a.mixed = false
+	a.collected = false
+}
+
+// AddPostings folds one slice-form posting list into the counters with the
+// given probe-side multiplicity and returns the number of entries
+// processed. This is the classic inner loop, shared by rare tokens and the
+// dynamic index's delta segments.
+func (a *Accumulator) AddPostings(postings []Posting, mult int32) int64 {
+	if len(postings) > 0 {
+		a.mixed = true
+	}
+	counts := a.counts
+	for _, p := range postings {
+		if counts[p.Record] == 0 {
+			a.touched = append(a.touched, int32(p.Record))
+			a.sliceBits[p.Record>>6] |= 1 << (uint(p.Record) & 63)
+		}
+		counts[p.Record] += mult * int32(p.Count)
+	}
+	return int64(len(postings))
+}
+
+// AddBitset folds one bitmap-form posting list restricted to records
+// < limit into the counters. When the probe's τ and the multiplicity fit
+// the exact range of the register planes the token is deferred for block
+// accumulation in FlushDense (returning 0 now; FlushDense reports the
+// processed entries); otherwise it is accumulated immediately, bit by bit,
+// which is exact for any τ and multiplicity.
+func (a *Accumulator) AddBitset(bs *Bitset, mult int32, limit int) int64 {
+	if a.tau <= satCount && mult < satCount {
+		// Saturated counters read as satCount ≥ τ, and a counter only
+		// saturates when its true count is > satCount ≥ τ, so the ≥ τ
+		// verdict is unchanged; counts of survivors may read low but are
+		// only ever compared against τ.
+		a.dense = append(a.dense, denseAdd{bs.words, mult})
+		return 0
+	}
+	return a.addBits(bs, mult, limit)
+}
+
+// addBits is the exact scalar fallback: every set bit bumps its counter
+// directly.
+func (a *Accumulator) addBits(bs *Bitset, mult int32, limit int) int64 {
+	a.mixed = true
+	words, lastWord, lastMask := clampWords(bs.words, limit)
+	var processed int64
+	counts := a.counts
+	for w, x := range words {
+		if w == lastWord {
+			x &= lastMask
+		}
+		for ; x != 0; x &= x - 1 {
+			r := int32(w<<6 + bits.TrailingZeros64(x))
+			if counts[r] == 0 {
+				a.touched = append(a.touched, r)
+				a.sliceBits[r>>6] |= 1 << (uint32(r) & 63)
+			}
+			counts[r] += mult
+			processed++
+		}
+	}
+	return processed
+}
+
+// clampWords restricts a bitmap to records < limit: the usable word prefix,
+// the index of the word the limit falls in (-1 when no masking is needed)
+// and the mask for that word.
+func clampWords(words []uint64, limit int) ([]uint64, int, uint64) {
+	lw := (limit + 63) >> 6
+	if lw >= len(words) {
+		if limit&63 != 0 && lw == len(words) {
+			return words, lw - 1, 1<<(uint(limit)&63) - 1
+		}
+		return words, -1, 0
+	}
+	if limit&63 != 0 {
+		return words[:lw], lw - 1, 1<<(uint(limit)&63) - 1
+	}
+	return words[:lw], -1, 0
+}
+
+// FlushDense drains the deferred dense tokens through the register block
+// adder, restricted to records < limit, and returns the number of (record,
+// token) occurrences processed — the same quantity AddPostings reports for
+// slice lists, so the filter's T_τ statistic is representation-independent.
+//
+// The loop is word-major: for each bitmap word position, every deferred
+// token's word is ripple-carry added into six registers (five bit-planes
+// plus saturation), then the 64 lanes are drained — straight into the
+// survivor list via the bit-parallel ≥ τ comparison on a pure-dense probe,
+// or merged into the arena counters when slice-form tokens also wrote this
+// probe. The bit-planes never touch memory, there is nothing to re-zero,
+// and each token's bitmap streams through the cache exactly once — the
+// classic path streams the full-corpus count array once per token.
+func (a *Accumulator) FlushDense(limit int) int64 {
+	if len(a.dense) == 0 {
+		return 0
+	}
+	lw := (limit + 63) >> 6
+	lastMask := ^uint64(0)
+	if limit&63 != 0 {
+		lastMask = 1<<(uint(limit)&63) - 1
+	}
+	maxWords := 0
+	for _, d := range a.dense {
+		n := len(d.words)
+		if n > lw {
+			n = lw
+		}
+		if n > maxWords {
+			maxWords = n
+		}
+	}
+	// With no direct counter writes this probe, the ≥ τ verdict lives
+	// entirely in the register planes: extract the survivor mask
+	// bit-parallel and emit final survivors straight into touched, never
+	// touching the counter array (Collect then only applies the dead
+	// filter). One slice-form token forces the exact merge through the
+	// counters instead.
+	pure := !a.mixed
+	var processed int64
+	counts := a.counts
+	dense := a.dense
+	tau := a.tau
+	for w := 0; w < maxWords; w++ {
+		mask := ^uint64(0)
+		if w == lw-1 {
+			// A bitmap holds exactly ⌈records/64⌉ words with the excess
+			// high bits of the last word zero, so this mask only bites when
+			// the limit cuts a word short (the self-join prefix).
+			mask = lastMask
+		}
+		var p0, p1, p2, p3, p4, st uint64
+		for _, d := range dense {
+			words := d.words
+			if w >= len(words) {
+				continue
+			}
+			x := words[w] & mask
+			if x == 0 {
+				continue
+			}
+			processed += int64(bits.OnesCount64(x))
+			// Ripple-carry add of 1 restricted to the set bits, branchless
+			// across the five planes; a multiplicity m > 1 (a probe
+			// signature rarely repeats an ID) simply adds 1 m times, which
+			// reaches the identical counter and saturation state.
+			for m := d.mult; m > 0; m-- {
+				c := p0 & x
+				p0 ^= x
+				t := p1 & c
+				p1 ^= c
+				c = t
+				t = p2 & c
+				p2 ^= c
+				c = t
+				t = p3 & c
+				p3 ^= c
+				c = t
+				t = p4 & c
+				p4 ^= c
+				st |= t
+			}
+		}
+		u := p0 | p1 | p2 | p3 | p4 | st
+		if u == 0 {
+			continue
+		}
+		// Bit-parallel ≥ τ over all 64 lanes: evaluate the bit-sliced
+		// subtraction counter−τ plane by plane — a lane is ≥ τ exactly when
+		// no borrow comes out of the top plane (for a constant subtrahend
+		// bit of 1 the borrow recurrence is borrow|¬x, for 0 it is
+		// borrow&¬x). Saturated lanes hold true counts > satCount ≥ τ and
+		// are always included. AddBitset guarantees τ ≤ satCount here.
+		var ge uint64
+		if tau >= satCount {
+			ge = st
+		} else {
+			var borrow uint64
+			if tau&1 != 0 {
+				borrow = ^p0
+			}
+			if tau&2 != 0 {
+				borrow |= ^p1
+			} else {
+				borrow &^= p1
+			}
+			if tau&4 != 0 {
+				borrow |= ^p2
+			} else {
+				borrow &^= p2
+			}
+			if tau&8 != 0 {
+				borrow |= ^p3
+			} else {
+				borrow &^= p3
+			}
+			if tau&16 != 0 {
+				borrow |= ^p4
+			} else {
+				borrow &^= p4
+			}
+			ge = ^borrow | st
+		}
+		recBase := int32(w) << 6
+		if pure {
+			for x := ge; x != 0; x &= x - 1 {
+				a.touched = append(a.touched, recBase+int32(bits.TrailingZeros64(x)))
+			}
+			continue
+		}
+		// Only two kinds of lane can still matter: lanes whose counter got
+		// a direct slice write (the block contribution must be merged
+		// before Collect compares against τ), and dense-only lanes the
+		// bit-parallel comparison already proves ≥ τ. Dense-only lanes
+		// below τ — typically the vast majority — are skipped without
+		// extraction.
+		sb := a.sliceBits[w]
+		for x := u & sb; x != 0; x &= x - 1 {
+			b := bits.TrailingZeros64(x)
+			c := int32(p0>>uint(b)&1) | int32(p1>>uint(b)&1)<<1 | int32(p2>>uint(b)&1)<<2 |
+				int32(p3>>uint(b)&1)<<3 | int32(p4>>uint(b)&1)<<4
+			if st>>uint(b)&1 != 0 {
+				c = satCount
+			}
+			counts[recBase+int32(b)] += c
+		}
+		for x := ge &^ sb; x != 0; x &= x - 1 {
+			b := bits.TrailingZeros64(x)
+			c := int32(p0>>uint(b)&1) | int32(p1>>uint(b)&1)<<1 | int32(p2>>uint(b)&1)<<2 |
+				int32(p3>>uint(b)&1)<<3 | int32(p4>>uint(b)&1)<<4
+			if st>>uint(b)&1 != 0 {
+				c = satCount
+			}
+			r := recBase + int32(b)
+			a.touched = append(a.touched, r)
+			counts[r] += c
+		}
+	}
+	a.collected = pure
+	a.dense = a.dense[:0]
+	return processed
+}
+
+// Collect returns the touched records whose overlap reached the probe's τ,
+// skipping records whose bit is set in the optional dead bitmap, and
+// re-zeroes every touched counter (restoring the arena invariant Reset
+// relies on). The result aliases the touched half of the arena and is valid
+// until the next Begin/Reset.
+func (a *Accumulator) Collect(dead []uint64) []int32 {
+	if a.collected {
+		// Pure-dense fast path: touched already holds the final survivors
+		// and no counter was ever written, so only the dead filter remains.
+		if dead == nil {
+			return a.touched
+		}
+		out := a.touched[:0]
+		for _, r := range a.touched {
+			if dead[r>>6]&(1<<(uint32(r)&63)) == 0 {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	out := a.touched[:0]
+	tau := a.tau
+	counts := a.counts
+	for _, r := range a.touched {
+		if counts[r] >= tau && (dead == nil || dead[r>>6]&(1<<(uint32(r)&63)) == 0) {
+			out = append(out, r)
+		}
+		counts[r] = 0
+		a.sliceBits[r>>6] &^= 1 << (uint32(r) & 63)
+	}
+	return out
+}

@@ -17,6 +17,13 @@
 // memory proportional to the postings actually present, so a single-record
 // insert does not pay for the whole ID universe. Both are immutable after
 // their Add calls and therefore safe for concurrent reads.
+//
+// Index additionally supports a hybrid posting representation: Hybridize
+// converts the posting lists of frequent keys (list length at or above a
+// density cutoff) into packed 64-bit bitmaps — plus a short residual slice
+// for the rare counts above one — which the block Accumulator consumes
+// tile-at-a-time instead of entry-at-a-time. Rare keys keep the sorted
+// slice form. See accum.go for the accumulation engine.
 package invindex
 
 // Posting is one entry of a posting list: a record and how many of its
@@ -30,9 +37,12 @@ type Posting struct {
 // The zero value is not usable; create indexes with New. Index is safe for
 // concurrent reads after all Add calls have completed.
 type Index struct {
-	lists    [][]Posting // indexed by pebble ID
-	nonEmpty int
-	records  int
+	lists     [][]Posting // indexed by pebble ID
+	bitsets   []*Bitset   // parallel to lists after Hybridize; nil before
+	nonEmpty  int
+	denseKeys int
+	records   int
+	sealed    bool // set by Hybridize: no further Add calls
 }
 
 // New creates an empty index over a universe of `numKeys` interned IDs
@@ -48,6 +58,9 @@ func New(numKeys int) *Index {
 // be added in ascending record order, which keeps every posting list sorted
 // by record — the self-join probe relies on this.
 func (ix *Index) Add(record int, ids []uint32) {
+	if ix.sealed {
+		panic("invindex: Add after Hybridize")
+	}
 	ix.records++
 	for _, id := range ids {
 		if id >= uint32(len(ix.lists)) {
@@ -76,7 +89,9 @@ func (ix *Index) Universe() int { return len(ix.lists) }
 func (ix *Index) KeyCount() int { return ix.nonEmpty }
 
 // Postings returns the posting list of an ID (nil when absent or out of
-// universe). The returned slice must not be modified.
+// universe, and nil for IDs Hybridize converted to bitmap form — check
+// Bitset first on a hybridized index). The returned slice must not be
+// modified.
 func (ix *Index) Postings(id uint32) []Posting {
 	if id >= uint32(len(ix.lists)) {
 		return nil
@@ -84,18 +99,108 @@ func (ix *Index) Postings(id uint32) []Posting {
 	return ix.lists[id]
 }
 
-// ListLength returns the length of an ID's posting list.
-func (ix *Index) ListLength(id uint32) int { return len(ix.Postings(id)) }
+// ListLength returns the number of records in an ID's posting list,
+// whichever representation holds it.
+func (ix *Index) ListLength(id uint32) int {
+	if bs := ix.Bitset(id); bs != nil {
+		return bs.card
+	}
+	return len(ix.Postings(id))
+}
 
-// Keys returns the IDs with non-empty posting lists in ascending order.
+// Keys returns the IDs with non-empty posting lists (either representation)
+// in ascending order.
 func (ix *Index) Keys() []uint32 {
 	out := make([]uint32, 0, ix.nonEmpty)
 	for id, l := range ix.lists {
-		if len(l) > 0 {
+		if len(l) > 0 || (ix.bitsets != nil && ix.bitsets[id] != nil) {
 			out = append(out, uint32(id))
 		}
 	}
 	return out
+}
+
+// Bitset is the packed posting form of a frequent key: bit r set means
+// record r carries the key at least once. Blocks of 64 records pack into
+// one word, so intersecting a probe against the list is word-parallel. The
+// few records carrying the key more than once (repeated tokens, shared
+// q-grams) keep their surplus — count minus one — in a short sorted
+// residual slice, so a dense list is never disqualified from bitmap form
+// by a single multi-occurrence posting.
+type Bitset struct {
+	words    []uint64
+	residual []Posting // Count = surplus over the bitmap bit (orig count − 1)
+	card     int
+}
+
+// Card returns the number of set bits (the posting-list length).
+func (b *Bitset) Card() int { return b.card }
+
+// Words exposes the packed 64-bit blocks (bit r&63 of word r>>6 is record
+// r). The slice must not be modified.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Residual returns the multi-occurrence surplus postings: entries sorted by
+// record, each Count being the record's original count minus the one
+// occurrence the bitmap bit represents. Usually empty or very short. The
+// returned slice must not be modified.
+func (b *Bitset) Residual() []Posting { return b.residual }
+
+// Bitset returns the packed form of an ID's posting list, or nil when the
+// list is absent, out of universe, or still in slice form.
+func (ix *Index) Bitset(id uint32) *Bitset {
+	if ix.bitsets == nil || id >= uint32(len(ix.bitsets)) {
+		return nil
+	}
+	return ix.bitsets[id]
+}
+
+// DenseKeys returns the number of keys Hybridize converted to bitmap form.
+func (ix *Index) DenseKeys() int { return ix.denseKeys }
+
+// SparseKeys returns the number of non-empty keys still in slice form.
+func (ix *Index) SparseKeys() int { return ix.nonEmpty - ix.denseKeys }
+
+// Hybridize converts every posting list with at least cutoff entries into a
+// packed Bitset, releasing the slice form. Counts above one — which the
+// bitmap bits cannot represent — survive as the Bitset's residual slice:
+// one Posting per multi-occurrence record carrying the surplus (count − 1),
+// so the bitmap plus residual is count-exact for every record. The index is
+// sealed against further Add calls: record membership is frozen into
+// fixed-width bitmaps. Hybridize is idempotent per key and O(total
+// postings); call it once, after the last Add.
+func (ix *Index) Hybridize(cutoff int) {
+	if cutoff < 1 {
+		cutoff = 1
+	}
+	ix.sealed = true
+	nwords := (ix.records + 63) / 64
+	for id, l := range ix.lists {
+		if len(l) < cutoff {
+			continue
+		}
+		if ix.bitsets == nil {
+			ix.bitsets = make([]*Bitset, len(ix.lists))
+		}
+		bs := &Bitset{words: make([]uint64, nwords), card: len(l)}
+		for i := range l {
+			r := l[i].Record
+			bs.words[r>>6] |= 1 << (uint(r) & 63)
+			if c := l[i].Count; c > 1 {
+				bs.residual = append(bs.residual, Posting{Record: r, Count: c - 1})
+			}
+		}
+		ix.bitsets[id] = bs
+		ix.lists[id] = nil
+	}
+	ix.denseKeys = 0
+	if ix.bitsets != nil {
+		for _, bs := range ix.bitsets {
+			if bs != nil {
+				ix.denseKeys++
+			}
+		}
+	}
 }
 
 // noID mirrors pebble.NoID (the package is below pebble in the dependency

@@ -67,6 +67,70 @@ func BenchmarkJoinSelf(b *testing.B) {
 	}
 }
 
+// filterCorpus generates records of 10 distinct tokens drawn from a
+// 100-word random vocabulary: every token's posting list is dense (≈ 40 of
+// 400 records), so the candidate phase is bound by posting accumulation
+// rather than by emitting the surviving pairs, which the τ=12 overlap
+// constraint prunes hard.
+func filterCorpus(n int, seed int64) []strutil.Record {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([]string, 100)
+	vrng := rand.New(rand.NewSource(99))
+	for i := range vocab {
+		word := make([]byte, 7)
+		for c := range word {
+			word[c] = byte('a' + vrng.Intn(26))
+		}
+		vocab[i] = string(word)
+	}
+	raws := make([]string, n)
+	for i := range raws {
+		toks := make([]string, 0, 10)
+		for _, v := range rng.Perm(len(vocab))[:10] {
+			toks = append(toks, vocab[v])
+		}
+		raws[i] = strutil.JoinTokens(toks)
+	}
+	return strutil.NewCollection(raws)
+}
+
+// filterPhaseBench measures the candidate phase alone on the 400×400
+// workload: the index and probe signatures are built once, and each
+// iteration re-runs the count filter over every probe record sequentially
+// (workers=1, so the number is a per-core filter throughput, not a
+// parallelism measure).
+func filterPhaseBench(b *testing.B, classicLayout bool) {
+	j := NewJoiner(paperContext())
+	s := filterCorpus(400, 1)
+	t := filterCorpus(400, 2)
+	opts := Options{Theta: 0.8, Tau: 12, Method: pebble.AUDP, ClassicFilter: classicLayout}
+	ix := j.buildIndex(s, j.BuildOrder(s, t), opts, nil)
+	if !classicLayout && ix.inv.DenseKeys() == 0 {
+		b.Fatal("bench corpus produced no dense posting lists; hybrid path unexercised")
+	}
+	sigs := j.signatures(t, ix.sel, opts.Method, ix.tau)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, _, err := ix.candidates(context.Background(), sigs, false, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) == 0 {
+			b.Fatal("empty candidate set")
+		}
+	}
+}
+
+// BenchmarkFilterPhase is the hybrid (bitmap-block) candidate phase — the
+// perf-gated headline number of the CI bench job.
+func BenchmarkFilterPhase(b *testing.B) { filterPhaseBench(b, false) }
+
+// BenchmarkFilterPhaseClassic is the same workload with the slice-only
+// classic layout (Options.ClassicFilter), the baseline the hybrid speedup
+// is quoted against.
+func BenchmarkFilterPhaseClassic(b *testing.B) { filterPhaseBench(b, true) }
+
 // BenchmarkVerify measures the verification phase alone on the 400×400
 // workload: candidates are generated once, prepared records are built once
 // per side, and each iteration re-verifies every candidate through the

@@ -102,7 +102,23 @@ type DynamicIndex struct {
 	// view sets.
 	gen int
 
+	// Cumulative filter-phase work over every probe served against this
+	// index's views (single-record, top-k and batch alike), surfaced
+	// through DynamicStats so a serving process can watch the
+	// bitmap-versus-slice mix live. Atomics: probes run concurrently with
+	// each other and with writers.
+	probePostings     atomic.Int64
+	probeBitsetTokens atomic.Int64
+	probeSliceTokens  atomic.Int64
+
 	pool sync.Pool // *probeScratch shared across Views and generations
+}
+
+// noteProbe folds one probe's filter tally into the cumulative counters.
+func (dx *DynamicIndex) noteProbe(t filterTally) {
+	dx.probePostings.Add(t.postings)
+	dx.probeBitsetTokens.Add(t.bitsetTokens)
+	dx.probeSliceTokens.Add(t.sliceTokens)
 }
 
 // segment is one immutable batch of inserted records: a sparse inverted
@@ -227,6 +243,8 @@ func (dx *DynamicIndex) publishLocked() {
 			DynamicKeys: dx.base.order.DynamicCount(),
 			Rebuilds:    dx.rebuilds,
 			Inserts:     dx.inserts,
+			DenseKeys:   dx.base.inv.DenseKeys(),
+			SparseKeys:  dx.base.inv.SparseKeys(),
 			Theta:       dx.opts.Theta,
 			Tau:         dx.tau,
 			BuildTime:   dx.base.BuildTime,
@@ -500,6 +518,19 @@ type DynamicStats struct {
 	// Rebuilds counts re-finalize/rebuild cycles; Inserts the records
 	// appended over the index lifetime.
 	Rebuilds, Inserts int
+	// DenseKeys and SparseKeys split the base index's non-empty posting
+	// lists by representation: packed bitmap form (lists past the hybrid
+	// density cutoff) versus sorted slice form. Summed over the shards of a
+	// ShardedIndex (each shard hybridizes its own base).
+	DenseKeys, SparseKeys int
+	// ProbePostings counts posting entries processed by the count filter
+	// over every probe served since the index was built;
+	// ProbeBitsetTokens and ProbeSliceTokens split the probe signature
+	// tokens by the representation their base posting list was served
+	// from. Summed over the shards of a ShardedIndex.
+	ProbePostings     int64
+	ProbeBitsetTokens int64
+	ProbeSliceTokens  int64
 	// CacheHits and CacheMisses are the cumulative prepared-record cache
 	// counters (one cache is shared across all shards of a ShardedIndex;
 	// zero when the cache is disabled).
@@ -527,7 +558,16 @@ type View struct {
 }
 
 // Stats returns the snapshot's statistics.
-func (v *View) Stats() DynamicStats { return v.stats }
+func (v *View) Stats() DynamicStats {
+	st := v.stats
+	// The probe tallies are live index-lifetime counters, not snapshot
+	// state: read them fresh so successive Stats calls observe queries
+	// served after the View was published.
+	st.ProbePostings = v.dx.probePostings.Load()
+	st.ProbeBitsetTokens = v.dx.probeBitsetTokens.Load()
+	st.ProbeSliceTokens = v.dx.probeSliceTokens.Load()
+	return st
+}
 
 // Record returns the record with the given stable ID, if it is live in this
 // snapshot.
@@ -548,31 +588,24 @@ func (v *View) alive(pos int) bool {
 	return v.dead[pos>>6]&(1<<(uint(pos)&63)) == 0
 }
 
-// scratch borrows a probe scratch from the index-wide pool, grown to this
-// snapshot's record count.
+// scratch borrows a probe scratch from the index-wide pool, its arena sized
+// to this snapshot's record count.
 func (v *View) scratch() *probeScratch {
-	sc, _ := v.dx.pool.Get().(*probeScratch)
-	if sc == nil {
-		sc = &probeScratch{sim: core.NewScratch()}
-	}
-	if n := len(v.records); cap(sc.counts) < n {
-		sc.counts = make([]int32, n)
-	} else {
-		// The whole backing array is zeroed: it was allocated zeroed and
-		// every use re-zeroes the slots it touched before releasing.
-		sc.counts = sc.counts[:n]
-	}
-	return sc
+	return scratchFromPool(&v.dx.pool, len(v.records))
 }
 
-// candidatesRecord runs the count filter for one probe signature across the
-// base index and every delta segment, returning the positions of live
-// records whose overlap reached τ (valid until the next use of sc) and the
-// number of posting entries touched.
-func (v *View) candidatesRecord(sig pebble.Signature, sc *probeScratch) ([]int32, int64) {
+// candidatesRecord runs the hybrid count filter for one probe signature
+// across the base index and every delta segment, returning the positions of
+// live records whose overlap reached τ (aliasing the accumulator arena,
+// valid until the next use of sc) and the filter tally. Base lists in
+// bitmap form go through the block accumulator; segment postings are always
+// sparse slices.
+func (v *View) candidatesRecord(sig pebble.Signature, sc *probeScratch) ([]int32, filterTally) {
 	peb := sig.Pebbles
-	sc.touched = sc.touched[:0]
-	var processed int64
+	acc := sc.acc
+	acc.Begin(v.dx.tau)
+	var tally filterTally
+	baseRecords := v.base.inv.Records()
 	for a := 0; a < len(peb); {
 		id := peb[a].ID
 		b := a + 1
@@ -584,19 +617,23 @@ func (v *View) candidatesRecord(sig pebble.Signature, sc *probeScratch) ([]int32
 		if id == pebble.NoID {
 			continue
 		}
-		processed += accumulate(v.base.inv.Postings(id), mult, sc)
+		if bs := v.base.inv.Bitset(id); bs != nil {
+			tally.bitsetTokens++
+			tally.postings += acc.AddBitset(bs, mult, baseRecords)
+			// Surplus counts of multi-occurrence records; their bitmap bits
+			// are already accumulated and tallied, so no added T_τ cost.
+			acc.AddPostings(bs.Residual(), mult)
+		} else {
+			tally.sliceTokens++
+			tally.postings += acc.AddPostings(v.base.inv.Postings(id), mult)
+		}
 		for _, seg := range v.segs {
-			processed += accumulate(seg.inv.Postings(id), mult, sc)
+			tally.postings += acc.AddPostings(seg.inv.Postings(id), mult)
 		}
 	}
-	out := sc.touched[:0]
-	for _, r := range sc.touched {
-		if sc.counts[r] >= int32(v.dx.tau) && v.alive(int(r)) {
-			out = append(out, r)
-		}
-		sc.counts[r] = 0
-	}
-	return out, processed
+	tally.postings += acc.FlushDense(baseRecords)
+	v.dx.noteProbe(tally)
+	return acc.Collect(v.dead), tally
 }
 
 // lazyPrepared derives the prepared verification record of a query on first
@@ -712,18 +749,19 @@ func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, lp
 				}
 			}
 		} else {
+			sim := sc.simScratch()
 			for i, r := range cands {
 				if i%ctxCheckStride == 0 && ctx.Err() != nil {
 					err = ctx.Err()
 					break
 				}
-				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, sc.sim); ok {
+				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, sim); ok {
 					out = append(out, QueryMatch{Record: v.records[r].ID, Similarity: val})
 				}
 			}
 		}
 	}
-	v.dx.pool.Put(sc)
+	sc.release(&v.dx.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -785,18 +823,19 @@ func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, lp *
 				}
 			}
 		} else {
+			sim := sc.simScratch()
 			for i, r := range cands {
 				if i%ctxCheckStride == 0 && ctx.Err() != nil {
 					err = ctx.Err()
 					break
 				}
-				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, sc.sim); ok {
+				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, theta, sim); ok {
 					heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
 				}
 			}
 		}
 	}
-	v.dx.pool.Put(sc)
+	sc.release(&v.dx.pool)
 	if err != nil {
 		return topKHeap{}, err
 	}
@@ -912,9 +951,9 @@ func (v *View) target() probeTarget {
 }
 
 // candidates runs the snapshot count filter for a whole probe collection in
-// parallel (shared strided-worker driver, one scratch per worker).
-func (v *View) candidates(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error) {
-	return parallelCandidates(ctx, len(sigs), len(v.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
+// parallel (shared strided-worker driver, one pooled scratch per worker).
+func (v *View) candidates(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error) {
+	return parallelCandidates(ctx, len(sigs), len(v.records), workers, &v.dx.pool, func(sc *probeScratch, t int) ([]int32, filterTally) {
 		return v.candidatesRecord(sigs[t], sc)
 	})
 }

@@ -261,3 +261,47 @@ func TestDynamicIndexConcurrentServeMutate(t *testing.T) {
 		t.Fatal("expected rebuilds under mutation load")
 	}
 }
+
+// TestProbeTallyStats pins the cumulative filter-phase counters: probes
+// served by a dynamic index must accumulate ProbePostings and the
+// bitmap/slice token split in Stats, growing monotonically across snapshots
+// and summing over the shards of a sharded index.
+func TestProbeTallyStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	j := NewJoiner(propertyContexts()["full"])
+	opts := Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+	corpus := propertyCorpus(200, rng)
+	queries := propertyCorpus(20, rng)
+
+	dx := j.BuildDynamicIndex(corpus, opts, DynamicOptions{})
+	if st := dx.Stats(); st.ProbePostings != 0 || st.ProbeBitsetTokens != 0 || st.ProbeSliceTokens != 0 {
+		t.Fatalf("fresh index has nonzero probe tallies: %+v", st)
+	}
+	v := dx.Snapshot()
+	for _, q := range queries {
+		v.ProbeRecord(q.Tokens)
+	}
+	st := v.Stats()
+	if st.ProbePostings == 0 {
+		t.Fatal("probes processed no postings")
+	}
+	if st.ProbeBitsetTokens+st.ProbeSliceTokens == 0 {
+		t.Fatal("probes consulted no posting lists")
+	}
+	for _, q := range queries {
+		v.QueryTopK(q.Tokens, 3)
+	}
+	// Counters are index-lifetime, read fresh through any snapshot.
+	if st2 := v.Stats(); st2.ProbePostings <= st.ProbePostings {
+		t.Fatalf("tallies did not grow: %d then %d", st.ProbePostings, st2.ProbePostings)
+	}
+
+	sx := j.BuildShardedIndex(corpus, 3, opts, DynamicOptions{})
+	sv := sx.Snapshot()
+	for _, q := range queries {
+		sv.ProbeRecord(q.Tokens)
+	}
+	if sst := sx.Stats(); sst.ProbePostings == 0 || sst.ProbeBitsetTokens+sst.ProbeSliceTokens == 0 {
+		t.Fatalf("sharded probe tallies missing: %+v", sst)
+	}
+}

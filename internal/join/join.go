@@ -68,6 +68,14 @@ type Stats struct {
 	// (ShardedView.Probe across ≥ 2 shards); its entries sum to Candidates.
 	// It is nil on unsharded paths.
 	ShardCandidates []int
+	// BitsetTokens and SliceTokens split the probe-token lookups of the
+	// filter stage by posting representation: tokens whose base posting list
+	// was served from the packed bitmap form versus the classic sorted
+	// slice. Their sum is the number of (probe record, known token) lookups;
+	// a zero BitsetTokens means the hybrid layout never engaged (classic
+	// filter, or no list reached the density cutoff).
+	BitsetTokens int64
+	SliceTokens  int64
 	// Results is the number of pairs whose unified similarity reached θ.
 	Results int
 	// AvgSignatureS / AvgSignatureT are the mean signature lengths.
@@ -95,6 +103,12 @@ type Options struct {
 	// Calculator overrides the unified-similarity calculator; nil means a
 	// default calculator over the joiner's context.
 	Calculator *core.Calculator
+	// ClassicFilter disables the hybrid bitmap posting layout: every
+	// posting list stays in sorted-slice form and the count filter runs
+	// entry-at-a-time. Candidate sets are identical either way (the
+	// property tests pin this); the toggle exists as the baseline for
+	// benchmarks and the equivalence tests themselves.
+	ClassicFilter bool
 }
 
 func (o Options) workers() int {
@@ -178,16 +192,63 @@ type Index struct {
 	scratch sync.Pool // *probeScratch, reused across ProbeRecord calls
 }
 
-// probeScratch is the per-worker probe state: one count slot per indexed
-// record plus the list of touched slots to reset, and the verification
-// scratch of the prepared similarity engine. merged collects shard-remapped
-// candidate positions when a sharded view fans one probe record out across
-// shard filters (each shard reuses touched, so survivors are staged here).
+// probeScratch is the per-worker probe state: the block accumulator holding
+// the arena-allocated overlap counters and touched list, and the
+// verification scratch of the prepared similarity engine. merged collects
+// shard-remapped candidate positions when a sharded view fans one probe
+// record out across shard filters (each shard reuses the accumulator, so
+// survivors are staged here).
 type probeScratch struct {
-	counts  []int32
-	touched []int32
-	merged  []int32
-	sim     *core.Scratch
+	acc    *invindex.Accumulator
+	merged []int32
+	sim    *core.Scratch
+}
+
+// scratchFromPool borrows a probe scratch from pool (allocating on a cold
+// pool) with its accumulator arena sized for numRecords. A nil pool yields
+// an ephemeral scratch.
+func scratchFromPool(pool *sync.Pool, numRecords int) *probeScratch {
+	var sc *probeScratch
+	if pool != nil {
+		sc, _ = pool.Get().(*probeScratch)
+	}
+	if sc == nil {
+		sc = &probeScratch{acc: invindex.NewAccumulator()}
+	}
+	sc.acc.Reset(numRecords)
+	return sc
+}
+
+// release returns a scratch to its pool (no-op for ephemeral scratches).
+func (sc *probeScratch) release(pool *sync.Pool) {
+	if pool != nil {
+		pool.Put(sc)
+	}
+}
+
+// simScratch lazily builds the similarity scratch of the verification step
+// (candidate-only paths never need one).
+func (sc *probeScratch) simScratch() *core.Scratch {
+	if sc.sim == nil {
+		sc.sim = core.NewScratch()
+	}
+	return sc.sim
+}
+
+// filterTally aggregates the observability counters of the filter stage:
+// postings is T_τ of the cost model (posting entries and bitmap bits
+// accumulated), bitsetTokens/sliceTokens split the token lookups by posting
+// representation.
+type filterTally struct {
+	postings     int64
+	bitsetTokens int64
+	sliceTokens  int64
+}
+
+func (t *filterTally) add(o filterTally) {
+	t.postings += o.postings
+	t.bitsetTokens += o.bitsetTokens
+	t.sliceTokens += o.sliceTokens
 }
 
 // BuildIndex computes the global pebble order of the records, selects their
@@ -217,6 +278,7 @@ func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts 
 		inv.Add(i, ids)
 		totalLen += sigs[i].Len()
 	}
+	hybridizeIndex(inv, order, opts)
 	if prepared == nil {
 		prepared = prepareRecords(records, calc)
 	}
@@ -237,6 +299,41 @@ func (j *Joiner) buildIndex(records []strutil.Record, order *pebble.Order, opts 
 	}
 	ix.BuildTime = time.Since(start)
 	return ix
+}
+
+// minBitsetList is the floor of the hybrid density cutoff: below this list
+// length the slice walk beats the fixed per-word costs of the bitmap path
+// regardless of corpus size.
+const minBitsetList = 16
+
+// hybridCutoff is the density cutoff of the hybrid posting layout for a
+// corpus of numRecords records: lists at least this long (≈ 1/64 of the
+// corpus, i.e. averaging one set bit per bitmap word, floored at
+// minBitsetList) move to packed bitmap form.
+func hybridCutoff(numRecords int) int {
+	c := numRecords >> 6
+	if c < minBitsetList {
+		c = minBitsetList
+	}
+	return c
+}
+
+// hybridizeIndex applies the hybrid posting conversion to a freshly built
+// inverted index unless the options pin the classic layout. The order's
+// maximum document frequency upper-bounds every frozen key's list length,
+// so when it cannot reach the cutoff the conversion scan is skipped
+// entirely; an order with a dynamic region has stale frequencies (inserted
+// records are uncounted), so the scan runs unconditionally there — a missed
+// skip costs one pass over the postings, never correctness.
+func hybridizeIndex(inv *invindex.Index, order *pebble.Order, opts Options) {
+	if opts.ClassicFilter || inv.Records() == 0 {
+		return
+	}
+	cut := hybridCutoff(inv.Records())
+	if order.MaxFrequency() < cut && order.DynamicCount() == 0 {
+		return
+	}
+	inv.Hybridize(cut)
 }
 
 // Records returns the indexed collection.
@@ -288,7 +385,7 @@ func (ix *Index) target(self bool) probeTarget {
 		records:  ix.records,
 		prepared: ix.prepared,
 		avgSig:   ix.avgSig,
-		candidates: func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error) {
+		candidates: func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error) {
 			return ix.candidates(ctx, sigs, self, workers)
 		},
 	}
@@ -300,7 +397,7 @@ type probeTarget struct {
 	records    []strutil.Record
 	prepared   []*core.PreparedRecord
 	avgSig     float64
-	candidates func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error)
+	candidates func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error)
 }
 
 // runProbeStages is the batch form of the streaming pipeline: it collects
@@ -341,38 +438,37 @@ func (ix *Index) ProbeRecord(tokens []string) []QueryMatch {
 		return nil
 	}
 	sig := ix.sel.Signature(tokens, ix.opts.Method, ix.tau)
-	sc, _ := ix.scratch.Get().(*probeScratch)
-	if sc == nil {
-		sc = &probeScratch{counts: make([]int32, len(ix.records)), sim: core.NewScratch()}
-	}
+	sc := scratchFromPool(&ix.scratch, len(ix.records))
 	cands, _ := countFilterRecord(ix.inv, sig, ix.tau, len(ix.records), sc)
 	var out []QueryMatch
 	if len(cands) > 0 {
 		pq := ix.calc.Prepare(tokens)
+		sim := sc.simScratch()
 		for _, r := range cands {
-			if v, ok := ix.calc.VerifyPrepared(ix.prepared[r], pq, ix.opts.Theta, sc.sim); ok {
+			if v, ok := ix.calc.VerifyPrepared(ix.prepared[r], pq, ix.opts.Theta, sim); ok {
 				out = append(out, QueryMatch{Record: int(r), Similarity: v})
 			}
 		}
 	}
-	ix.scratch.Put(sc)
+	sc.release(&ix.scratch)
 	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
 	return out
 }
 
 // candidates runs count filtering of probe signatures against the index.
-func (ix *Index) candidates(ctx context.Context, sigs []pebble.Signature, self bool, workers int) ([]pairKey, int64, error) {
-	return countFilterCandidates(ctx, ix.inv, len(ix.records), sigs, ix.tau, self, workers)
+func (ix *Index) candidates(ctx context.Context, sigs []pebble.Signature, self bool, workers int) ([]pairKey, filterTally, error) {
+	return countFilterCandidates(ctx, ix.inv, len(ix.records), sigs, ix.tau, self, workers, &ix.scratch)
 }
 
 // countFilterCandidates runs parallel count filtering of the probe
 // signatures against an inverted index over numRecords records, returning
 // every (indexed, probe) pair whose signature-pebble overlap reaches τ,
-// plus the number of touched posting entries (T_τ). In self mode only
-// postings of records preceding the probe record are counted, so mirrored
-// and diagonal pairs never appear.
-func countFilterCandidates(ctx context.Context, inv *invindex.Index, numRecords int, sigs []pebble.Signature, tau int, self bool, workers int) ([]pairKey, int64, error) {
-	return parallelCandidates(ctx, len(sigs), numRecords, workers, func(sc *probeScratch, t int) ([]int32, int64) {
+// plus the filter tally (T_τ and the representation split). In self mode
+// only postings of records preceding the probe record are counted, so
+// mirrored and diagonal pairs never appear. Worker scratch is borrowed from
+// pool (nil for ephemeral scratch).
+func countFilterCandidates(ctx context.Context, inv *invindex.Index, numRecords int, sigs []pebble.Signature, tau int, self bool, workers int, pool *sync.Pool) ([]pairKey, filterTally, error) {
+	return parallelCandidates(ctx, len(sigs), numRecords, workers, pool, func(sc *probeScratch, t int) ([]int32, filterTally) {
 		limit := numRecords
 		if self {
 			limit = t
@@ -383,15 +479,16 @@ func countFilterCandidates(ctx context.Context, inv *invindex.Index, numRecords 
 
 // parallelCandidates is the shared driver of parallel candidate
 // generation: it runs record(sc, t) for every probe record t in [0, n)
-// across the given number of workers (GOMAXPROCS when ≤ 0), each with its
-// own count scratch sized to numRecords, and merges the per-worker
-// candidate chunks and processed-posting counts. The static count filter
+// across the given number of workers (GOMAXPROCS when ≤ 0), each with a
+// pooled probe scratch whose arena is sized to numRecords, and merges the
+// per-worker candidate chunks and filter tallies. The static count filter
 // and the dynamic snapshot filter differ only in the record callback.
 // Workers check ctx between probe records; on cancellation the partial
 // candidate set is discarded and the context error returned.
-func parallelCandidates(ctx context.Context, n, numRecords, workers int, record func(sc *probeScratch, t int) ([]int32, int64)) ([]pairKey, int64, error) {
+func parallelCandidates(ctx context.Context, n, numRecords, workers int, pool *sync.Pool, record func(sc *probeScratch, t int) ([]int32, filterTally)) ([]pairKey, filterTally, error) {
+	var tally filterTally
 	if n == 0 || numRecords == 0 {
-		return nil, 0, ctx.Err()
+		return nil, tally, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -400,25 +497,26 @@ func parallelCandidates(ctx context.Context, n, numRecords, workers int, record 
 		workers = n
 	}
 	type chunk struct {
-		cands     []pairKey
-		processed int64
+		cands []pairKey
+		tally filterTally
 	}
 	chunks := make([]chunk, workers)
 	run := func(w, start, step int) {
-		sc := &probeScratch{counts: make([]int32, numRecords)}
+		sc := scratchFromPool(pool, numRecords)
 		var out []pairKey
-		var processed int64
+		var sum filterTally
 		for t := start; t < n; t += step {
 			if ctx.Err() != nil {
 				break
 			}
-			recs, touched := record(sc, t)
-			processed += touched
+			recs, ft := record(sc, t)
+			sum.add(ft)
 			for _, r := range recs {
 				out = append(out, pairKey{int(r), t})
 			}
 		}
-		chunks[w] = chunk{out, processed}
+		sc.release(pool)
+		chunks[w] = chunk{out, sum}
 	}
 	if workers == 1 {
 		run(0, 0, 1)
@@ -437,10 +535,9 @@ func parallelCandidates(ctx context.Context, n, numRecords, workers int, record 
 		wg.Wait()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, 0, err
+		return nil, tally, err
 	}
 	var cands []pairKey
-	var processed int64
 	total := 0
 	for i := range chunks {
 		total += len(chunks[i].cands)
@@ -448,22 +545,24 @@ func parallelCandidates(ctx context.Context, n, numRecords, workers int, record 
 	cands = make([]pairKey, 0, total)
 	for i := range chunks {
 		cands = append(cands, chunks[i].cands...)
-		processed += chunks[i].processed
+		tally.add(chunks[i].tally)
 	}
-	return cands, processed, nil
+	return cands, tally, nil
 }
 
-// countFilterRecord is the classic count filter for one probe record:
-// for every distinct interned ID of the probe signature (with its
-// multiplicity), it walks the ID's posting list and accumulates
-// multiplicity·count into a per-record array, considering only indexed
-// records < limit. It returns the records whose overlap reached τ (via
-// sc.touched, valid until the next call) and the number of posting entries
-// touched. sc.counts is left zeroed for reuse.
-func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int, sc *probeScratch) ([]int32, int64) {
+// countFilterRecord is the hybrid count filter for one probe record: for
+// every distinct interned ID of the probe signature (with its
+// multiplicity), it folds the ID's posting list — word-parallel through the
+// block accumulator for bitmap-form lists, entry-at-a-time for slice-form
+// lists — into per-record overlap counters, considering only indexed
+// records < limit. It returns the records whose overlap reached τ (aliasing
+// the accumulator arena, valid until the next call) and the filter tally.
+// The counters are left zeroed for reuse.
+func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int, sc *probeScratch) ([]int32, filterTally) {
 	peb := sig.Pebbles
-	sc.touched = sc.touched[:0]
-	var processed int64
+	acc := sc.acc
+	acc.Begin(tau)
+	var tally filterTally
 	for a := 0; a < len(peb); {
 		id := peb[a].ID
 		b := a + 1
@@ -475,6 +574,23 @@ func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int
 		if id == pebble.NoID {
 			continue // unknown key: no indexed record can carry it
 		}
+		if bs := inv.Bitset(id); bs != nil {
+			tally.bitsetTokens++
+			tally.postings += acc.AddBitset(bs, mult, limit)
+			if res := bs.Residual(); len(res) != 0 {
+				if limit < inv.Records() {
+					cut := sort.Search(len(res), func(k int) bool { return res[k].Record >= limit })
+					res = res[:cut]
+				}
+				// The residual carries only the surplus counts of records
+				// whose bitmap bit was already accumulated (and already
+				// tallied as processed postings), so its entries add overlap
+				// but no new T_τ cost.
+				acc.AddPostings(res, mult)
+			}
+			continue
+		}
+		tally.sliceTokens++
 		postings := inv.Postings(id)
 		if limit < inv.Records() {
 			// Posting lists are sorted by record, so the self-join
@@ -482,30 +598,10 @@ func countFilterRecord(inv *invindex.Index, sig pebble.Signature, tau, limit int
 			cut := sort.Search(len(postings), func(k int) bool { return postings[k].Record >= limit })
 			postings = postings[:cut]
 		}
-		processed += accumulate(postings, mult, sc)
+		tally.postings += acc.AddPostings(postings, mult)
 	}
-	out := sc.touched[:0]
-	for _, r := range sc.touched {
-		if sc.counts[r] >= int32(tau) {
-			out = append(out, r)
-		}
-		sc.counts[r] = 0
-	}
-	return out, processed
-}
-
-// accumulate folds one posting list into the per-record overlap counts,
-// recording first-touched records, and returns the number of posting
-// entries processed. It is the shared inner loop of the static count
-// filter and the dynamic snapshot filter.
-func accumulate(postings []invindex.Posting, mult int32, sc *probeScratch) int64 {
-	for _, p := range postings {
-		if sc.counts[p.Record] == 0 {
-			sc.touched = append(sc.touched, int32(p.Record))
-		}
-		sc.counts[p.Record] += mult * int32(p.Count)
-	}
-	return int64(len(postings))
+	tally.postings += acc.FlushDense(limit)
+	return acc.Collect(nil), tally
 }
 
 // Join executes the filter-and-verification join between two record
@@ -593,12 +689,15 @@ type FilterProfile struct {
 	joiner     *Joiner
 	calc       *core.Calculator
 	sel        *pebble.Selector
+	order      *pebble.Order
+	opts       Options
 	method     pebble.Method
 	theta      float64
 	workers    int
 	universe   int
 	recS, recT []strutil.Record
 	preS, preT []pebble.Presig
+	scratch    sync.Pool // *probeScratch, reused across the τ sweep
 
 	prepOnce     sync.Once
 	prepS, prepT []*core.PreparedRecord
@@ -620,6 +719,8 @@ func (j *Joiner) NewFilterProfile(s, t []strutil.Record, opts Options) *FilterPr
 		joiner:   j,
 		calc:     calc,
 		sel:      sel,
+		order:    order,
+		opts:     opts,
 		method:   opts.Method,
 		theta:    opts.Theta,
 		workers:  opts.workers(),
@@ -643,8 +744,8 @@ func (j *Joiner) prepareAll(recs []strutil.Record, sel *pebble.Selector) []pebbl
 // Stats runs the filtering stage (Lines 1–8 of Algorithm 6) for one τ and
 // returns the number of processed posting pairs (T_τ) and candidates (V_τ).
 func (fp *FilterProfile) Stats(tau int) (processed int64, candidates int) {
-	cands, processed := fp.filter(tau)
-	return processed, len(cands)
+	cands, p := fp.filter(tau)
+	return p, len(cands)
 }
 
 // VerifyStats is Stats plus verification: it runs the filtering stage for
@@ -710,8 +811,9 @@ func (fp *FilterProfile) filter(tau int) ([]pairKey, int64) {
 		ids = appendSignatureIDs(ids[:0], sigS[i])
 		inv.Add(i, ids)
 	}
-	cands, processed, _ := countFilterCandidates(context.Background(), inv, len(fp.preS), sigT, tau, false, 0)
-	return cands, processed
+	hybridizeIndex(inv, fp.order, fp.opts)
+	cands, tally, _ := countFilterCandidates(context.Background(), inv, len(fp.preS), sigT, tau, false, 0, &fp.scratch)
+	return cands, tally.postings
 }
 
 // selectAll derives the τ-specific signatures from the prepared pebble

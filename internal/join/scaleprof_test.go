@@ -1,0 +1,73 @@
+package join
+
+import (
+	"context"
+	"os"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"github.com/aujoin/aujoin/internal/datagen"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// TestFilterScaleProfile is an opt-in diagnostic (AUJOIN_SCALEPROF=1)
+// that times the hybrid vs classic candidate phase on a 300k-record
+// datagen corpus and writes a CPU profile of the hybrid leg to
+// /tmp/scale_hybrid.pprof. It exists to localize scale regressions in
+// the block filter core without the full cmd/benchrun filterscale run
+// (which spends most of its wall clock on signature selection).
+func TestFilterScaleProfile(t *testing.T) {
+	if os.Getenv("AUJOIN_SCALEPROF") == "" {
+		t.Skip("set AUJOIN_SCALEPROF=1")
+	}
+	records := 300000
+	gcfg := datagen.MEDLike(records, 1)
+	gcfg.VocabSize = 200
+	gcfg.MinTokens, gcfg.MaxTokens = 10, 14
+	gcfg.EntityRate, gcfg.SynonymTermRate = 0.05, 0.05
+	gcfg.SynonymRules, gcfg.TaxonomyNodes = 20, 100
+	gcfg.DistinctTokens = true
+	gen := datagen.New(gcfg)
+	s := strutil.NewCollection(gen.Collection(records))
+	tt := strutil.NewCollection(gen.Collection(100))
+	ctx := sim.NewContext(gen.Rules(), gen.Taxonomy())
+	ctx.Q = 5
+	j := NewJoiner(ctx)
+
+	for _, classic := range []bool{false, true} {
+		opts := Options{Theta: 0.9, Tau: 12, Method: pebble.AUHeuristic, ClassicFilter: classic, Workers: 1}
+		ix := j.buildIndex(s, j.BuildOrder(s, tt), opts, nil)
+		sigs := j.signatures(tt, ix.sel, opts.Method, ix.tau)
+		if !classic {
+			// residual sizes of the dense lists
+			var resTotal, denseTotal int
+			for _, id := range ix.inv.Keys() {
+				if bs := ix.inv.Bitset(id); bs != nil {
+					resTotal += len(bs.Residual())
+					denseTotal++
+				}
+			}
+			t.Logf("dense keys %d, residual entries total %d", denseTotal, resTotal)
+			f, _ := os.Create("/tmp/scale_hybrid.pprof")
+			pprof.StartCPUProfile(f)
+		}
+		start := time.Now()
+		for rep := 0; rep < 3; rep++ {
+			cands, tally, err := ix.candidates(context.Background(), sigs, false, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep == 0 {
+				t.Logf("classic=%v filter=%v cands=%d postings=%d bitset=%d slice=%d",
+					classic, time.Since(start), len(cands), tally.postings, tally.bitsetTokens, tally.sliceTokens)
+			}
+		}
+		t.Logf("classic=%v 3 reps total %v", classic, time.Since(start))
+		if !classic {
+			pprof.StopCPUProfile()
+		}
+	}
+}

@@ -78,6 +78,10 @@ type ShardedIndex struct {
 
 	mu     sync.Mutex // guards nextID only; never held during shard work
 	nextID int
+
+	// probePool holds *probeScratch for the batch-probe fan-out stage,
+	// shared across snapshots and generations (the arena re-sizes per use).
+	probePool sync.Pool
 }
 
 // orderGen is one immutable generation of the shared global order: the
@@ -434,6 +438,11 @@ func (sv *ShardedView) Stats() DynamicStats {
 			st.Segments += vs.Segments
 			st.Rebuilds += vs.Rebuilds
 			st.Inserts += vs.Inserts
+			st.DenseKeys += vs.DenseKeys
+			st.SparseKeys += vs.SparseKeys
+			st.ProbePostings += vs.ProbePostings
+			st.ProbeBitsetTokens += vs.ProbeBitsetTokens
+			st.ProbeSliceTokens += vs.ProbeSliceTokens
 			if vs.BuildTime > st.BuildTime {
 				st.BuildTime = vs.BuildTime
 			}
@@ -664,22 +673,28 @@ func (sv *ShardedView) initFlat() {
 // positions are remapped by the shard's offset into the flattened catalog.
 // The second return value reads the per-shard candidate counts accumulated
 // across all probe records (each stage invocation gets fresh counters).
-func (sv *ShardedView) candidateStage() (func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error), func() []int) {
+func (sv *ShardedView) candidateStage() (func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error), func() []int) {
 	counters := make([]atomic.Int64, len(sv.views))
-	stage := func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, int64, error) {
-		return parallelCandidates(ctx, len(sigs), len(sv.flat.records), workers, func(sc *probeScratch, t int) ([]int32, int64) {
+	stage := func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error) {
+		return parallelCandidates(ctx, len(sigs), len(sv.flat.records), workers, &sv.sx.probePool, func(sc *probeScratch, t int) ([]int32, filterTally) {
 			sc.merged = sc.merged[:0]
-			var processed int64
+			var sum filterTally
 			for w, v := range sv.views {
-				recs, touched := v.candidatesRecord(sigs[t], sc)
-				processed += touched
+				// Each shard's filter reuses the worker scratch: the arena
+				// is re-sized to the shard's catalog per call (monotone
+				// within one fan-out only by accident, so Reset handles
+				// shrink and grow), and survivors are staged into merged
+				// before the next shard overwrites the touched list.
+				sc.acc.Reset(len(v.records))
+				recs, ft := v.candidatesRecord(sigs[t], sc)
+				sum.add(ft)
 				counters[w].Add(int64(len(recs)))
 				off := int32(sv.flat.offsets[w])
 				for _, r := range recs {
 					sc.merged = append(sc.merged, off+r)
 				}
 			}
-			return sc.merged, processed
+			return sc.merged, sum
 		})
 	}
 	shardCands := func() []int {

@@ -179,8 +179,10 @@ func runProbeStream(ctx context.Context, calc *core.Calculator, opts Options, tg
 	}
 
 	start := time.Now()
-	candidates, processed, err := tgt.candidates(ctx, sigs, opts.workers())
-	stats.ProcessedPairs = processed
+	candidates, tally, err := tgt.candidates(ctx, sigs, opts.workers())
+	stats.ProcessedPairs = tally.postings
+	stats.BitsetTokens = tally.bitsetTokens
+	stats.SliceTokens = tally.sliceTokens
 	stats.Candidates = len(candidates)
 	stats.FilterTime = time.Since(start)
 	if err != nil {

@@ -204,9 +204,10 @@ func (g *Generator) segmentPebbles(seg core.Segment, idx int) []Pebble {
 type Order struct {
 	freq map[string]int
 
-	once sync.Once
-	ids  map[string]uint32 // key -> dense ID, in (freq asc, key asc) order
-	keys []string          // dense ID -> key
+	once    sync.Once
+	ids     map[string]uint32 // key -> dense ID, in (freq asc, key asc) order
+	keys    []string          // dense ID -> key
+	maxFreq int               // highest document frequency, cached at Finalize
 
 	dmu sync.Mutex               // serializes InternDynamic writers
 	dyn atomic.Pointer[dynTable] // append-only dynamic region, nil until first InternDynamic
@@ -264,9 +265,24 @@ func (o *Order) Finalize() {
 		for i, k := range keys {
 			ids[k] = uint32(i)
 		}
+		// Frequencies are sorted ascending, so the last key carries the
+		// maximum — cached here because MaxFrequency sits on the index-build
+		// path (the hybrid posting cutoff consults it).
+		if len(keys) > 0 {
+			o.maxFreq = o.freq[keys[len(keys)-1]]
+		}
 		o.keys = keys
 		o.ids = ids
 	})
+}
+
+// MaxFrequency returns the highest document frequency recorded at Finalize
+// time (0 for an empty order). Dynamically interned keys are not counted —
+// their frequencies are unknown until a rebuild re-freezes the order — so
+// on an order with a non-empty dynamic region the value is a lower bound.
+func (o *Order) MaxFrequency() int {
+	o.Finalize()
+	return o.maxFreq
 }
 
 // NumKeys returns the number of interned keys, frozen prefix plus dynamic
