@@ -159,8 +159,9 @@ type Stats struct {
 	// tokens across all probe signatures.
 	BitsetTokens int64
 	SliceTokens  int64
-	// SuggestedTau is the overlap constraint used (after auto-suggestion,
-	// when enabled).
+	// SuggestedTau is the overlap constraint used: the auto-suggested τ when
+	// AutoTau was enabled, the adaptive planner's per-batch choice on
+	// planned Index probes, and the fixed build-time τ otherwise.
 	SuggestedTau int
 	// SuggestionTime, FilterTime and VerifyTime break the total down. Each
 	// is the wall-clock duration of its stage — elapsed time, NOT CPU time
@@ -455,6 +456,31 @@ func forwardPairs(seq iter.Seq2[join.Pair, error], yield func(Match, error) bool
 	}
 }
 
+// PlanMode selects how an Index picks the probe-side filter configuration
+// (signature-selection method and overlap constraint τ) for a request.
+type PlanMode int
+
+const (
+	// PlanAuto (the default) plans each request adaptively: a per-query
+	// cost model over the query's token statistics and the index's live
+	// document frequencies picks the cheapest provably-sound configuration,
+	// and an online feedback loop corrects the model from observed
+	// executions. Results are bit-identical to PlanFixed — only the filter's
+	// over-admission rate (and therefore latency) changes.
+	PlanAuto PlanMode = iota
+	// PlanFixed pins the build-time Filter and Tau on every request —
+	// the pre-planner behaviour.
+	PlanFixed
+)
+
+// internal maps the public plan mode onto the internal one.
+func (m PlanMode) internal() join.PlanMode {
+	if m == PlanFixed {
+		return join.PlanFixed
+	}
+	return join.PlanAuto
+}
+
 // QueryOptions carries per-request overrides for QueryCtx and QueryTopKCtx —
 // parameters the batch Query/QueryTopK freeze at index build time. The zero
 // value changes nothing.
@@ -473,11 +499,16 @@ type QueryOptions struct {
 	// verifies sequentially (on a sharded index, the per-shard fan-out still
 	// runs concurrently).
 	Workers int
+	// Plan overrides the planning mode for this request: PlanAuto (the
+	// default) picks the cheapest sound filter configuration per query,
+	// PlanFixed pins the build-time Filter and Tau. On an index built with
+	// IndexOptions.Plan == PlanFixed every request runs fixed regardless.
+	Plan PlanMode
 }
 
 // internal maps the public options onto the internal per-request options.
 func (o QueryOptions) internal() join.QueryOpts {
-	return join.QueryOpts{Theta: o.MinSimilarity, Workers: o.Workers}
+	return join.QueryOpts{Theta: o.MinSimilarity, Workers: o.Workers, Plan: o.Plan.internal()}
 }
 
 // Index is a dynamic, concurrently servable join target over one
@@ -507,6 +538,11 @@ type IndexOptions struct {
 	// per-rebuild writer stalls, at the cost of one inverted index and
 	// posting-array header block per shard.
 	Shards int
+	// Plan sets the index-wide planning default. PlanAuto (zero value)
+	// installs the adaptive per-query planner; PlanFixed disables it
+	// entirely, pinning the build-time Filter and Tau on every request
+	// (individual requests cannot re-enable it).
+	Plan PlanMode
 }
 
 // QueryMatch is one result of a single-string Query: the stable ID of the
@@ -540,6 +576,7 @@ func (j *Joiner) IndexWith(records []string, opts JoinOptions, iopts IndexOption
 		Tau:     tau,
 		Method:  opts.Filter.method(),
 		Workers: opts.Workers,
+		Plan:    iopts.Plan.internal(),
 	}
 	recs := strutil.NewCollection(records)
 	return &Index{inner: j.joiner.BuildShardedIndex(recs, iopts.Shards, jopts, join.DynamicOptions{}), tau: tau}
@@ -658,6 +695,19 @@ type IndexStats struct {
 	// Theta and Tau are the join parameters fixed at build time.
 	Theta float64 `json:"theta"`
 	Tau   int     `json:"tau"`
+	// SuggestedTau is the adaptive planner's live τ suggestion: the
+	// build-time τ until the first post-rebuild re-anchor, the observed
+	// workload's most-chosen τ afterwards (0 when planning is disabled).
+	SuggestedTau int `json:"suggested_tau,omitempty"`
+	// Plans, PlanFallbacks and PlanReanchors count adaptive planning
+	// decisions, fallbacks to the fixed build-time configuration, and
+	// feedback re-anchors after rebuilds; PlanDecisions splits Plans by the
+	// chosen configuration ("ufilter/t1", "auheur/t2", "audp/t3", ...). All
+	// zero when planning is disabled (PlanFixed at build time).
+	Plans         int64            `json:"plans,omitempty"`
+	PlanFallbacks int64            `json:"plan_fallbacks,omitempty"`
+	PlanReanchors int64            `json:"plan_reanchors,omitempty"`
+	PlanDecisions map[string]int64 `json:"plan_decisions,omitempty"`
 	// BuildTime is the construction time of the current base index, in
 	// nanoseconds on the wire.
 	BuildTime time.Duration `json:"build_time_ns"`
@@ -809,6 +859,10 @@ func (j *Joiner) joinRecords(recsS, recsT []strutil.Record, opts JoinOptions, se
 
 // convertPairs maps internal join results onto the public types.
 func convertPairs(pairs []join.Pair, jstats join.Stats, tau int) ([]Match, Stats) {
+	if jstats.PlanTau > 0 {
+		// The adaptive planner picked this batch's τ; report what actually ran.
+		tau = jstats.PlanTau
+	}
 	stats := Stats{
 		Candidates:      jstats.Candidates,
 		ShardCandidates: jstats.ShardCandidates,

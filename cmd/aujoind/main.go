@@ -18,8 +18,13 @@
 //	GET  /query?q=<string>&k=<n>         top-k matches for one query string,
 //	                                     streamed as NDJSON (one match per
 //	                                     line); k is required and must be ≥ 1,
-//	                                     and min_sim=<f> optionally raises the
-//	                                     similarity threshold for this request
+//	                                     min_sim=<f> optionally raises the
+//	                                     similarity threshold for this request,
+//	                                     and plan=auto|fixed overrides the
+//	                                     adaptive filter planner (auto is the
+//	                                     default; fixed pins the build-time
+//	                                     filter/τ — results are identical
+//	                                     either way, only latency differs)
 //	POST /probe {"records": [...]}       join a batch against the catalog,
 //	                                     matches streamed as NDJSON lines as
 //	                                     they are confirmed
@@ -190,6 +195,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.MinSimilarity = minSim
+	}
+	switch r.URL.Query().Get("plan") {
+	case "", "auto":
+		// PlanAuto is the zero value.
+	case "fixed":
+		opts.Plan = aujoin.PlanFixed
+	default:
+		http.Error(w, "plan must be auto or fixed", http.StatusBadRequest)
+		return
 	}
 	// The request context cancels the fan-out mid-verification when the
 	// client disconnects or times out; there is no one left to tell, so the

@@ -102,12 +102,50 @@ func TestHandleQueryStreamsNDJSON(t *testing.T) {
 	}
 
 	// Parameter validation.
-	for _, url := range []string{"/query?q=x", "/query?k=3", "/query?q=x&k=0", "/query?q=x&k=3&min_sim=2"} {
+	for _, url := range []string{"/query?q=x", "/query?k=3", "/query?q=x&k=0", "/query?q=x&k=3&min_sim=2", "/query?q=x&k=3&plan=greedy"} {
 		rec := httptest.NewRecorder()
 		srv.handleQuery(rec, httptest.NewRequest(http.MethodGet, url, nil))
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", url, rec.Code)
 		}
+	}
+}
+
+// TestHandleQueryPlanOverride pins the ?plan= contract: fixed and auto (and
+// the default) return identical match sets — the planner only changes how
+// the filter runs — and the planned requests show up in /stats counters.
+func TestHandleQueryPlanOverride(t *testing.T) {
+	srv := testServer(t, 60)
+	query := func(plan string) []aujoin.QueryMatch {
+		url := "/query?q=espresso+cafe+helsinki+city+center+north&k=10"
+		if plan != "" {
+			url += "&plan=" + plan
+		}
+		rec := httptest.NewRecorder()
+		srv.handleQuery(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("plan=%q: status %d, body %q", plan, rec.Code, rec.Body.String())
+		}
+		return decodeLines[aujoin.QueryMatch](t, rec.Body.String())
+	}
+	auto, fixed, def := query("auto"), query("fixed"), query("")
+	if fmt.Sprint(auto) != fmt.Sprint(fixed) || fmt.Sprint(auto) != fmt.Sprint(def) {
+		t.Fatalf("plan modes disagree:\nauto  %v\nfixed %v\ndefault %v", auto, fixed, def)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var st aujoin.IndexStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats response %q: %v", rec.Body.String(), err)
+	}
+	// Two of the three queries ran adaptively (auto + default); fixed must
+	// not count as a plan.
+	if st.Plans != 2 {
+		t.Errorf("stats.Plans = %d, want 2 (auto + default)", st.Plans)
+	}
+	if len(st.PlanDecisions) == 0 {
+		t.Errorf("stats.PlanDecisions empty after planned queries")
 	}
 }
 

@@ -13,12 +13,14 @@
 // -cpu suffix); repeated runs of one benchmark (-count N) keep the fastest
 // ns/op, the usual noise floor estimate.
 //
-// The gate compares the *ratio* of the gated benchmark to its "Classic"
-// sibling (<name>Classic) when both sides have one — a machine-independent
-// measure, since CI runners and the baseline machine differ in absolute
-// speed — and falls back to absolute ns/op otherwise. The run fails (exit
-// 1) when the current metric exceeds the baseline metric by more than
-// -max-regress.
+// -gate takes a comma-separated list of gates. Each gate compares the
+// *ratio* of the gated benchmark to a sibling when both sides have one — a
+// machine-independent measure, since CI runners and the baseline machine
+// differ in absolute speed — and falls back to absolute ns/op otherwise.
+// The sibling is <name>Classic by default; "Name/Sibling" names it
+// explicitly (e.g. BenchmarkQueryPlanned/BenchmarkQueryFixed gates the
+// planned-over-fixed latency ratio). The run fails (exit 1) when any
+// current metric exceeds its baseline metric by more than -max-regress.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -64,7 +67,7 @@ func main() {
 		in         = flag.String("in", "", "benchmark output file (default stdin)")
 		out        = flag.String("out", "", "JSON snapshot to write (default BENCH_<date>.json)")
 		baseline   = flag.String("baseline", "", "baseline JSON snapshot to gate against (no gating when empty)")
-		gate       = flag.String("gate", "BenchmarkFilterPhase", "benchmark name the gate applies to")
+		gate       = flag.String("gate", "BenchmarkFilterPhase", "comma-separated benchmark gates, each Name or Name/Sibling")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximal allowed relative regression of the gated metric")
 	)
 	flag.Parse()
@@ -113,10 +116,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := check(base, snap, *gate, *maxRegress); err != nil {
-		log.Fatal(err)
+	for _, g := range strings.Split(*gate, ",") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		name, sibling := splitGate(g)
+		if err := check(base, snap, name, sibling, *maxRegress); err != nil {
+			log.Fatal(err)
+		}
 	}
 	log.Printf("gate passed: %s within %.0f%% of %s", *gate, *maxRegress*100, *baseline)
+}
+
+// splitGate parses one -gate entry: "Name" gates against the implicit
+// <Name>Classic sibling, "Name/Sibling" names the ratio's denominator.
+func splitGate(g string) (name, sibling string) {
+	if i := strings.IndexByte(g, '/'); i >= 0 {
+		return g[:i], g[i+1:]
+	}
+	return g, g + "Classic"
 }
 
 // parse reads benchmark result lines, keeping each name's fastest run.
@@ -178,15 +197,15 @@ func load(path string) (Snapshot, error) {
 	return s, json.Unmarshal(buf, &s)
 }
 
-// metric returns the gated measure for one snapshot: ns(gate)/ns(gateClassic)
+// metric returns the gated measure for one snapshot: ns(gate)/ns(sibling)
 // when the snapshot holds both (ratio=true), else the absolute ns/op.
-func metric(s Snapshot, gate string) (val float64, ratio, ok bool) {
+func metric(s Snapshot, gate, sibling string) (val float64, ratio, ok bool) {
 	var g, c *Result
 	for i := range s.Benchmarks {
 		switch s.Benchmarks[i].Name {
 		case gate:
 			g = &s.Benchmarks[i]
-		case gate + "Classic":
+		case sibling:
 			c = &s.Benchmarks[i]
 		}
 	}
@@ -199,20 +218,20 @@ func metric(s Snapshot, gate string) (val float64, ratio, ok bool) {
 	return g.NsPerOp, false, true
 }
 
-func check(base, cur Snapshot, gate string, maxRegress float64) error {
-	baseVal, bratio, ok := metric(base, gate)
+func check(base, cur Snapshot, gate, sibling string, maxRegress float64) error {
+	baseVal, bratio, ok := metric(base, gate, sibling)
 	if !ok {
 		return fmt.Errorf("baseline has no %s result", gate)
 	}
-	curVal, cratio, ok := metric(cur, gate)
+	curVal, cratio, ok := metric(cur, gate, sibling)
 	if !ok {
 		return fmt.Errorf("current run has no %s result", gate)
 	}
 	kind := "ns/op"
 	if bratio && cratio {
-		kind = "hybrid/classic ratio"
+		kind = fmt.Sprintf("ratio vs %s", sibling)
 	} else if bratio != cratio {
-		// One side is missing the Classic sibling: compare absolutes.
+		// One side is missing the sibling: compare absolutes.
 		baseVal, _, _ = absMetric(base, gate)
 		curVal, _, _ = absMetric(cur, gate)
 	}

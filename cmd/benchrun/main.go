@@ -53,6 +53,8 @@ func main() {
 		serveMutate   = flag.Duration("serve-mutate-every", 10*time.Millisecond, "serve mode: pause between mutation batches")
 		serveTimeout  = flag.Duration("serve-query-timeout", 0, "serve mode: per-query deadline (0 = none)")
 		shards        = flag.Int("shards", 1, "serve mode: index partitions (0 = GOMAXPROCS)")
+		mixedQueries  = flag.Bool("mixed-queries", false, "serve mode: bimodal short/long query workload with per-length-bucket latency percentiles")
+		servePlan     = flag.String("serve-plan", "auto", "serve mode: per-query filter planning: auto, fixed, or a pinned probe config (ufilter/t1, auheur/t2, audp/t3, ...)")
 
 		profileOut  = flag.String("profile-out", "default.pgo", "profile mode: output file (pprof format)")
 		profileSize = flag.Int("profile-size", 4000, "profile mode: dataset size for the sampled workload")
@@ -65,6 +67,10 @@ func main() {
 		scaleTau     = flag.Int("scale-tau", 12, "filterscale mode: overlap constraint")
 	)
 	flag.Parse()
+
+	if _, err := parseServePlan(*servePlan); err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *med > 0 {
@@ -87,6 +93,8 @@ func main() {
 				Shards:       *shards,
 				MutateEvery:  *serveMutate,
 				QueryTimeout: *serveTimeout,
+				MixedQueries: *mixedQueries,
+				PlanMode:     *servePlan,
 				Seed:         *seed,
 			})
 		},

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,7 +40,25 @@ type serveConfig struct {
 	// serving deployment relies on and bounding tail latency at the cost of
 	// dropped answers (counted in the result).
 	QueryTimeout time.Duration
-	Seed         int64
+	// MixedQueries switches the workload to a bimodal short/long mix: the
+	// bulk of the stream is hot-token lookups — three tokens drawn from one
+	// or two of the catalog's most frequent tokens, so posting density and
+	// multiplicity weighting swing the per-configuration candidate count
+	// (and so the latency) hardest — and 1 in 32 queries is a full-record
+	// near-duplicate probe, whose candidate set is its whole duplicate
+	// family at any configuration. This is the heterogeneous stream
+	// adaptive planning exists for; latency percentiles are then also
+	// reported per length bucket.
+	MixedQueries bool
+	// PlanMode runs every query under the given planning mode: "auto" (the
+	// default), "fixed" (pin the build-time filter/τ, the pre-planner
+	// behaviour), or a pinned probe-side configuration like "ufilter/t1",
+	// "auheur/t2" or "audp/t3" — one point of the planner's search space,
+	// run against the same build. Sweeping the pinned configurations is the
+	// A/B for the planner's latency win: auto must tie the best of them and
+	// beat the worst.
+	PlanMode string
+	Seed     int64
 }
 
 // serveResult aggregates what the load generator observed.
@@ -49,10 +68,14 @@ type serveResult struct {
 	timeouts  int64 // queries abandoned at their per-query deadline
 	elapsed   time.Duration
 	latencies []float64 // milliseconds, sampled
-	inserted  int64
-	removed   int64
-	pauses    []float64 // per-rebuild writer stalls, milliseconds
-	stats     join.DynamicStats
+	// latShort and latLong split the sampled latencies by query-length
+	// bucket under -mixed-queries (both nil otherwise).
+	latShort []float64
+	latLong  []float64
+	inserted int64
+	removed  int64
+	pauses   []float64 // per-rebuild writer stalls, milliseconds
+	stats    join.DynamicStats
 }
 
 func (r serveResult) String() string {
@@ -64,9 +87,27 @@ func (r serveResult) String() string {
 	if r.cfg.QueryTimeout > 0 {
 		fmt.Fprintf(&b, "query timeout %v: %d queries cancelled at deadline\n", r.cfg.QueryTimeout, r.timeouts)
 	}
+	if r.cfg.MixedQueries || r.cfg.PlanMode != "" {
+		plan := r.cfg.PlanMode
+		if plan == "" {
+			plan = "auto"
+		}
+		fmt.Fprintf(&b, "workload: mixed-queries=%v plan=%s plans=%d fallbacks=%d suggested-τ=%d decisions=%v\n",
+			r.cfg.MixedQueries, plan, r.stats.Plans, r.stats.PlanFallbacks, r.stats.SuggestedTau, r.stats.PlanDecisions)
+	}
 	if len(r.latencies) > 0 {
 		ps := metrics.Percentiles(r.latencies, 50, 95, 99)
 		fmt.Fprintf(&b, "latency ms: p50=%.3f p95=%.3f p99=%.3f\n", ps[0], ps[1], ps[2])
+	}
+	for _, bucket := range []struct {
+		name string
+		lat  []float64
+	}{{"short", r.latShort}, {"long", r.latLong}} {
+		if len(bucket.lat) > 0 {
+			ps := metrics.Percentiles(bucket.lat, 50, 95, 99)
+			fmt.Fprintf(&b, "latency ms (%s): n=%d p50=%.3f p95=%.3f p99=%.3f\n",
+				bucket.name, len(bucket.lat), ps[0], ps[1], ps[2])
+		}
 	}
 	if len(r.pauses) > 0 {
 		ps := metrics.Percentiles(r.pauses, 50, 95, 99, 100)
@@ -77,6 +118,44 @@ func (r serveResult) String() string {
 	fmt.Fprintf(&b, "index: records=%d live=%d dead=%d segments=%d frozen-keys=%d dynamic-keys=%d rebuilds=%d cache-hits=%d cache-misses=%d\n",
 		st.Records, st.Live, st.Dead, st.Segments, st.FrozenKeys, st.DynamicKeys, st.Rebuilds, st.CacheHits, st.CacheMisses)
 	return b.String()
+}
+
+// parseServePlan resolves a -serve-plan value into the per-query options it
+// stands for: "auto"/"" (adaptive planning), "fixed" (build-time config), or
+// a pinned probe-side configuration "ufilter/t1" | "auheur/tN" | "audp/tN".
+func parseServePlan(s string) (join.QueryOpts, error) {
+	var qo join.QueryOpts
+	switch s {
+	case "", "auto":
+		return qo, nil
+	case "fixed":
+		qo.Plan = join.PlanFixed
+		return qo, nil
+	}
+	method, tauStr, ok := strings.Cut(s, "/t")
+	if ok {
+		switch method {
+		case "ufilter":
+			qo.ProbeMethod = pebble.UFilter
+		case "auheur":
+			qo.ProbeMethod = pebble.AUHeuristic
+		case "audp":
+			qo.ProbeMethod = pebble.AUDP
+		default:
+			ok = false
+		}
+	}
+	tau := 0
+	if ok {
+		if _, err := fmt.Sscanf(tauStr, "%d", &tau); err != nil || tau < 1 {
+			ok = false
+		}
+	}
+	if !ok {
+		return qo, fmt.Errorf("invalid -serve-plan %q (want auto, fixed, or e.g. ufilter/t1, auheur/t2, audp/t3)", s)
+	}
+	qo.ProbeTau = tau
+	return qo, nil
 }
 
 // runServe builds the catalog and drives the concurrent serve/mutate load.
@@ -93,31 +172,80 @@ func runServe(cfg serveConfig) serveResult {
 		insertPool[i] = rec.Raw
 	}
 
+	qo, _ := parseServePlan(cfg.PlanMode) // main validated the flag already
+
+	// Head tokens for the mixed workload's short bucket: the most frequent
+	// catalog tokens, whose posting lists are the dense ones a poorly chosen
+	// τ over-admits on.
+	var headToks []string
+	if cfg.MixedQueries {
+		freq := map[string]int{}
+		for _, rec := range ds.S {
+			for _, tok := range rec.Tokens {
+				freq[tok]++
+			}
+		}
+		headToks = make([]string, 0, len(freq))
+		for tok := range freq {
+			headToks = append(headToks, tok)
+		}
+		sort.Slice(headToks, func(a, b int) bool { return freq[headToks[a]] > freq[headToks[b]] })
+		if len(headToks) > 8 {
+			headToks = headToks[:8]
+		}
+	}
+
 	var queries, timeouts, inserted, removed int64
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
 
-	// Readers: each worker keeps its own sampled latency slice. Every query
+	// Readers: each worker keeps its own sampled latency slices. Every query
 	// runs through the context-aware serving path; with a per-query timeout
 	// configured, a deadline cancels the fan-out mid-verification exactly as
 	// a disconnecting client would in aujoind.
 	latAll := make([][]float64, cfg.Workers)
+	latShortAll := make([][]float64, cfg.Workers)
+	latLongAll := make([][]float64, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w) + 1))
-			var lat []float64
+			var lat, latShort, latLong []float64
 			for i := 0; time.Now().Before(deadline); i++ {
-				q := queryPool[rng.Intn(len(queryPool))]
+				tokens := queryPool[rng.Intn(len(queryPool))].Tokens
+				long := false
+				if cfg.MixedQueries {
+					// Bimodal workload: the bulk of the stream is hot-token
+					// lookups (one or two head tokens, length three, so
+					// multiplicity weighting matters), where the candidate
+					// count — and so the query cost — swings hardest with the
+					// probe-side configuration; 1 in 32 queries is the full
+					// record, whose near-duplicate family dominates the
+					// candidate set at any configuration.
+					if rng.Intn(32) != 0 {
+						a := headToks[rng.Intn(len(headToks))]
+						b := headToks[rng.Intn(len(headToks))]
+						switch rng.Intn(3) {
+						case 0:
+							tokens = []string{a, a, a}
+						case 1:
+							tokens = []string{a, a, b}
+						default:
+							tokens = []string{a, b, b}
+						}
+					} else {
+						long = true
+					}
+				}
 				t0 := time.Now()
 				ctx := context.Background()
 				cancel := context.CancelFunc(func() {})
 				if cfg.QueryTimeout > 0 {
 					ctx, cancel = context.WithTimeout(ctx, cfg.QueryTimeout)
 				}
-				_, err := dx.Snapshot().QueryTopKCtx(ctx, q.Tokens, cfg.TopK, join.QueryOpts{})
+				_, err := dx.Snapshot().QueryTopKCtx(ctx, tokens, cfg.TopK, qo)
 				cancel()
 				d := time.Since(t0)
 				atomic.AddInt64(&queries, 1)
@@ -125,10 +253,20 @@ func runServe(cfg serveConfig) serveResult {
 					atomic.AddInt64(&timeouts, 1)
 				}
 				if i%8 == 0 { // sample 1-in-8 to bound memory
-					lat = append(lat, float64(d.Microseconds())/1000)
+					ms := float64(d.Microseconds()) / 1000
+					lat = append(lat, ms)
+					if cfg.MixedQueries {
+						if long {
+							latLong = append(latLong, ms)
+						} else {
+							latShort = append(latShort, ms)
+						}
+					}
 				}
 			}
 			latAll[w] = lat
+			latShortAll[w] = latShort
+			latLongAll[w] = latLong
 		}(w)
 	}
 
@@ -154,14 +292,26 @@ func runServe(cfg serveConfig) serveResult {
 				}
 				liveInserted = append(liveInserted[:k], liveInserted[k+1:]...)
 			}
-			time.Sleep(cfg.MutateEvery)
+			// Never sleep past the deadline: a large -serve-mutate-every
+			// (used to quiesce mutation for clean A/B runs) must not hold
+			// the whole run hostage.
+			pause := cfg.MutateEvery
+			if rem := time.Until(deadline); rem < pause {
+				pause = rem
+			}
+			if pause > 0 {
+				time.Sleep(pause)
+			}
 		}
 	}()
 	wg.Wait()
 
-	var lat []float64
-	for _, l := range latAll {
-		lat = append(lat, l...)
+	flatten := func(parts [][]float64) []float64 {
+		var out []float64
+		for _, l := range parts {
+			out = append(out, l...)
+		}
+		return out
 	}
 	var pauses []float64
 	for _, p := range dx.RebuildPauses() {
@@ -172,7 +322,9 @@ func runServe(cfg serveConfig) serveResult {
 		queries:   queries,
 		timeouts:  timeouts,
 		elapsed:   time.Since(start),
-		latencies: lat,
+		latencies: flatten(latAll),
+		latShort:  flatten(latShortAll),
+		latLong:   flatten(latLongAll),
 		inserted:  inserted,
 		removed:   removed,
 		pauses:    pauses,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/planner"
 	"github.com/aujoin/aujoin/internal/strutil"
 )
 
@@ -209,6 +210,96 @@ func BenchmarkQuery(b *testing.B) {
 		ix.ProbeRecord(probe[i%len(probe)].Tokens)
 	}
 }
+
+// mixedProbes builds the bimodal short/long probe pool of the planner
+// benchmarks: half 2-token fragments of dense vocabulary (where a small τ
+// over-admits little and saves posting scans), half three records
+// concatenated (long signatures where the build-time configuration pays for
+// every prefix token).
+func mixedProbes(n int, seed int64) []strutil.Record {
+	rng := rand.New(rand.NewSource(seed))
+	pool := benchCorpus(4*n, seed+1)
+	raws := make([]string, n)
+	for i := range raws {
+		if i%2 == 0 {
+			toks := pool[rng.Intn(len(pool))].Tokens
+			raws[i] = strutil.JoinTokens(toks[:2])
+		} else {
+			var toks []string
+			for k := 0; k < 3; k++ {
+				toks = append(toks, pool[rng.Intn(len(pool))].Tokens...)
+			}
+			raws[i] = strutil.JoinTokens(toks)
+		}
+	}
+	return strutil.NewCollection(raws)
+}
+
+// BenchmarkPlanOverhead measures the planner's marginal work per query —
+// the τ-sweep of heuristic cuts, the posting-mass prefix sums, the cost
+// model and the final signature selection — on prepared probes (query
+// preparation is paid identically by the fixed path) and enforces the
+// < 50µs/op planning budget the adaptive path promises.
+func BenchmarkPlanOverhead(b *testing.B) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(2000, 1)
+	opts := Options{Theta: 0.8, Tau: 3, Method: pebble.AUDP}
+	v := j.BuildDynamicIndex(s, opts, DynamicOptions{}).Snapshot()
+	probe := mixedProbes(64, 9)
+	pres := make([]pebble.Presig, len(probe))
+	for i, rec := range probe {
+		pres[i] = v.base.sel.Prepare(rec.Tokens)
+	}
+	pl := v.dx.planner
+	// Steady state is the loop a serving process actually runs: every plan
+	// is observed, so the latency cells are measured and greedy exploitation
+	// carries the traffic (with the 1-in-16 exploration slot). Without the
+	// feedback half the forced initial sampling never completes and every
+	// plan re-measures an arm — a state no real workload stays in.
+	observe := func(d planner.Decision) { pl.Observe(d, 8, 1, 8_000, 100_000) }
+	for i := 0; i < 256; i++ {
+		observe(pl.Plan(v.base.sel, pres[i%len(pres)], v.base.inv.ListLength, len(v.records)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := pl.Plan(v.base.sel, pres[i%len(pres)], v.base.inv.ListLength, len(v.records))
+		if !d.Planned {
+			b.Fatal("plan fell back in the overhead benchmark")
+		}
+		observe(d)
+	}
+	b.StopTimer()
+	if ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N); ns > 50_000 {
+		b.Fatalf("planning overhead %.0f ns/op exceeds the 50µs budget", ns)
+	}
+}
+
+// queryPlanBench serves the bimodal workload single-record at a time under
+// one planning mode; BenchmarkQueryPlanned / BenchmarkQueryFixed are the
+// benchgate-gated pair whose ratio pins the planner's latency win.
+func queryPlanBench(b *testing.B, qo QueryOpts) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(2000, 1)
+	opts := Options{Theta: 0.8, Tau: 3, Method: pebble.AUDP}
+	v := j.BuildDynamicIndex(s, opts, DynamicOptions{}).Snapshot()
+	probe := mixedProbes(64, 9)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.ProbeRecordCtx(ctx, probe[i%len(probe)].Tokens, qo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryPlanned is the adaptive path: every probe is planned.
+func BenchmarkQueryPlanned(b *testing.B) { queryPlanBench(b, QueryOpts{}) }
+
+// BenchmarkQueryFixed is the same workload pinned to the build-time
+// configuration (the pre-planner behaviour).
+func BenchmarkQueryFixed(b *testing.B) { queryPlanBench(b, QueryOpts{Plan: PlanFixed}) }
 
 // BenchmarkQuerySharded is BenchmarkQuery against a GOMAXPROCS-sharded
 // index: the same single-record workload, served through the fan-out

@@ -11,7 +11,21 @@ import (
 	"github.com/aujoin/aujoin/internal/core"
 	"github.com/aujoin/aujoin/internal/invindex"
 	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/planner"
 	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// PlanMode selects between adaptive per-query planning (Auto, the zero
+// value) and the fixed build-time configuration (Fixed). It appears both on
+// Options (index-wide default; Fixed disables the planner entirely) and on
+// QueryOpts (per-request override).
+type PlanMode = planner.Mode
+
+const (
+	// PlanAuto plans each request adaptively (the default).
+	PlanAuto = planner.Auto
+	// PlanFixed pins the build-time filter method and τ.
+	PlanFixed = planner.Fixed
 )
 
 // DynamicIndex is the mutable, concurrently servable form of Index: a
@@ -51,6 +65,11 @@ type DynamicIndex struct {
 	tau    int
 	calc   *core.Calculator
 	cache  *core.PreparedCache
+
+	// planner is the adaptive per-query cost model (nil when Options.Plan is
+	// PlanFixed). Shards of a ShardedIndex share the router's planner — the
+	// corpus statistics and feedback are global.
+	planner *planner.Planner
 
 	// sharedOrder marks a shard of a ShardedIndex: the pebble order is owned
 	// by the router and shared with the sibling shards, so rebuilds compact
@@ -154,7 +173,7 @@ const (
 // records. The join Options (θ, τ, filter method) are fixed for the life of
 // the index, exactly as for BuildIndex.
 func (j *Joiner) BuildDynamicIndex(records []strutil.Record, opts Options, dopts DynamicOptions) *DynamicIndex {
-	return j.buildDynamic(records, nil, opts, dopts, nil)
+	return j.buildDynamic(records, nil, opts, dopts, nil, nil)
 }
 
 // buildDynamic is the shared constructor of standalone dynamic indexes and
@@ -162,14 +181,20 @@ func (j *Joiner) BuildDynamicIndex(records []strutil.Record, opts Options, dopts
 // (the base is built under it and rebuilds keep it); a non-nil cache
 // overrides DynamicOptions.CacheSize (the router shares one cache across all
 // shards so delete/re-insert churn hits regardless of which shard the
-// record lands on after compaction).
-func (j *Joiner) buildDynamic(records []strutil.Record, order *pebble.Order, opts Options, dopts DynamicOptions, cache *core.PreparedCache) *DynamicIndex {
+// record lands on after compaction); a non-nil pl installs the router's
+// shared planner (a standalone index creates its own unless Options.Plan is
+// PlanFixed).
+func (j *Joiner) buildDynamic(records []strutil.Record, order *pebble.Order, opts Options, dopts DynamicOptions, cache *core.PreparedCache, pl *planner.Planner) *DynamicIndex {
 	dx := &DynamicIndex{
 		joiner:          j,
 		opts:            opts,
 		tau:             opts.tau(),
+		planner:         pl,
 		rebuildFraction: dopts.RebuildFraction,
 		maxSegments:     dopts.MaxSegments,
+	}
+	if dx.planner == nil && opts.Plan != PlanFixed && order == nil {
+		dx.planner = planner.New(opts.Method, dx.tau)
 	}
 	if dx.rebuildFraction == 0 {
 		dx.rebuildFraction = defaultRebuildFraction
@@ -441,6 +466,14 @@ func (dx *DynamicIndex) rebuildLocked() {
 	base := dx.joiner.buildIndex(live, order, dx.opts, prep)
 	dx.adoptBaseLocked(base)
 	dx.rebuilds++
+	// Re-anchor the planner's feedback table: the corpus its corrections
+	// were learned against was just compacted, and the cached τ suggestion
+	// must track the observed workload instead of silently keeping the
+	// build-time value. Shards of a ShardedIndex skip this — their shared
+	// planner is re-anchored once per global re-finalize by the router.
+	if !dx.sharedOrder {
+		dx.planner.Reanchor()
+	}
 	dx.pauses = appendPause(dx.pauses, time.Since(start))
 }
 
@@ -538,6 +571,20 @@ type DynamicStats struct {
 	// Theta and Tau are the join parameters fixed at build time.
 	Theta float64
 	Tau   int
+	// SuggestedTau is the planner's live τ suggestion: the build-time τ
+	// until the first re-anchor, the observed workload's most-chosen τ
+	// afterwards (0 when planning is disabled).
+	SuggestedTau int
+	// Plans, PlanFallbacks and PlanReanchors count adaptive planning
+	// decisions, planner fallbacks to the fixed configuration, and feedback
+	// re-anchors after rebuilds; PlanDecisions splits Plans by chosen
+	// configuration ("ufilter/t1", "auheur/t2", "audp/t3", ...). All zero
+	// when planning is disabled. One planner is shared across all shards of
+	// a ShardedIndex, so these are request-level counters, not per-shard.
+	Plans         int64
+	PlanFallbacks int64
+	PlanReanchors int64
+	PlanDecisions map[string]int64
 	// BuildTime is the construction time of the current base index.
 	BuildTime time.Duration
 }
@@ -566,6 +613,14 @@ func (v *View) Stats() DynamicStats {
 	st.ProbePostings = v.dx.probePostings.Load()
 	st.ProbeBitsetTokens = v.dx.probeBitsetTokens.Load()
 	st.ProbeSliceTokens = v.dx.probeSliceTokens.Load()
+	if pl := v.dx.planner; pl != nil {
+		c := pl.Counters()
+		st.SuggestedTau = c.SuggestedTau
+		st.Plans = c.Plans
+		st.PlanFallbacks = c.Fallbacks
+		st.PlanReanchors = c.Reanchors
+		st.PlanDecisions = c.Decisions
+	}
 	return st
 }
 
@@ -596,14 +651,15 @@ func (v *View) scratch() *probeScratch {
 
 // candidatesRecord runs the hybrid count filter for one probe signature
 // across the base index and every delta segment, returning the positions of
-// live records whose overlap reached τ (aliasing the accumulator arena,
-// valid until the next use of sc) and the filter tally. Base lists in
-// bitmap form go through the block accumulator; segment postings are always
-// sparse slices.
-func (v *View) candidatesRecord(sig pebble.Signature, sc *probeScratch) ([]int32, filterTally) {
+// live records whose overlap reached tau (aliasing the accumulator arena,
+// valid until the next use of sc) and the filter tally. tau is the
+// request's planned overlap constraint — any value in [1, build-τ] is sound
+// against the build-time indexed signatures. Base lists in bitmap form go
+// through the block accumulator; segment postings are always sparse slices.
+func (v *View) candidatesRecord(sig pebble.Signature, tau int, sc *probeScratch) ([]int32, filterTally) {
 	peb := sig.Pebbles
 	acc := sc.acc
-	acc.Begin(v.dx.tau)
+	acc.Begin(tau)
 	var tally filterTally
 	baseRecords := v.base.inv.Records()
 	for a := 0; a < len(peb); {
@@ -666,6 +722,22 @@ type QueryOpts struct {
 	// verifies sequentially on the calling goroutine (per shard, on a
 	// sharded index — the shard fan-out itself always runs concurrently).
 	Workers int
+	// Plan selects adaptive per-request planning (PlanAuto, the default) or
+	// the fixed build-time configuration (PlanFixed). Auto on an index built
+	// with Options.Plan == PlanFixed still runs fixed — that index has no
+	// planner.
+	Plan PlanMode
+	// ProbeTau (with ProbeMethod) pins this request's probe-side
+	// configuration to one point of the planner's search space instead of
+	// planning or using the build config: the request selects its probe
+	// signature with ProbeMethod at min(ProbeTau, τ_build) and count-filters
+	// at that τ. Any such configuration is sound against the build-time
+	// index (τ′ ≤ τ_build only over-admits; verification is exact), so
+	// results are bit-identical to every other configuration. 0 leaves Plan
+	// in charge. Benchmarks use this to A/B the planner against each fixed
+	// configuration on the same index.
+	ProbeTau    int
+	ProbeMethod pebble.Method
 }
 
 // thetaFor resolves the verification threshold a request runs at.
@@ -698,13 +770,72 @@ func (v *View) ProbeRecordCtx(ctx context.Context, tokens []string, qo QueryOpts
 	if len(tokens) == 0 {
 		return nil, ctx.Err()
 	}
-	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
-	out, err := v.probeRecordPrepared(ctx, sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, qo)
+	start := time.Now()
+	d := v.planRecord(tokens, qo)
+	var ex planner.Exec
+	out, err := v.probeRecordPrepared(ctx, d.Sig, d.Tau, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, qo, &ex)
 	if err != nil {
 		return nil, err
 	}
+	v.dx.planner.ObserveExec(d, &ex, 1, time.Since(start).Nanoseconds())
 	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
 	return out, nil
+}
+
+// planRecord resolves the probe-side configuration and signature for one
+// single-record request: the planner's cheapest sound configuration under
+// PlanAuto, the build-time configuration under PlanFixed or when the index
+// has no planner. Either way the returned decision carries the selected
+// probe signature.
+func (v *View) planRecord(tokens []string, qo QueryOpts) planner.Decision {
+	if qo.ProbeTau > 0 {
+		method, tau := pinnedConfig(qo, v.dx.tau)
+		d := planner.FixedConfig(method, tau)
+		d.Sig = v.base.sel.Signature(tokens, method, tau)
+		return d
+	}
+	pl := v.dx.planner
+	if pl == nil || qo.Plan == PlanFixed {
+		d := planner.FixedConfig(v.dx.opts.Method, v.dx.tau)
+		d.Sig = v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
+		return d
+	}
+	return pl.Plan(v.base.sel, v.base.sel.Prepare(tokens), v.base.inv.ListLength, len(v.records))
+}
+
+// pinnedConfig resolves a QueryOpts probe-side override into a sound
+// configuration: τ clamps into [1, τ_build] (larger values would demand
+// overlap the indexed τ_build-signatures never promise) and the U-Filter
+// fixes τ at 1, exactly as a build with that method would.
+func pinnedConfig(qo QueryOpts, buildTau int) (pebble.Method, int) {
+	tau := qo.ProbeTau
+	if tau > buildTau {
+		tau = buildTau
+	}
+	if tau < 1 || qo.ProbeMethod == pebble.UFilter {
+		tau = 1
+	}
+	return qo.ProbeMethod, tau
+}
+
+// planBatchSample bounds the prepared-probe sample a batch plan evaluates:
+// the plan must stay far cheaper than the batch it steers.
+const planBatchSample = 8
+
+// planBatch resolves one configuration for a whole probe batch from a
+// strided sample of the probe records (batch paths select their signatures
+// after the decision, in the shared signature pass).
+func (v *View) planBatch(records []strutil.Record) planner.Decision {
+	pl := v.dx.planner
+	if pl == nil || len(records) == 0 {
+		return planner.FixedConfig(v.dx.opts.Method, v.dx.tau)
+	}
+	stride := (len(records) + planBatchSample - 1) / planBatchSample
+	pres := make([]pebble.Presig, 0, planBatchSample)
+	for i := 0; i < len(records); i += stride {
+		pres = append(pres, v.base.sel.Prepare(records[i].Tokens))
+	}
+	return pl.PlanBatch(v.base.sel, pres, v.base.inv.ListLength, len(v.records))
 }
 
 // verifyCandidatesParallel verifies the candidates across qo.Workers workers
@@ -727,16 +858,28 @@ func (v *View) verifyCandidatesParallel(ctx context.Context, cands []int32, pq *
 	})
 }
 
-// probeRecordPrepared is ProbeRecordCtx for a ready-made probe signature and
-// a lazily shared prepared query; results are unordered (the callers sort —
-// the sharded router merges several shards' results first).
-func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, lp *lazyPrepared, qo QueryOpts) ([]QueryMatch, error) {
+// probeRecordPrepared is ProbeRecordCtx for a ready-made probe signature,
+// its planned overlap constraint and a lazily shared prepared query; results
+// are unordered (the callers sort — the sharded router merges several
+// shards' results first). A non-nil ex accumulates the observed candidate
+// count and verification wall time for the planner's feedback loop (the
+// sharded fan-out hands one ex to every shard).
+func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, tau int, lp *lazyPrepared, qo QueryOpts, ex *planner.Exec) ([]QueryMatch, error) {
 	theta := v.dx.opts.thetaFor(qo)
 	sc := v.scratch()
-	cands, _ := v.candidatesRecord(sig, sc)
+	cands, _ := v.candidatesRecord(sig, tau, sc)
+	if ex != nil {
+		ex.Candidates.Add(int64(len(cands)))
+	}
 	var out []QueryMatch
 	var err error
 	if len(cands) > 0 {
+		verifyStart := time.Now()
+		defer func() { // the verify loop has several exits; one timer covers all
+			if ex != nil {
+				ex.VerifyNs.Add(time.Since(verifyStart).Nanoseconds())
+			}
+		}()
 		pq := lp.get()
 		if qo.Workers > 1 && len(cands) >= minParallelVerify {
 			outs := make([][]QueryMatch, qo.Workers)
@@ -786,11 +929,14 @@ func (v *View) QueryTopKCtx(ctx context.Context, tokens []string, k int, qo Quer
 	if k <= 0 || len(tokens) == 0 {
 		return nil, ctx.Err()
 	}
-	sig := v.base.sel.Signature(tokens, v.dx.opts.Method, v.dx.tau)
-	heap, err := v.queryTopKPrepared(ctx, sig, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k, qo)
+	start := time.Now()
+	d := v.planRecord(tokens, qo)
+	var ex planner.Exec
+	heap, err := v.queryTopKPrepared(ctx, d.Sig, d.Tau, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k, qo, &ex)
 	if err != nil {
 		return nil, err
 	}
+	v.dx.planner.ObserveExec(d, &ex, 1, time.Since(start).Nanoseconds())
 	return heap.sorted(), nil
 }
 
@@ -800,13 +946,22 @@ func (v *View) QueryTopKCtx(ctx context.Context, tokens []string, k int, qo Quer
 // before sorting once). With qo.Workers > 1 each worker keeps its own
 // k-bounded heap and the heaps are folded at the end — sound because the
 // top k of the union is contained in the union of per-worker top k's.
-func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, lp *lazyPrepared, k int, qo QueryOpts) (topKHeap, error) {
+func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, tau int, lp *lazyPrepared, k int, qo QueryOpts, ex *planner.Exec) (topKHeap, error) {
 	theta := v.dx.opts.thetaFor(qo)
 	sc := v.scratch()
-	cands, _ := v.candidatesRecord(sig, sc)
+	cands, _ := v.candidatesRecord(sig, tau, sc)
+	if ex != nil {
+		ex.Candidates.Add(int64(len(cands)))
+	}
 	var heap topKHeap
 	var err error
 	if len(cands) > 0 {
+		verifyStart := time.Now()
+		defer func() {
+			if ex != nil {
+				ex.VerifyNs.Add(time.Since(verifyStart).Nanoseconds())
+			}
+		}()
 		pq := lp.get()
 		if qo.Workers > 1 && len(cands) >= minParallelVerify {
 			heaps := make([]topKHeap, qo.Workers)
@@ -915,9 +1070,13 @@ func (h *topKHeap) offer(m QueryMatch, k int) {
 // records' IDs; results are sorted by (S, T).
 func (v *View) Probe(records []strutil.Record) ([]Pair, Stats) {
 	start := time.Now()
-	sigs := v.dx.joiner.signatures(records, v.base.sel, v.dx.opts.Method, v.dx.tau)
+	d := v.planBatch(records)
+	sigs := v.dx.joiner.signatures(records, v.base.sel, d.Method, d.Tau)
 	prep := prepareRecords(records, v.dx.calc)
-	return runProbeStages(v.dx.calc, v.dx.opts, v.target(), records, sigs, prep, false, time.Since(start))
+	pairs, stats := runProbeStages(v.dx.calc, v.dx.opts, v.target(d.Tau), records, sigs, prep, false, time.Since(start))
+	stats.PlanTau = planTauOf(d)
+	v.dx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+	return pairs, stats
 }
 
 // ProbeSeq is the streaming form of Probe: matches are yielded in
@@ -933,28 +1092,43 @@ func (v *View) ProbeSeq(ctx context.Context, records []strutil.Record) iter.Seq2
 // the streaming pipeline against the snapshot.
 func (v *View) probeStream(ctx context.Context, records []strutil.Record, emit func(Pair) bool) error {
 	start := time.Now()
-	sigs := v.dx.joiner.signatures(records, v.base.sel, v.dx.opts.Method, v.dx.tau)
+	d := v.planBatch(records)
+	sigs := v.dx.joiner.signatures(records, v.base.sel, d.Method, d.Tau)
 	prep := prepareRecords(records, v.dx.calc)
-	_, err := runProbeStream(ctx, v.dx.calc, v.dx.opts, v.target(), records, sigs, prep, false, time.Since(start), emit)
+	stats, err := runProbeStream(ctx, v.dx.calc, v.dx.opts, v.target(d.Tau), records, sigs, prep, false, time.Since(start), emit)
+	if err == nil {
+		v.dx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+	}
 	return err
 }
 
+// planTauOf is the Stats.PlanTau value of a batch decision: the planned τ,
+// or 0 when the batch ran the fixed build-time configuration.
+func planTauOf(d planner.Decision) int {
+	if !d.Planned {
+		return 0
+	}
+	return d.Tau
+}
+
 // target reduces the snapshot to the probeTarget the shared probe stages
-// need.
-func (v *View) target() probeTarget {
+// need, counting candidates at the batch's planned overlap constraint.
+func (v *View) target(tau int) probeTarget {
 	return probeTarget{
-		records:    v.records,
-		prepared:   v.prepared,
-		avgSig:     v.avgSig,
-		candidates: v.candidates,
+		records:  v.records,
+		prepared: v.prepared,
+		avgSig:   v.avgSig,
+		candidates: func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error) {
+			return v.candidates(ctx, sigs, tau, workers)
+		},
 	}
 }
 
 // candidates runs the snapshot count filter for a whole probe collection in
 // parallel (shared strided-worker driver, one pooled scratch per worker).
-func (v *View) candidates(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error) {
+func (v *View) candidates(ctx context.Context, sigs []pebble.Signature, tau, workers int) ([]pairKey, filterTally, error) {
 	return parallelCandidates(ctx, len(sigs), len(v.records), workers, &v.dx.pool, func(sc *probeScratch, t int) ([]int32, filterTally) {
-		return v.candidatesRecord(sigs[t], sc)
+		return v.candidatesRecord(sigs[t], tau, sc)
 	})
 }
 

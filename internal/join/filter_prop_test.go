@@ -202,11 +202,11 @@ func TestHybridDynamicCandidatesMatchClassic(t *testing.T) {
 			hv, cv := hd.Snapshot(), cd.Snapshot()
 			hsigs := j.signatures(probe, hv.base.sel, opts.Method, hd.tau)
 			csigs := j.signatures(probe, cv.base.sel, opts.Method, cd.tau)
-			hc, ht, err := hv.candidates(ctx, hsigs, 4)
+			hc, ht, err := hv.candidates(ctx, hsigs, hd.tau, 4)
 			if err != nil {
 				t.Fatalf("%s: hybrid candidates: %v", name, err)
 			}
-			cc, ct, err := cv.candidates(ctx, csigs, 4)
+			cc, ct, err := cv.candidates(ctx, csigs, cd.tau, 4)
 			if err != nil {
 				t.Fatalf("%s: classic candidates: %v", name, err)
 			}
@@ -234,8 +234,8 @@ func TestHybridShardedCandidatesMatchClassic(t *testing.T) {
 		mutate(cx, 88)
 
 		hv, cv := hx.Snapshot(), cx.Snapshot()
-		htgt, _ := hv.probeTarget()
-		ctgt, _ := cv.probeTarget()
+		htgt, _ := hv.probeTarget(hx.tau)
+		ctgt, _ := cv.probeTarget(cx.tau)
 		hsigs := j.signatures(probe, hv.gen.sel, opts.Method, hx.tau)
 		csigs := j.signatures(probe, cv.gen.sel, opts.Method, cx.tau)
 		hc, ht, err := htgt.candidates(ctx, hsigs, 4)

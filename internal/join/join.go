@@ -78,6 +78,10 @@ type Stats struct {
 	SliceTokens  int64
 	// Results is the number of pairs whose unified similarity reached θ.
 	Results int
+	// PlanTau is the overlap constraint the adaptive planner picked for this
+	// probe batch (0 on unplanned paths — fixed configuration or static
+	// Index probes).
+	PlanTau int
 	// AvgSignatureS / AvgSignatureT are the mean signature lengths.
 	AvgSignatureS float64
 	AvgSignatureT float64
@@ -109,6 +113,12 @@ type Options struct {
 	// property tests pin this); the toggle exists as the baseline for
 	// benchmarks and the equivalence tests themselves.
 	ClassicFilter bool
+	// Plan selects the index-wide planning default for dynamic and sharded
+	// indexes: PlanAuto (zero value) installs the adaptive per-query
+	// planner, PlanFixed disables it entirely and pins the build-time
+	// Method/Tau on every request (today's pre-planner behaviour). Static
+	// Index probes are always fixed.
+	Plan PlanMode
 }
 
 func (o Options) workers() int {

@@ -11,6 +11,7 @@ import (
 
 	"github.com/aujoin/aujoin/internal/core"
 	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/planner"
 	"github.com/aujoin/aujoin/internal/strutil"
 )
 
@@ -62,6 +63,12 @@ type ShardedIndex struct {
 	shards []*DynamicIndex
 	cache  *core.PreparedCache
 
+	// planner is the adaptive per-query cost model, shared by every shard
+	// (the corpus statistics and the feedback are global; a fan-out request
+	// plans once and executes the same decision on every shard). Nil when
+	// Options.Plan is PlanFixed.
+	planner *planner.Planner
+
 	// gen is the current order generation (nil for the single legacy shard,
 	// which owns and re-freezes a private order). Replaced wholesale by a
 	// global re-finalize; refreezeMu serializes re-finalizes. lastView is
@@ -104,6 +111,9 @@ func (j *Joiner) BuildShardedIndex(records []strutil.Record, shards int, opts Op
 		shards = runtime.GOMAXPROCS(0)
 	}
 	sx := &ShardedIndex{joiner: j, opts: opts, tau: opts.tau()}
+	if opts.Plan != PlanFixed {
+		sx.planner = planner.New(opts.Method, sx.tau)
+	}
 	if dopts.CacheSize >= 0 {
 		sx.cache = core.NewPreparedCache(dopts.CacheSize)
 	}
@@ -125,7 +135,7 @@ func (j *Joiner) BuildShardedIndex(records []strutil.Record, shards int, opts Op
 	sx.noRefreeze = dopts.RebuildFraction < 0
 	sx.shards = make([]*DynamicIndex, shards)
 	parallelFor(shards, shards, func(w int) {
-		sx.shards[w] = j.buildDynamic(parts[w], order, opts, dopts, sx.cache)
+		sx.shards[w] = j.buildDynamic(parts[w], order, opts, dopts, sx.cache, sx.planner)
 	})
 	// The generation stays nil for the single legacy shard: it owns a
 	// private order that re-freezing rebuilds replace, so a router-held
@@ -251,6 +261,10 @@ func (sx *ShardedIndex) maybeRefreeze() {
 		sx.shards[w].refreezeLocked(order, next.id, liveAll[w], prepAll[w])
 	})
 	sx.gen.Store(next)
+	// One re-anchor for the whole re-finalize: the planner is shared, so
+	// per-shard calls inside the parallelFor would decay its corrections N
+	// times for one corpus event.
+	sx.planner.Reanchor()
 	// The pre-refreeze view has served its purpose; dropping it releases
 	// the superseded generation's bases for collection (readers that
 	// already hold it keep it alive only as long as they keep it).
@@ -522,23 +536,82 @@ func (sv *ShardedView) ProbeRecordCtx(ctx context.Context, tokens []string, qo Q
 	if len(sv.views) == 1 {
 		return sv.views[0].ProbeRecordCtx(ctx, tokens, qo)
 	}
-	sig := sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
+	start := time.Now()
+	d := sv.planRecord(tokens, qo)
 	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
 	parts := make([][]QueryMatch, len(sv.views))
+	var ex planner.Exec
 	err := sv.fanout(ctx, func(ictx context.Context, w int) error {
 		var werr error
-		parts[w], werr = sv.views[w].probeRecordPrepared(ictx, sig, lp, qo)
+		parts[w], werr = sv.views[w].probeRecordPrepared(ictx, d.Sig, d.Tau, lp, qo, &ex)
 		return werr
 	})
 	if err != nil {
 		return nil, err
 	}
+	sv.sx.planner.ObserveExec(d, &ex, 1, time.Since(start).Nanoseconds())
 	var out []QueryMatch
 	for _, p := range parts {
 		out = append(out, p...)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Record < out[b].Record })
 	return out, nil
+}
+
+// planRecord resolves one probe-side configuration and signature for a
+// fan-out request: one plan per request, shared by every shard (the shards
+// share the order, so one signature is valid everywhere, and the planner
+// sees the global document frequencies via listLen).
+func (sv *ShardedView) planRecord(tokens []string, qo QueryOpts) planner.Decision {
+	if qo.ProbeTau > 0 {
+		method, tau := pinnedConfig(qo, sv.sx.tau)
+		d := planner.FixedConfig(method, tau)
+		d.Sig = sv.gen.sel.Signature(tokens, method, tau)
+		return d
+	}
+	pl := sv.sx.planner
+	if pl == nil || qo.Plan == PlanFixed {
+		d := planner.FixedConfig(sv.sx.opts.Method, sv.sx.tau)
+		d.Sig = sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
+		return d
+	}
+	return pl.Plan(sv.gen.sel, sv.gen.sel.Prepare(tokens), sv.listLen, sv.totalRecords())
+}
+
+// planBatch resolves one configuration for a whole probe batch (see
+// View.planBatch; the sample is prepared under the shared generation's
+// selector).
+func (sv *ShardedView) planBatch(records []strutil.Record) planner.Decision {
+	pl := sv.sx.planner
+	if pl == nil || len(records) == 0 {
+		return planner.FixedConfig(sv.sx.opts.Method, sv.sx.tau)
+	}
+	stride := (len(records) + planBatchSample - 1) / planBatchSample
+	pres := make([]pebble.Presig, 0, planBatchSample)
+	for i := 0; i < len(records); i += stride {
+		pres = append(pres, sv.gen.sel.Prepare(records[i].Tokens))
+	}
+	return pl.PlanBatch(sv.gen.sel, pres, sv.listLen, sv.totalRecords())
+}
+
+// listLen sums one interned key's live posting lengths across every shard's
+// base index — the global document frequency, identical to what the
+// unsharded index would report (routing partitions records, not postings).
+func (sv *ShardedView) listLen(id uint32) int {
+	n := 0
+	for _, v := range sv.views {
+		n += v.base.inv.ListLength(id)
+	}
+	return n
+}
+
+// totalRecords is the snapshot's catalog length summed over the shards.
+func (sv *ShardedView) totalRecords() int {
+	n := 0
+	for _, v := range sv.views {
+		n += len(v.records)
+	}
+	return n
 }
 
 // QueryTopK fans the thresholded top-k scan out to every shard concurrently
@@ -564,17 +637,20 @@ func (sv *ShardedView) QueryTopKCtx(ctx context.Context, tokens []string, k int,
 	if len(sv.views) == 1 {
 		return sv.views[0].QueryTopKCtx(ctx, tokens, k, qo)
 	}
-	sig := sv.gen.sel.Signature(tokens, sv.sx.opts.Method, sv.sx.tau)
+	start := time.Now()
+	d := sv.planRecord(tokens, qo)
 	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
 	heaps := make([]topKHeap, len(sv.views))
+	var ex planner.Exec
 	err := sv.fanout(ctx, func(ictx context.Context, w int) error {
 		var werr error
-		heaps[w], werr = sv.views[w].queryTopKPrepared(ictx, sig, lp, k, qo)
+		heaps[w], werr = sv.views[w].queryTopKPrepared(ictx, d.Sig, d.Tau, lp, k, qo, &ex)
 		return werr
 	})
 	if err != nil {
 		return nil, err
 	}
+	sv.sx.planner.ObserveExec(d, &ex, 1, time.Since(start).Nanoseconds())
 	merged := heaps[0]
 	for _, h := range heaps[1:] {
 		for _, m := range h.entries {
@@ -598,11 +674,14 @@ func (sv *ShardedView) Probe(records []strutil.Record) ([]Pair, Stats) {
 		return sv.views[0].Probe(records)
 	}
 	start := time.Now()
-	tgt, shardCands := sv.probeTarget()
-	sigs := sv.sx.joiner.signatures(records, sv.gen.sel, sv.sx.opts.Method, sv.sx.tau)
+	d := sv.planBatch(records)
+	tgt, shardCands := sv.probeTarget(d.Tau)
+	sigs := sv.sx.joiner.signatures(records, sv.gen.sel, d.Method, d.Tau)
 	prep := prepareRecords(records, sv.sx.joiner.calcFor(sv.sx.opts))
 	pairs, stats := runProbeStages(sv.sx.joiner.calcFor(sv.sx.opts), sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start))
 	stats.ShardCandidates = shardCands()
+	stats.PlanTau = planTauOf(d)
+	sv.sx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
 	return pairs, stats
 }
 
@@ -617,21 +696,26 @@ func (sv *ShardedView) ProbeSeq(ctx context.Context, records []strutil.Record) i
 	}
 	return pairSeq(ctx, func(ctx context.Context, emit func(Pair) bool) error {
 		start := time.Now()
-		tgt, _ := sv.probeTarget()
+		d := sv.planBatch(records)
+		tgt, _ := sv.probeTarget(d.Tau)
 		calc := sv.sx.joiner.calcFor(sv.sx.opts)
-		sigs := sv.sx.joiner.signatures(records, sv.gen.sel, sv.sx.opts.Method, sv.sx.tau)
+		sigs := sv.sx.joiner.signatures(records, sv.gen.sel, d.Method, d.Tau)
 		prep := prepareRecords(records, calc)
-		_, err := runProbeStream(ctx, calc, sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start), emit)
+		stats, err := runProbeStream(ctx, calc, sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start), emit)
+		if err == nil {
+			sv.sx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+		}
 		return err
 	})
 }
 
 // probeTarget flattens the snapshot into the probe target the shared stages
-// run over, wiring the fan-out candidate stage in. The returned accessor
-// reads the per-shard candidate counts the stage accumulated.
-func (sv *ShardedView) probeTarget() (probeTarget, func() []int) {
+// run over, wiring the fan-out candidate stage in at the batch's planned
+// overlap constraint. The returned accessor reads the per-shard candidate
+// counts the stage accumulated.
+func (sv *ShardedView) probeTarget(tau int) (probeTarget, func() []int) {
 	sv.initFlat()
-	stage, shardCands := sv.candidateStage()
+	stage, shardCands := sv.candidateStage(tau)
 	return probeTarget{
 		records:    sv.flat.records,
 		prepared:   sv.flat.prepared,
@@ -673,7 +757,7 @@ func (sv *ShardedView) initFlat() {
 // positions are remapped by the shard's offset into the flattened catalog.
 // The second return value reads the per-shard candidate counts accumulated
 // across all probe records (each stage invocation gets fresh counters).
-func (sv *ShardedView) candidateStage() (func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error), func() []int) {
+func (sv *ShardedView) candidateStage(tau int) (func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error), func() []int) {
 	counters := make([]atomic.Int64, len(sv.views))
 	stage := func(ctx context.Context, sigs []pebble.Signature, workers int) ([]pairKey, filterTally, error) {
 		return parallelCandidates(ctx, len(sigs), len(sv.flat.records), workers, &sv.sx.probePool, func(sc *probeScratch, t int) ([]int32, filterTally) {
@@ -686,7 +770,7 @@ func (sv *ShardedView) candidateStage() (func(ctx context.Context, sigs []pebble
 				// shrink and grow), and survivors are staged into merged
 				// before the next shard overwrites the touched list.
 				sc.acc.Reset(len(v.records))
-				recs, ft := v.candidatesRecord(sigs[t], sc)
+				recs, ft := v.candidatesRecord(sigs[t], tau, sc)
 				sum.add(ft)
 				counters[w].Add(int64(len(recs)))
 				off := int32(sv.flat.offsets[w])
