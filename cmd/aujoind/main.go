@@ -7,11 +7,22 @@
 // Usage:
 //
 //	aujoind -catalog catalog.txt -theta 0.8 -tau 2 [-addr :8321] [-shards N] \
-//	        [-synonyms rules.tsv] [-taxonomy tax.tsv] [-measures TJS]
+//	        [-synonyms rules.tsv] [-taxonomy tax.tsv] [-measures TJS] \
+//	        [-data-dir /var/lib/aujoin] [-checkpoint-every 5m]
 //
 // -shards partitions the index so insert/remove batches parallelize across
 // shards and rebuild stalls are bounded by shard size (0 = GOMAXPROCS,
 // default 1 = classic single partition).
+//
+// -data-dir makes the catalog durable: every insert/remove batch is fsynced
+// to a write-ahead log before it is applied, and the index state is folded
+// into an atomic snapshot on demand (POST /snapshot), periodically
+// (-checkpoint-every), and on graceful shutdown. On startup, a directory
+// holding a usable snapshot wins over -catalog and the build flags: the
+// daemon restores the snapshot, replays the log, and serves the exact
+// pre-restart state without re-running signature selection or verification
+// preparation. The synonym/taxonomy/measure flags must match across
+// restarts — similarity resources are not persisted.
 //
 // Endpoints:
 //
@@ -32,6 +43,8 @@
 //	POST /remove {"id": <n>}             tombstone one record by stable id
 //	POST /remove-batch {"ids": [...]}    tombstone a batch, returns per-id
 //	                                     booleans
+//	POST /snapshot                       fold the WAL into a new durable
+//	                                     checkpoint (requires -data-dir)
 //	GET  /stats                          snapshot statistics
 //	GET  /healthz                        liveness probe
 //
@@ -75,6 +88,8 @@ func main() {
 		synPath  = flag.String("synonyms", "", "optional synonym rules file (lhs<TAB>rhs[<TAB>closeness])")
 		taxPath  = flag.String("taxonomy", "", "optional taxonomy file (node<TAB>parent)")
 		measures = flag.String("measures", "TJS", "measure combination (e.g. J, TS, TJS)")
+		dataDir  = flag.String("data-dir", "", "durable data directory (snapshot + WAL); empty = in-memory only")
+		ckptIvl  = flag.Duration("checkpoint-every", 0, "background checkpoint interval (requires -data-dir; 0 disables)")
 	)
 	flag.Parse()
 
@@ -107,19 +122,33 @@ func main() {
 		}
 	}
 	start := time.Now()
-	ix := joiner.IndexWith(records,
-		aujoin.JoinOptions{Theta: *theta, Tau: *tau, Filter: cmdutil.ParseFilter(*filter)},
-		aujoin.IndexOptions{Shards: *shards})
-	log.Printf("indexed %d records in %v (θ=%v τ=%d shards=%d)",
-		len(records), time.Since(start).Round(time.Millisecond), *theta, *tau, ix.Stats().Shards)
+	jopts := aujoin.JoinOptions{Theta: *theta, Tau: *tau, Filter: cmdutil.ParseFilter(*filter)}
+	iopts := aujoin.IndexOptions{Shards: *shards}
+	var ix *aujoin.Index
+	var px *aujoin.PersistentIndex
+	if *dataDir != "" {
+		px, err = joiner.OpenPersistent(*dataDir, records, jopts, iopts)
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		ix = px.Index()
+		st := ix.Stats()
+		log.Printf("recovered %d records (%d live) from %s in %v (θ=%v τ=%d shards=%d)",
+			st.Records, st.Live, *dataDir, time.Since(start).Round(time.Millisecond), st.Theta, st.Tau, st.Shards)
+	} else {
+		ix = joiner.IndexWith(records, jopts, iopts)
+		log.Printf("indexed %d records in %v (θ=%v τ=%d shards=%d)",
+			len(records), time.Since(start).Round(time.Millisecond), *theta, *tau, ix.Stats().Shards)
+	}
 
-	srv := &server{ix: ix}
+	srv := &server{ix: ix, px: px}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/probe", srv.handleProbe)
 	mux.HandleFunc("/insert", srv.handleInsert)
 	mux.HandleFunc("/remove", srv.handleRemove)
 	mux.HandleFunc("/remove-batch", srv.handleRemoveBatch)
+	mux.HandleFunc("/snapshot", srv.handleSnapshot)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -141,6 +170,28 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
 
+	if px != nil && *ckptIvl > 0 {
+		go func() {
+			ticker := time.NewTicker(*ckptIvl)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					start := time.Now()
+					if err := px.Checkpoint(); err != nil {
+						// Sticky store failure: further mutations are refused
+						// anyway, so log loudly and keep serving reads.
+						log.Printf("background checkpoint: %v", err)
+						return
+					}
+					log.Printf("checkpointed in %v", time.Since(start).Round(time.Millisecond))
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)
@@ -152,12 +203,26 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	if px != nil {
+		// One final checkpoint folds the WAL so the next start restores a
+		// compact snapshot instead of replaying the whole mutation log.
+		if err := px.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := px.Close(); err != nil {
+			log.Printf("close data dir: %v", err)
+		}
+	}
 }
 
 // server wires the dynamic index into HTTP handlers. The index is safe for
-// concurrent use, so the handlers carry no locking of their own.
+// concurrent use, so the handlers carry no locking of their own. When px is
+// non-nil the daemon is durable: mutation handlers route through it so every
+// batch hits the WAL before the index, and a durability failure surfaces as
+// HTTP 500 (the store is read-only from then on — queries keep working).
 type server struct {
 	ix *aujoin.Index
+	px *aujoin.PersistentIndex
 }
 
 // maxBodyBytes caps POST bodies (an insert batch has no business being
@@ -281,7 +346,16 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	ids := s.ix.Insert(req.Records)
+	var ids []int
+	if s.px != nil {
+		var err error
+		if ids, err = s.px.Insert(req.Records); err != nil {
+			http.Error(w, "durable insert: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		ids = s.ix.Insert(req.Records)
+	}
 	if ids == nil {
 		ids = []int{}
 	}
@@ -306,7 +380,17 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, removeResponse{Removed: s.ix.Remove(req.ID)})
+	var removed bool
+	if s.px != nil {
+		var err error
+		if removed, err = s.px.Remove(req.ID); err != nil {
+			http.Error(w, "durable remove: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		removed = s.ix.Remove(req.ID)
+	}
+	writeJSON(w, removeResponse{Removed: removed})
 }
 
 type removeBatchRequest struct {
@@ -330,7 +414,16 @@ func (s *server) handleRemoveBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	removed := s.ix.RemoveBatch(req.IDs)
+	var removed []bool
+	if s.px != nil {
+		var err error
+		if removed, err = s.px.RemoveBatch(req.IDs); err != nil {
+			http.Error(w, "durable remove: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		removed = s.ix.RemoveBatch(req.IDs)
+	}
 	if removed == nil {
 		removed = []bool{}
 	}
@@ -341,6 +434,28 @@ func (s *server) handleRemoveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, removeBatchResponse{Removed: removed, RemovedCount: count})
+}
+
+type snapshotResponse struct {
+	Checkpointed bool `json:"checkpointed"`
+}
+
+// handleSnapshot folds the WAL into a new durable snapshot generation on
+// demand. Mutations stall for the duration of the checkpoint; queries do not.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.px == nil {
+		http.Error(w, "daemon is not durable: start with -data-dir to enable snapshots", http.StatusBadRequest)
+		return
+	}
+	if err := s.px.Checkpoint(); err != nil {
+		http.Error(w, "checkpoint: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, snapshotResponse{Checkpointed: true})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

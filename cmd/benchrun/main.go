@@ -10,7 +10,7 @@
 //
 // Experiment identifiers follow DESIGN.md §3: table8, table9, fig3, fig4,
 // fig5, fig6, fig7, table10, table11, table12, fig8, table13, table14.
-// Three extra identifiers (not part of the paper, excluded from "all"):
+// Four extra identifiers (not part of the paper, excluded from "all"):
 //
 //   - "serve" drives concurrent QueryTopK traffic against a mutating
 //     dynamic index and reports QPS, latency percentiles and rebuild
@@ -21,6 +21,10 @@
 //   - "filterscale" compares the hybrid bitmap candidate phase against the
 //     classic slice layout on a large zipfian corpus (default 1M indexed
 //     records), reporting per-layout filter wall time and the speedup.
+//   - "recover" builds a sharded index cold, writes a durable snapshot,
+//     restores a second index from it and reports cold-build vs restore
+//     wall time plus snapshot size; it exits non-zero if the restored
+//     index's top-k answers diverge, so it doubles as a recovery smoke.
 package main
 
 import (
@@ -58,6 +62,13 @@ func main() {
 
 		profileOut  = flag.String("profile-out", "default.pgo", "profile mode: output file (pprof format)")
 		profileSize = flag.Int("profile-size", 4000, "profile mode: dataset size for the sampled workload")
+
+		recoverRecords = flag.Int("recover-records", 100_000, "recover mode: catalog size to snapshot and restore")
+		recoverShards  = flag.Int("recover-shards", 4, "recover mode: index partitions (0 = GOMAXPROCS)")
+		recoverTheta   = flag.Float64("recover-theta", 0.8, "recover mode: similarity threshold")
+		recoverTau     = flag.Int("recover-tau", 2, "recover mode: overlap constraint")
+		recoverProbes  = flag.Int("recover-probes", 100, "recover mode: top-k equivalence probe count")
+		recoverDir     = flag.String("recover-dir", "", "recover mode: snapshot directory (empty = temp dir)")
 
 		scaleRecords = flag.Int("scale-records", 1_000_000, "filterscale mode: indexed-side corpus size")
 		scaleProbes  = flag.Int("scale-probes", 200, "filterscale mode: probe-side record count")
@@ -99,6 +110,17 @@ func main() {
 			})
 		},
 		"profile": func() fmt.Stringer { return runProfile(*profileOut, *profileSize, *seed) },
+		"recover": func() fmt.Stringer {
+			return runRecover(recoverConfig{
+				Records: *recoverRecords,
+				Shards:  *recoverShards,
+				Theta:   *recoverTheta,
+				Tau:     *recoverTau,
+				Probes:  *recoverProbes,
+				Dir:     *recoverDir,
+				Seed:    *seed,
+			})
+		},
 		"filterscale": func() fmt.Stringer {
 			return runFilterScale(filterScaleConfig{
 				Records: *scaleRecords,
@@ -134,7 +156,7 @@ func main() {
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
-			log.Printf("unknown experiment %q; known: %s, serve, profile, filterscale", id, strings.Join(order, ", "))
+			log.Printf("unknown experiment %q; known: %s, serve, profile, filterscale, recover", id, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s ===\n%s\n", id, run().String())

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/aujoin/aujoin/internal/sim"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// SegPersist is the persisted identity of one prepared segment: its token
+// span and provenance flags. Everything else about a segment — its tokens
+// and its measure-evaluation tables — is a deterministic function of the
+// span, the record tokens and the similarity context, so it is recomputed
+// on restore instead of being serialized.
+type SegPersist struct {
+	Span   strutil.Span
+	Rule   bool
+	Entity bool
+}
+
+// PersistMeta returns the metadata a snapshot needs to reconstruct the
+// record via RestorePrepared: the segment spans and flags in enumeration
+// order, plus the partition-size lower bound.
+func (pr *PreparedRecord) PersistMeta() ([]SegPersist, int) {
+	segs := make([]SegPersist, len(pr.Segs))
+	for i := range pr.Segs {
+		segs[i] = SegPersist{Span: pr.Segs[i].Span, Rule: pr.Segs[i].Rule, Entity: pr.Segs[i].Entity}
+	}
+	return segs, pr.minPart
+}
+
+// SegmentMemo caches segment derivation tables by segment text for the
+// duration of one restore. Catalog records draw on a shared vocabulary, so
+// the same segment texts — every singleton token span in particular — recur
+// across thousands of records; deriving each distinct text once makes
+// rehydration decode-bound instead of recompute-bound. Safe for concurrent
+// use. Sharing is sound because a SegmentData and the tables it references
+// (gram set, rule-id lists) are immutable after derivation: verification
+// only ever reads them, and the text↔token-sequence mapping is bijective
+// (tokens never contain the join separator).
+type SegmentMemo struct {
+	mu sync.RWMutex
+	m  map[string]sim.SegmentData
+}
+
+// NewSegmentMemo returns an empty memo. A nil *SegmentMemo is valid and
+// disables caching.
+func NewSegmentMemo() *SegmentMemo {
+	return &SegmentMemo{m: make(map[string]sim.SegmentData)}
+}
+
+// prepareSegment derives one segment's tables through the memo (or directly
+// when the memo is nil).
+func (sm *SegmentMemo) prepareSegment(ctx *sim.Context, tokens []string) sim.SegmentData {
+	if sm == nil {
+		return ctx.PrepareSegment(tokens)
+	}
+	key := strutil.JoinTokens(tokens)
+	sm.mu.RLock()
+	d, ok := sm.m[key]
+	sm.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = ctx.PrepareSegment(tokens)
+	sm.mu.Lock()
+	sm.m[key] = d
+	sm.mu.Unlock()
+	return d
+}
+
+// RestorePrepared rebuilds a PreparedRecord from persisted metadata without
+// re-running segment enumeration or the partition-size set cover — only the
+// per-segment derivation tables are recomputed (deterministically, from the
+// same context), so the result verifies bit-identically to the original.
+// The metadata is validated against the token sequence: a snapshot that
+// survived its checksum but describes impossible segments is rejected here.
+// memo (optional, nil disables it) shares derivations between the records
+// of one restore.
+func (c *Calculator) RestorePrepared(tokens []string, segs []SegPersist, minPart int, memo *SegmentMemo) (*PreparedRecord, error) {
+	pr := &PreparedRecord{Tokens: tokens}
+	if len(tokens) == 0 {
+		if len(segs) != 0 {
+			return nil, fmt.Errorf("core: %d segments on an empty record", len(segs))
+		}
+		return pr, nil
+	}
+	if minPart < 1 || minPart > len(tokens) {
+		return nil, fmt.Errorf("core: partition bound %d out of range for %d tokens", minPart, len(tokens))
+	}
+	pr.Segs = make([]PreparedSegment, len(segs))
+	pr.single = make([]int32, len(tokens))
+	covered := make([]bool, len(tokens))
+	prevStart := -1
+	for i, s := range segs {
+		sp := s.Span
+		if sp.Start < 0 || sp.End > len(tokens) || sp.Len() < 1 {
+			return nil, fmt.Errorf("core: segment span [%d,%d) out of range for %d tokens", sp.Start, sp.End, len(tokens))
+		}
+		if sp.Start < prevStart {
+			return nil, fmt.Errorf("core: segments not in enumeration order at %d", i)
+		}
+		prevStart = sp.Start
+		segTokens := tokens[sp.Start:sp.End]
+		pr.Segs[i] = PreparedSegment{
+			Span:   sp,
+			Tokens: segTokens,
+			Rule:   s.Rule,
+			Entity: s.Entity,
+			Data:   memo.prepareSegment(c.Ctx, segTokens),
+		}
+		if sp.Len() == 1 {
+			pr.single[sp.Start] = int32(i)
+			covered[sp.Start] = true
+		}
+	}
+	for pos, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: no singleton segment at position %d", pos)
+		}
+	}
+	pr.minPart = minPart
+	return pr, nil
+}

@@ -78,6 +78,39 @@ func (ix *Index) Add(record int, ids []uint32) {
 	}
 }
 
+// Presize reserves posting-list capacity ahead of the Add calls, carving
+// every list's backing storage out of one contiguous arena. caps[id] is an
+// upper bound on ID id's posting count (repeats within one record may
+// over-count — they merge into a single posting — which only wastes
+// capacity, never correctness). Adds that outgrow their reservation fall
+// back to ordinary append growth. Callers that know the full signature
+// multiset upfront (snapshot restore) avoid the per-list regrow churn —
+// the dominant cost of rebuilding a large index entry by entry.
+func (ix *Index) Presize(caps []int32) {
+	if ix.sealed {
+		panic("invindex: Presize after Hybridize")
+	}
+	total := 0
+	n := len(ix.lists)
+	for id, c := range caps {
+		if id < n {
+			total += int(c)
+		}
+	}
+	if total == 0 {
+		return
+	}
+	arena := make([]Posting, total)
+	off := 0
+	for id, c := range caps {
+		if id >= n || c == 0 {
+			continue
+		}
+		ix.lists[id] = arena[off : off : off+int(c)]
+		off += int(c)
+	}
+}
+
 // Records returns the number of records added to the index.
 func (ix *Index) Records() int { return ix.records }
 
@@ -249,3 +282,13 @@ func (d *Delta) KeyCount() int { return len(d.lists) }
 // Postings returns the posting list of an ID (nil when absent). The
 // returned slice must not be modified.
 func (d *Delta) Postings(id uint32) []Posting { return d.lists[id] }
+
+// Entries calls fn for every (ID, posting list) pair in the delta, in
+// unspecified order. The snapshot writer uses it to recover each appended
+// record's signature ID multiset without the delta having to retain the
+// signatures themselves. The posting slices must not be modified.
+func (d *Delta) Entries(fn func(id uint32, posts []Posting)) {
+	for id, posts := range d.lists {
+		fn(id, posts)
+	}
+}

@@ -236,10 +236,10 @@ func (dx *DynamicIndex) adoptBaseLocked(base *Index) {
 			dx.nextID = rec.ID + 1
 		}
 	}
-	dx.sigLens = make([]int, len(base.sigs))
+	dx.sigLens = make([]int, base.sigCount())
 	dx.sigLenLive = 0
-	for i := range base.sigs {
-		dx.sigLens[i] = base.sigs[i].Len()
+	for i := range dx.sigLens {
+		dx.sigLens[i] = base.sigLenAt(i)
 		dx.sigLenLive += dx.sigLens[i]
 	}
 	dx.dynAtBuild = base.order.DynamicCount()

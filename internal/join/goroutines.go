@@ -1,0 +1,19 @@
+package join
+
+import "sync/atomic"
+
+// pipelineGoroutines counts the goroutines the join pipeline has spawned and
+// not yet joined: parallel filter and verify workers, stream producers. The
+// leak tests wait for it to settle to zero — unlike runtime.NumGoroutine(),
+// which also counts runtime housekeeping and whatever other tests left
+// running, so asserting on it raced with unrelated goroutines and flaked.
+var pipelineGoroutines atomic.Int64
+
+// goPipeline spawns fn on a goroutine tagged with the pipeline counter.
+func goPipeline(fn func()) {
+	pipelineGoroutines.Add(1)
+	go func() {
+		defer pipelineGoroutines.Add(-1)
+		fn()
+	}()
+}

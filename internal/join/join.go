@@ -194,6 +194,18 @@ type Index struct {
 	prepared []*core.PreparedRecord
 	inv      *invindex.Index
 
+	// sigIDs is the compact signature form of a snapshot-restored index:
+	// per-record interned-ID multisets, aliasing the decoded snapshot's
+	// buffers. A restored index sets sigIDs and leaves sigs nil — the
+	// indexed side of the pipeline only ever reads signature IDs and
+	// lengths (posting lists, count filter, capture), and a []pebble.Pebble
+	// materialization of millions of entries just to carry a uint32 each
+	// dominated restore time. Self-join entry points (which read full
+	// signatures) are only reachable through freshly built indexes, where
+	// sigs is always populated. Use sigLenAt/appendSigIDsAt instead of
+	// touching either field directly.
+	sigIDs [][]uint32
+
 	// BuildTime is the wall-clock duration of order construction, signature
 	// selection, inverted-index building and verification preparation.
 	BuildTime time.Duration
@@ -537,10 +549,11 @@ func parallelCandidates(ctx context.Context, n, numRecords, workers int, pool *s
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			w := w
+			goPipeline(func() {
 				defer wg.Done()
 				run(w, w, workers)
-			}(w)
+			})
 		}
 		wg.Wait()
 	}
@@ -651,6 +664,31 @@ func appendSignatureIDs(ids []uint32, sig pebble.Signature) []uint32 {
 		ids = append(ids, sig.Pebbles[i].ID)
 	}
 	return ids
+}
+
+// sigCount returns the number of records with stored signatures, whichever
+// representation (built or restored) the index holds.
+func (ix *Index) sigCount() int {
+	if ix.sigs != nil {
+		return len(ix.sigs)
+	}
+	return len(ix.sigIDs)
+}
+
+// sigLenAt returns record i's signature length in pebbles.
+func (ix *Index) sigLenAt(i int) int {
+	if ix.sigs != nil {
+		return ix.sigs[i].Len()
+	}
+	return len(ix.sigIDs[i])
+}
+
+// appendSigIDsAt appends record i's signature pebble IDs to ids.
+func (ix *Index) appendSigIDsAt(ids []uint32, i int) []uint32 {
+	if ix.sigs != nil {
+		return appendSignatureIDs(ids, ix.sigs[i])
+	}
+	return append(ids, ix.sigIDs[i]...)
 }
 
 // pairKey identifies one candidate pair: an indexed record and a probe
@@ -926,12 +964,13 @@ func parallelForWorkers(n, workers int, fn func(worker, i int)) {
 	next := make(chan int, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(w int) {
+		w := w
+		goPipeline(func() {
 			defer wg.Done()
 			for i := range next {
 				fn(w, i)
 			}
-		}(w)
+		})
 	}
 	for i := 0; i < n; i++ {
 		next <- i

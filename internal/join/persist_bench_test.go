@@ -1,0 +1,84 @@
+package join
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/store"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// persistBench shares one corpus and one encoded snapshot across the
+// persistence benchmarks, so the cold-build and restore numbers measure the
+// same index.
+var persistBench struct {
+	once    sync.Once
+	records []strutil.Record
+	opts    Options
+	encoded []byte
+}
+
+func persistBenchSetup(b *testing.B) {
+	persistBench.once.Do(func() {
+		persistBench.records = benchCorpus(4000, 42)
+		persistBench.opts = Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP}
+		j := NewJoiner(paperContext())
+		sx := j.BuildShardedIndex(persistBench.records, 4, persistBench.opts, DynamicOptions{})
+		persistBench.encoded = sx.CaptureSnapshot().Encode()
+	})
+	if persistBench.encoded == nil {
+		b.Fatal("persistence bench setup failed")
+	}
+}
+
+// BenchmarkSnapshotColdBuild is the recovery baseline: re-ingesting the
+// catalog from raw records, with signature selection and verification
+// preparation run from scratch. The restore gate is the ratio of
+// BenchmarkSnapshotRestore over this — machine-independent, like the other
+// gated ratios.
+func BenchmarkSnapshotColdBuild(b *testing.B) {
+	persistBenchSetup(b)
+	j := NewJoiner(paperContext())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.BuildShardedIndex(persistBench.records, 4, persistBench.opts, DynamicOptions{})
+	}
+}
+
+// BenchmarkSnapshotRestore measures decode + reconstruction from the
+// serialized snapshot: the cold-start path a durable daemon takes instead of
+// re-ingesting.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	persistBenchSetup(b)
+	j := NewJoiner(paperContext())
+	b.SetBytes(int64(len(persistBench.encoded)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := store.Decode(persistBench.encoded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.RestoreShardedIndex(snap, DynamicOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotCapture measures the mutation-stall cost of a checkpoint:
+// the atomic capture plus encode, the part that runs under every shard's
+// write lock.
+func BenchmarkSnapshotCapture(b *testing.B) {
+	persistBenchSetup(b)
+	j := NewJoiner(paperContext())
+	sx := j.BuildShardedIndex(persistBench.records, 4, persistBench.opts, DynamicOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(sx.CaptureSnapshot().Encode()) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -63,14 +63,15 @@ func parallelForWorkersCtx(ctx context.Context, n, workers int, fn func(worker, 
 	next := make(chan int, workers)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(w int) {
+		w := w
+		goPipeline(func() {
 			defer wg.Done()
 			for i := range next {
 				if ctx.Err() == nil {
 					fn(w, i)
 				}
 			}
-		}(w)
+		})
 	}
 	done := ctx.Done()
 feed:
@@ -131,11 +132,11 @@ func collectStream(ctx context.Context, workers int, produce func(ctx context.Co
 	defer cancel()
 	out := make(chan Pair, workers*emitBatch)
 	done := make(chan error, 1)
-	go func() {
+	goPipeline(func() {
 		err := produce(ictx, out)
 		close(out)
 		done <- err
-	}()
+	})
 	emitted := 0
 	stopped := false
 	for p := range out {

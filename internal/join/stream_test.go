@@ -37,20 +37,24 @@ func sortPairs(pairs []Pair) {
 	})
 }
 
-// checkGoroutines waits for the goroutine count to settle back to the
-// pre-test level, failing with a full stack dump when it does not — the
-// streaming pipeline must not leak workers however the consumer leaves.
-func checkGoroutines(t *testing.T, before int) {
+// checkGoroutines waits for every pipeline-tagged goroutine (parallel
+// workers, stream producers) to exit, failing with a full stack dump when
+// they do not — the streaming pipeline must not leak workers however the
+// consumer leaves. It deliberately does not look at runtime.NumGoroutine():
+// that counts runtime housekeeping and other tests' goroutines, so asserting
+// the total settles back to a before-value raced with unrelated activity.
+func checkGoroutines(t *testing.T) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if runtime.NumGoroutine() <= before {
+		n := pipelineGoroutines.Load()
+		if n == 0 {
 			return
 		}
 		if time.Now().After(deadline) {
 			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+			t.Fatalf("goroutine leak: %d pipeline goroutines still live\n%s",
+				n, buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -188,7 +192,6 @@ func TestJoinSeqCancellation(t *testing.T) {
 	u := denseCorpus(220, 3, 2)
 	opts := Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}
 
-	before := runtime.NumGoroutine()
 	start := time.Now()
 	full, err := collectSeq(t, j.JoinSeq(context.Background(), s, u, opts))
 	if err != nil {
@@ -198,9 +201,8 @@ func TestJoinSeqCancellation(t *testing.T) {
 	if len(full) < 10000 {
 		t.Fatalf("workload too small to time cancellation: %d results", len(full))
 	}
-	checkGoroutines(t, before)
+	checkGoroutines(t)
 
-	before = runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	start = time.Now()
@@ -228,7 +230,7 @@ func TestJoinSeqCancellation(t *testing.T) {
 		t.Errorf("cancelled join took %v, full join %v — cancellation did not stop work early",
 			cancelTime, fullTime)
 	}
-	checkGoroutines(t, before)
+	checkGoroutines(t)
 }
 
 // TestSeqConsumerBreak pins the early-exit contract: breaking out of the
@@ -245,7 +247,6 @@ func TestSeqConsumerBreak(t *testing.T) {
 	if len(full) < 4 {
 		t.Fatalf("corpus yields only %d matches; break test needs a few", len(full))
 	}
-	before := runtime.NumGoroutine()
 	seen := 0
 	for _, err := range j.JoinSeq(context.Background(), s, u, opts) {
 		if err != nil {
@@ -259,7 +260,7 @@ func TestSeqConsumerBreak(t *testing.T) {
 	if seen != 2 {
 		t.Fatalf("consumer break saw %d pairs, want 2", seen)
 	}
-	checkGoroutines(t, before)
+	checkGoroutines(t)
 }
 
 // TestProbeSeqCancellation covers the snapshot streaming path: a cancelled
@@ -272,7 +273,6 @@ func TestProbeSeqCancellation(t *testing.T) {
 	sx := j.BuildShardedIndex(catalog, 2, Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}, DynamicOptions{})
 	sv := sx.Snapshot()
 
-	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	seen := 0
@@ -292,7 +292,7 @@ func TestProbeSeqCancellation(t *testing.T) {
 	if seen >= len(full) {
 		t.Fatalf("cancellation delivered all %d results", seen)
 	}
-	checkGoroutines(t, before)
+	checkGoroutines(t)
 }
 
 // TestQueryCtxParityAndOverrides pins the context-aware single-record paths

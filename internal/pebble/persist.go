@@ -1,0 +1,58 @@
+package pebble
+
+import "fmt"
+
+// RestoreOrder reconstructs a finalized Order from its serialized image:
+// the frozen prefix in dense-ID order with the document frequencies
+// recorded at the original Finalize, followed by the dynamic region in
+// append order. The result is indistinguishable from the original order —
+// same IDs, same frequencies, same MaxFrequency, same dynamic tail — which
+// is what keeps restored signatures valid prefixes and probe-side
+// signature selection bit-identical after a restart.
+func RestoreOrder(frozenKeys []string, freqs []int, dynamicKeys []string) (*Order, error) {
+	if len(freqs) != len(frozenKeys) {
+		return nil, fmt.Errorf("pebble: %d frozen keys but %d frequencies", len(frozenKeys), len(freqs))
+	}
+	ids := make(map[string]uint32, len(frozenKeys))
+	keys := make([]string, len(frozenKeys))
+	freq := make(map[string]int, len(frozenKeys))
+	for i, k := range frozenKeys {
+		if i > 0 {
+			prevF, prevK := freqs[i-1], frozenKeys[i-1]
+			if freqs[i] < prevF || (freqs[i] == prevF && k <= prevK) {
+				return nil, fmt.Errorf("pebble: frozen keys not in finalize order at %d", i)
+			}
+		}
+		if _, dup := ids[k]; dup {
+			return nil, fmt.Errorf("pebble: duplicate frozen key %q", k)
+		}
+		ids[k] = uint32(i)
+		keys[i] = k
+		freq[k] = freqs[i]
+	}
+
+	o := &Order{freq: freq}
+	o.once.Do(func() {
+		o.ids = ids
+		o.keys = keys
+		if len(freqs) > 0 {
+			o.maxFreq = freqs[len(freqs)-1]
+		}
+	})
+
+	if len(dynamicKeys) > 0 {
+		d := &dynTable{ids: make(map[string]uint32, len(dynamicKeys))}
+		for i, k := range dynamicKeys {
+			if _, frozen := ids[k]; frozen {
+				return nil, fmt.Errorf("pebble: dynamic key %q shadows a frozen key", k)
+			}
+			if _, dup := d.ids[k]; dup {
+				return nil, fmt.Errorf("pebble: duplicate dynamic key %q", k)
+			}
+			d.ids[k] = uint32(len(keys) + i)
+			d.keys = append(d.keys, k)
+		}
+		o.dyn.Store(d)
+	}
+	return o, nil
+}

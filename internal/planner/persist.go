@@ -1,0 +1,118 @@
+package planner
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/aujoin/aujoin/internal/pebble"
+)
+
+// State is the planner's serializable feedback table. EWMA cells travel as
+// raw IEEE-754 bits (the zero pattern doubles as "unobserved", exactly as
+// in memory), counters as totals. Restoring the state is a warm-start
+// optimization, never a correctness requirement: the planner only chooses
+// between configurations that are each individually sound, so a planner
+// restored with no state — or stale state — still yields bit-identical
+// query results.
+type State struct {
+	TauMax         int
+	Method         pebble.Method
+	CandRatio      []uint64
+	VerifyNs       []uint64
+	LatNs          []uint64
+	DPShrink       []uint64
+	Decisions      []int64
+	EpochDecisions []int64
+	ExploreN       int64
+	Plans          int64
+	Fallbacks      int64
+	Reanchors      int64
+	Suggested      int64
+}
+
+// Export snapshots the feedback table. Concurrent Observe calls may land
+// mid-snapshot; each cell is read atomically, and cross-cell skew is
+// harmless for the same reason stale state is.
+func (p *Planner) Export() *State {
+	if p == nil {
+		return nil
+	}
+	s := &State{
+		TauMax:         p.tauMax,
+		Method:         p.buildMethod,
+		CandRatio:      exportEwmas(p.candRatio),
+		VerifyNs:       exportEwmas(p.verifyNs),
+		LatNs:          exportEwmas(p.latNs),
+		DPShrink:       exportEwmas(p.dpShrink),
+		Decisions:      exportCounters(p.decisions),
+		EpochDecisions: exportCounters(p.epochDecisions),
+		ExploreN:       p.exploreN.Load(),
+		Plans:          p.plans.Load(),
+		Fallbacks:      p.fallbacks.Load(),
+		Reanchors:      p.reanchors.Load(),
+		Suggested:      p.suggested.Load(),
+	}
+	return s
+}
+
+// Import loads a previously exported state into a freshly constructed
+// planner. The state must match the planner's shape — same τ range, same
+// build method, same table sizes; a mismatch (snapshot taken under a
+// different configuration) is an error and leaves the planner cold, which
+// is safe.
+func (p *Planner) Import(s *State) error {
+	if p == nil || s == nil {
+		return nil
+	}
+	if s.TauMax != p.tauMax || s.Method != p.buildMethod {
+		return fmt.Errorf("planner: state for method %v τ=%d does not match planner method %v τ=%d",
+			s.Method, s.TauMax, p.buildMethod, p.tauMax)
+	}
+	if len(s.CandRatio) != len(p.candRatio) || len(s.VerifyNs) != len(p.verifyNs) ||
+		len(s.LatNs) != len(p.latNs) || len(s.DPShrink) != len(p.dpShrink) ||
+		len(s.Decisions) != len(p.decisions) || len(s.EpochDecisions) != len(p.epochDecisions) {
+		return fmt.Errorf("planner: state table sizes do not match")
+	}
+	importEwmas(p.candRatio, s.CandRatio)
+	importEwmas(p.verifyNs, s.VerifyNs)
+	importEwmas(p.latNs, s.LatNs)
+	importEwmas(p.dpShrink, s.DPShrink)
+	importCounters(p.decisions, s.Decisions)
+	importCounters(p.epochDecisions, s.EpochDecisions)
+	p.exploreN.Store(s.ExploreN)
+	p.plans.Store(s.Plans)
+	p.fallbacks.Store(s.Fallbacks)
+	p.reanchors.Store(s.Reanchors)
+	if s.Suggested >= 1 && s.Suggested <= int64(p.tauMax) {
+		p.suggested.Store(s.Suggested)
+	}
+	return nil
+}
+
+func exportEwmas(cells []ewma) []uint64 {
+	out := make([]uint64, len(cells))
+	for i := range cells {
+		out[i] = cells[i].bits.Load()
+	}
+	return out
+}
+
+func importEwmas(cells []ewma, bits []uint64) {
+	for i := range cells {
+		cells[i].bits.Store(bits[i])
+	}
+}
+
+func exportCounters(cells []atomic.Int64) []int64 {
+	out := make([]int64, len(cells))
+	for i := range cells {
+		out[i] = cells[i].Load()
+	}
+	return out
+}
+
+func importCounters(cells []atomic.Int64, vals []int64) {
+	for i := range cells {
+		cells[i].Store(vals[i])
+	}
+}

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+// crashOp is one step of the scripted commit/append sequence the sweep kills
+// at every byte. Exactly one field is set.
+type crashOp struct {
+	commit *Snapshot
+	entry  *WalEntry
+}
+
+// crashSnap builds a minimal valid snapshot whose NextID doubles as a unique
+// marker identifying which commit of the script produced it.
+func crashSnap(marker uint64) *Snapshot {
+	return &Snapshot{
+		Theta:   0.8,
+		Shards:  1,
+		NextID:  marker,
+		Order:   OrderData{FrozenKeys: []string{}, Freqs: []uint32{}, DynamicKeys: []string{}},
+		Records: []RecordData{},
+		Dead:    []uint64{},
+	}
+}
+
+// crashScript interleaves appends and commits so the sweep crosses every
+// interesting boundary: append into the initial empty generation, first
+// commit (snapshot write, rename, dir sync, WAL rotation, old-generation
+// removal), appends into a rotated WAL, a second commit, and a trailing
+// append.
+func crashScript() []crashOp {
+	ins := func(raw string) *WalEntry { return &WalEntry{Op: OpInsert, Raws: []string{raw}} }
+	rem := func(ids ...uint64) *WalEntry { return &WalEntry{Op: OpRemove, IDs: ids} }
+	return []crashOp{
+		{entry: ins("op-0 first insert")},
+		{commit: crashSnap(100)},
+		{entry: ins("op-2 insert after first checkpoint")},
+		{entry: rem(7, 9)},
+		{commit: crashSnap(200)},
+		{entry: ins("op-5 trailing insert")},
+	}
+}
+
+// runCrashScript opens the store and drives the script, reporting which ops
+// were acknowledged (returned nil). A failed open reports nil acks: nothing
+// was acknowledged.
+func runCrashScript(fs FS, dir string) []bool {
+	st, _, _, err := Open(fs, dir)
+	if err != nil {
+		return nil
+	}
+	defer st.Close()
+	ops := crashScript()
+	acked := make([]bool, len(ops))
+	for i, op := range ops {
+		var err error
+		if op.commit != nil {
+			err = st.Commit(op.commit)
+		} else {
+			err = st.Append(*op.entry)
+		}
+		acked[i] = err == nil
+	}
+	return acked
+}
+
+// verifyRecovery reopens the healed filesystem and checks the one invariant
+// crash recovery promises: the recovered state is a consistent prefix of the
+// operation history — every acknowledged op is present, unacknowledged ops
+// are either absent or present atomically, and nothing is reordered.
+func verifyRecovery(t *testing.T, fs FS, dir string, acked []bool, fault int64) {
+	t.Helper()
+	st, snap, entries, err := Open(fs, dir)
+	if err != nil {
+		t.Fatalf("fault %d: recovery open: %v", fault, err)
+	}
+	st.Close()
+
+	ops := crashScript()
+	// Locate the recovered snapshot in the script by its marker.
+	pos := -1
+	if snap != nil {
+		for i, op := range ops {
+			if op.commit != nil && op.commit.NextID == snap.NextID {
+				pos = i
+			}
+		}
+		if pos == -1 {
+			t.Fatalf("fault %d: recovered snapshot with unknown marker %d", fault, snap.NextID)
+		}
+	}
+	// No acknowledged commit may be newer than the recovered snapshot.
+	for i, op := range ops {
+		if op.commit != nil && acked != nil && acked[i] && i > pos {
+			t.Fatalf("fault %d: acknowledged commit at op %d lost, recovered op %d", fault, i, pos)
+		}
+	}
+	// The replayed WAL must be a prefix of the appends issued after the
+	// recovered commit (failed intermediate commits do not rotate the log),
+	// and every acknowledged append in that range must be inside the prefix.
+	var expect []WalEntry
+	var expectAcked []bool
+	for i := pos + 1; i < len(ops); i++ {
+		if ops[i].entry != nil {
+			expect = append(expect, *ops[i].entry)
+			expectAcked = append(expectAcked, acked != nil && acked[i])
+		}
+	}
+	if len(entries) > len(expect) {
+		t.Fatalf("fault %d: recovered %d WAL entries, only %d appends followed the snapshot", fault, len(entries), len(expect))
+	}
+	for i, e := range entries {
+		if !reflect.DeepEqual(e, expect[i]) {
+			t.Fatalf("fault %d: WAL entry %d diverged:\n got %+v\nwant %+v", fault, i, e, expect[i])
+		}
+	}
+	for i, ok := range expectAcked {
+		if ok && i >= len(entries) {
+			t.Fatalf("fault %d: acknowledged append (entry %d after snapshot) lost", fault, i)
+		}
+	}
+
+	// Recovery must be idempotent: a second crash-free open lands on the
+	// exact same state.
+	st2, snap2, entries2, err := Open(fs, dir)
+	if err != nil {
+		t.Fatalf("fault %d: second recovery open: %v", fault, err)
+	}
+	st2.Close()
+	if (snap == nil) != (snap2 == nil) || (snap != nil && snap.NextID != snap2.NextID) {
+		t.Fatalf("fault %d: second recovery chose a different snapshot", fault)
+	}
+	if !reflect.DeepEqual(entries, entries2) {
+		t.Fatalf("fault %d: second recovery replayed different entries", fault)
+	}
+}
+
+// TestCrashSweep kills the scripted commit/append sequence at every mutation
+// unit — every data byte written and every metadata operation — and requires
+// recovery to land on a consistent prefix state every single time.
+func TestCrashSweep(t *testing.T) {
+	dry := NewMemFS()
+	runCrashScript(dry, "data")
+	total := dry.Spent()
+	if total < 64 {
+		t.Fatalf("dry run spent only %d mutation units; script too small to sweep", total)
+	}
+	for k := int64(0); k <= total; k++ {
+		fs := NewMemFS()
+		fs.FailAfter(k)
+		acked := runCrashScript(fs, "data")
+		fs.Heal()
+		verifyRecovery(t, fs, "data", acked, k)
+	}
+}
+
+// TestCrashSweepDouble crashes a second time during the recovery itself (the
+// torn-tail truncation and stale-file cleanup are mutations too), then heals
+// and requires the third open to still land on a consistent state.
+func TestCrashSweepDouble(t *testing.T) {
+	// First crash point: mid-append after the second commit, leaving both a
+	// retired generation to clean and a torn tail to truncate.
+	dry := NewMemFS()
+	runCrashScript(dry, "data")
+	total := dry.Spent()
+
+	for k := total * 3 / 4; k <= total; k++ {
+		fs := NewMemFS()
+		fs.FailAfter(k)
+		acked := runCrashScript(fs, "data")
+
+		// Measure recovery's own mutation footprint, then sweep it.
+		fs.Heal()
+		before := fs.Spent()
+		if st, _, _, err := Open(fs, "data"); err == nil {
+			st.Close()
+		}
+		recoverCost := fs.Spent() - before
+		for r := int64(0); r <= recoverCost; r++ {
+			fs2 := NewMemFS()
+			fs2.FailAfter(k)
+			acked2 := runCrashScript(fs2, "data")
+			fs2.Heal()
+			fs2.FailAfter(r)
+			if st, _, _, err := Open(fs2, "data"); err == nil {
+				st.Close()
+			}
+			fs2.Heal()
+			verifyRecovery(t, fs2, "data", acked2, k*1000+r)
+			_ = acked
+		}
+	}
+}
+
+// TestOpenRefusesUndecodableSnapshots ensures a directory whose snapshots all
+// fail to decode is an error, not a silent empty restart over data the
+// operator thought was durable.
+func TestOpenRefusesUndecodableSnapshots(t *testing.T) {
+	fs := NewMemFS()
+	st, _, _, err := Open(fs, "data")
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if err := st.Commit(crashSnap(100)); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	st.Close()
+
+	// Corrupt the one durable snapshot in place.
+	data, err := fs.ReadFile("data/snap-1.aujs")
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	data[len(data)-1] ^= 0xFF
+	f, err := fs.Create("data/snap-1.aujs")
+	if err != nil {
+		t.Fatalf("rewrite snapshot: %v", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("rewrite snapshot: %v", err)
+	}
+	f.Close()
+
+	if _, _, _, err := Open(fs, "data"); err == nil {
+		t.Fatal("open accepted a directory with only undecodable snapshots")
+	}
+}
+
+// TestStoreBrokenIsSticky checks that after one injected durability failure
+// the store refuses every further mutation: acknowledging a later write would
+// let recovery silently truncate it away together with the torn tail.
+func TestStoreBrokenIsSticky(t *testing.T) {
+	fs := NewMemFS()
+	st, _, _, err := Open(fs, "data")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer st.Close()
+	if err := st.Append(WalEntry{Op: OpInsert, Raws: []string{"ok"}}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	fs.FailAfter(2) // dies inside the next frame's data bytes
+	if err := st.Append(WalEntry{Op: OpInsert, Raws: []string{"torn"}}); err == nil {
+		t.Fatal("append survived an injected crash")
+	}
+	fs.Heal()
+	if err := st.Append(WalEntry{Op: OpInsert, Raws: []string{"after"}}); err == nil {
+		t.Fatal("store accepted a mutation after a durability failure")
+	}
+	if err := st.Commit(crashSnap(100)); err == nil {
+		t.Fatal("store committed after a durability failure")
+	}
+}

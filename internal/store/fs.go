@@ -1,0 +1,84 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store needs. Production uses OS
+// (the real filesystem); the crash-recovery suite swaps in a MemFS whose
+// write budget kills the sequence at an arbitrary byte to model a SIGKILL
+// mid-commit.
+type FS interface {
+	MkdirAll(dir string) error
+	ReadDir(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing file (creating it if absent) positioned
+	// at the end.
+	OpenAppend(path string) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	Truncate(path string, size int64) error
+	// SyncDir flushes directory metadata so a completed rename survives the
+	// crash model.
+	SyncDir(dir string) error
+}
+
+// File is a writable handle with durability control.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the production FS backed by the operating system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) Truncate(path string, size int64) error {
+	return os.Truncate(path, size)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the failure every MemFS mutation returns once the write
+// budget is exhausted: the modeled process has been killed, so nothing
+// mutates any more until Heal.
+var ErrInjected = errors.New("store: injected crash")
+
+// MemFS is an in-memory FS with deterministic fault injection for the
+// crash-recovery suite. Its budget is a count of mutation units — one per
+// data byte written plus one per metadata operation (create, rename,
+// remove, truncate, sync) — and the op that crosses the budget applies its
+// allowed prefix (a partial write persists the bytes that fit, a metadata
+// op does not happen) and fails; every later mutation fails too. This is
+// the SIGKILL model: completed writes are durable, in-flight ones are cut
+// mid-byte, and nothing runs afterwards. Heal lifts the failure so a test
+// can reopen the surviving files the way a restarted process would.
+type MemFS struct {
+	mu     sync.Mutex
+	files  map[string][]byte
+	budget int64 // remaining mutation units; <0 = unlimited
+	failed bool
+	spent  int64 // units consumed since the last FailAfter/Heal
+}
+
+// NewMemFS returns an empty MemFS with an unlimited budget.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string][]byte{}, budget: -1}
+}
+
+// FailAfter arms the fault: the next n mutation units succeed and every
+// one after them fails until Heal. The spent counter restarts at zero.
+func (m *MemFS) FailAfter(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = n
+	m.failed = false
+	m.spent = 0
+}
+
+// Heal clears the failure and restores an unlimited budget, modeling the
+// process restart that follows the crash.
+func (m *MemFS) Heal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = -1
+	m.failed = false
+	m.spent = 0
+}
+
+// Spent reports the mutation units consumed since the last FailAfter or
+// Heal; a dry run with an unlimited budget uses it to size the fault sweep.
+func (m *MemFS) Spent() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spent
+}
+
+// take consumes up to want units and reports how many were granted plus
+// whether the op may proceed at all.
+func (m *MemFS) take(want int64) (granted int64, ok bool) {
+	if m.failed {
+		return 0, false
+	}
+	if m.budget < 0 {
+		m.spent += want
+		return want, true
+	}
+	if want <= m.budget {
+		m.budget -= want
+		m.spent += want
+		return want, true
+	}
+	granted = m.budget
+	m.budget = 0
+	m.spent += granted
+	m.failed = true
+	return granted, false
+}
+
+func (m *MemFS) MkdirAll(string) error {
+	// Directories are implicit; creating one costs nothing and cannot fail:
+	// the store only ever makes its own data dir before any durable state
+	// exists.
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for path := range m.files {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[filepath.Clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: file does not exist", path)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.take(1); !ok {
+		return nil, ErrInjected
+	}
+	path = filepath.Clean(path)
+	m.files[path] = nil
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	if _, ok := m.files[path]; !ok {
+		if _, ok := m.take(1); !ok {
+			return nil, ErrInjected
+		}
+		m.files[path] = nil
+	}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldPath, newPath = filepath.Clean(oldPath), filepath.Clean(newPath)
+	data, ok := m.files[oldPath]
+	if !ok {
+		return fmt.Errorf("memfs: %s: file does not exist", oldPath)
+	}
+	// Rename is atomic: it either entirely happens or entirely does not.
+	if _, ok := m.take(1); !ok {
+		return ErrInjected
+	}
+	m.files[newPath] = data
+	delete(m.files, oldPath)
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("memfs: %s: file does not exist", path)
+	}
+	if _, ok := m.take(1); !ok {
+		return ErrInjected
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	data, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("memfs: %s: file does not exist", path)
+	}
+	if size < 0 || size > int64(len(data)) {
+		return fmt.Errorf("memfs: %s: truncate to %d out of range", path, size)
+	}
+	if _, ok := m.take(1); !ok {
+		return ErrInjected
+	}
+	m.files[path] = data[:size]
+	return nil
+}
+
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.take(1); !ok {
+		return ErrInjected
+	}
+	return nil
+}
+
+type memFile struct {
+	fs   *MemFS
+	path string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	data, ok := f.fs.files[f.path]
+	if !ok {
+		return 0, fmt.Errorf("memfs: %s: write to removed file", f.path)
+	}
+	granted, full := f.fs.take(int64(len(p)))
+	f.fs.files[f.path] = append(data, p[:granted]...)
+	if !full {
+		return int(granted), ErrInjected
+	}
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ok := f.fs.take(1); !ok {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

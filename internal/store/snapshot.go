@@ -1,0 +1,489 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Section identifiers. META through TOMBSTONES are required; PLANNER is
+// optional (a snapshot taken with planning disabled simply omits it).
+// Unknown ids are skipped on read so optional sections can be added without
+// a version bump.
+const (
+	secMeta       = 1
+	secOrder      = 2
+	secRecords    = 3
+	secSigs       = 4
+	secPrepared   = 5
+	secTombstones = 6
+	secPlanner    = 7
+)
+
+// Snapshot is the plain-data image of a sharded dynamic index: everything
+// needed to reconstruct bit-identical query behaviour without re-running
+// signature selection or prepared-segment enumeration. Records are flat
+// across shards in ascending stable-ID order — per-shard arrival order is
+// recovered by re-partitioning, because shard assignment is a pure function
+// of the ID and IDs are allocated monotonically.
+type Snapshot struct {
+	Theta         float64
+	Tau           int
+	Method        uint8 // pebble.Method the index was built with
+	Plan          uint8 // planner mode (auto/fixed)
+	ClassicFilter bool
+	Shards        int
+	NextID        uint64 // next stable ID the index would allocate
+
+	Order   OrderData
+	Records []RecordData
+	// Dead is the tombstone bitmap over flat record positions (bit i set =
+	// Records[i] is removed but still occupies its stable position).
+	Dead []uint64
+
+	Planner *PlannerData // nil when the index has no adaptive planner
+}
+
+// OrderData is the serialized pebble order: the frozen prefix in dense-ID
+// order with per-key corpus frequencies (non-decreasing, key-ascending
+// within equal frequency — the Finalize sort order), followed by the
+// dynamically interned keys in ID order.
+type OrderData struct {
+	FrozenKeys  []string
+	Freqs       []uint32 // len(FrozenKeys); frequency of each frozen key
+	DynamicKeys []string // IDs len(FrozenKeys)..len(FrozenKeys)+len(DynamicKeys)-1
+}
+
+// NumKeys is the restored order's key universe size.
+func (o *OrderData) NumKeys() int { return len(o.FrozenKeys) + len(o.DynamicKeys) }
+
+// RecordData is one record: raw text (tokens are re-derived — tokenization
+// is deterministic), the pebble IDs of its stored signature (a multiset;
+// equal IDs adjacent), and the prepared-segment metadata that lets the
+// loader rebuild the PreparedRecord without re-running segment enumeration
+// and set cover.
+type RecordData struct {
+	ID      uint32
+	Raw     string
+	SigIDs  []uint32
+	Segs    []SegMeta
+	MinPart uint32
+}
+
+// SegMeta locates one prepared segment as a token span plus its provenance
+// flags; segment tokens and similarity data are recomputed from the span.
+type SegMeta struct {
+	Start, End uint32
+	Rule       bool
+	Entity     bool
+}
+
+// PlannerData is the adaptive planner's feedback state: EWMA cells are
+// stored as raw float64 bits (zero = unobserved), counters as totals.
+// Restoring it is a continuity optimization — planner state never changes
+// results, only which sound probe configuration is tried first.
+type PlannerData struct {
+	TauMax         int
+	Method         uint8
+	CandRatio      []uint64
+	VerifyNs       []uint64
+	LatNs          []uint64
+	DPShrink       []uint64
+	Decisions      []int64
+	EpochDecisions []int64
+	ExploreN       int64
+	Plans          int64
+	Fallbacks      int64
+	Reanchors      int64
+	Suggested      int64
+}
+
+// Encode serializes the snapshot into the sectioned format described in the
+// package comment.
+func (s *Snapshot) Encode() []byte {
+	type section struct {
+		id      uint32
+		payload []byte
+	}
+	sections := []section{
+		{secMeta, s.encodeMeta()},
+		{secOrder, s.encodeOrder()},
+		{secRecords, s.encodeRecords()},
+		{secSigs, s.encodeSigs()},
+		{secPrepared, s.encodePrepared()},
+		{secTombstones, s.encodeTombstones()},
+	}
+	if s.Planner != nil {
+		sections = append(sections, section{secPlanner, s.Planner.encode()})
+	}
+
+	const headerSize = 8 + 4 + 4
+	const entrySize = 4 + 8 + 8 + 4
+	var w writer
+	w.buf = append(w.buf, Magic...)
+	w.u32(Version)
+	w.u32(uint32(len(sections)))
+	offset := uint64(headerSize + entrySize*len(sections))
+	for _, sec := range sections {
+		w.u32(sec.id)
+		w.u64(offset)
+		w.u64(uint64(len(sec.payload)))
+		w.u32(checksum(sec.payload))
+		offset += uint64(len(sec.payload))
+	}
+	for _, sec := range sections {
+		w.buf = append(w.buf, sec.payload...)
+	}
+	return w.buf
+}
+
+// Decode parses and validates a snapshot image. Any structural defect —
+// bad magic, unknown version, out-of-range section, checksum mismatch,
+// truncated payload, inconsistent counts, out-of-universe signature ID,
+// non-ascending record IDs — yields an error, never a panic or over-read.
+func Decode(data []byte) (*Snapshot, error) {
+	const headerSize = 8 + 4 + 4
+	if len(data) < headerSize || string(data[:8]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	hr := reader{b: data, off: 8}
+	version := hr.u32()
+	if version != Version {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (want %d)", version, Version)
+	}
+	nsec := hr.u32()
+	const entrySize = 4 + 8 + 8 + 4
+	if uint64(nsec) > uint64(len(data))/entrySize {
+		return nil, fmt.Errorf("%w: section count %d", ErrCorrupt, nsec)
+	}
+	payloads := make(map[uint32][]byte, nsec)
+	for i := uint32(0); i < nsec; i++ {
+		id := hr.u32()
+		off := hr.u64()
+		length := hr.u64()
+		crc := hr.u32()
+		if hr.err != nil {
+			return nil, hr.err
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: section %d out of range", ErrCorrupt, id)
+		}
+		payload := data[off : off+length]
+		if checksum(payload) != crc {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrCorrupt, id)
+		}
+		if _, dup := payloads[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, id)
+		}
+		payloads[id] = payload
+	}
+	for _, id := range []uint32{secMeta, secOrder, secRecords, secSigs, secPrepared, secTombstones} {
+		if _, ok := payloads[id]; !ok {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, id)
+		}
+	}
+
+	s := &Snapshot{}
+	if err := s.decodeMeta(payloads[secMeta]); err != nil {
+		return nil, err
+	}
+	if err := s.decodeOrder(payloads[secOrder]); err != nil {
+		return nil, err
+	}
+	if err := s.decodeRecords(payloads[secRecords]); err != nil {
+		return nil, err
+	}
+	if err := s.decodeSigs(payloads[secSigs]); err != nil {
+		return nil, err
+	}
+	if err := s.decodePrepared(payloads[secPrepared]); err != nil {
+		return nil, err
+	}
+	if err := s.decodeTombstones(payloads[secTombstones]); err != nil {
+		return nil, err
+	}
+	if p, ok := payloads[secPlanner]; ok {
+		s.Planner = &PlannerData{}
+		if err := s.Planner.decode(p); err != nil {
+			return nil, err
+		}
+	}
+	return s, s.validate()
+}
+
+func (s *Snapshot) encodeMeta() []byte {
+	var w writer
+	w.f64(s.Theta)
+	w.uvarint(uint64(s.Tau))
+	w.u8(s.Method)
+	w.u8(s.Plan)
+	var flags uint8
+	if s.ClassicFilter {
+		flags |= 1
+	}
+	w.u8(flags)
+	w.uvarint(uint64(s.Shards))
+	w.uvarint(s.NextID)
+	return w.buf
+}
+
+func (s *Snapshot) decodeMeta(b []byte) error {
+	r := reader{b: b}
+	s.Theta = r.f64()
+	s.Tau = int(r.uvarint())
+	s.Method = r.u8()
+	s.Plan = r.u8()
+	flags := r.u8()
+	s.ClassicFilter = flags&1 != 0
+	s.Shards = int(r.uvarint())
+	s.NextID = r.uvarint()
+	return r.finish()
+}
+
+func (s *Snapshot) encodeOrder() []byte {
+	var w writer
+	w.uvarint(uint64(len(s.Order.FrozenKeys)))
+	for i, k := range s.Order.FrozenKeys {
+		w.str(k)
+		w.uvarint(uint64(s.Order.Freqs[i]))
+	}
+	w.uvarint(uint64(len(s.Order.DynamicKeys)))
+	for _, k := range s.Order.DynamicKeys {
+		w.str(k)
+	}
+	return w.buf
+}
+
+func (s *Snapshot) decodeOrder(b []byte) error {
+	r := reader{b: b}
+	nf := r.count(2)
+	s.Order.FrozenKeys = make([]string, nf)
+	s.Order.Freqs = make([]uint32, nf)
+	for i := 0; i < nf; i++ {
+		s.Order.FrozenKeys[i] = r.str()
+		s.Order.Freqs[i] = uint32(r.uvarint())
+	}
+	nd := r.count(1)
+	s.Order.DynamicKeys = make([]string, nd)
+	for i := 0; i < nd; i++ {
+		s.Order.DynamicKeys[i] = r.str()
+	}
+	return r.finish()
+}
+
+func (s *Snapshot) encodeRecords() []byte {
+	var w writer
+	w.uvarint(uint64(len(s.Records)))
+	for i := range s.Records {
+		w.uvarint(uint64(s.Records[i].ID))
+		w.str(s.Records[i].Raw)
+	}
+	return w.buf
+}
+
+func (s *Snapshot) decodeRecords(b []byte) error {
+	r := reader{b: b}
+	n := r.count(2)
+	s.Records = make([]RecordData, n)
+	for i := 0; i < n; i++ {
+		id := r.uvarint()
+		if id > uint64(^uint32(0)) {
+			r.fail()
+			break
+		}
+		s.Records[i].ID = uint32(id)
+		s.Records[i].Raw = r.str()
+	}
+	return r.finish()
+}
+
+func (s *Snapshot) encodeSigs() []byte {
+	var w writer
+	w.uvarint(uint64(len(s.Records)))
+	for i := range s.Records {
+		w.uvarint(uint64(len(s.Records[i].SigIDs)))
+		for _, id := range s.Records[i].SigIDs {
+			w.uvarint(uint64(id))
+		}
+	}
+	return w.buf
+}
+
+func (s *Snapshot) decodeSigs(b []byte) error {
+	r := reader{b: b}
+	n := r.count(1)
+	if n != len(s.Records) {
+		return fmt.Errorf("%w: signature count %d != record count %d", ErrCorrupt, n, len(s.Records))
+	}
+	for i := 0; i < n; i++ {
+		m := r.count(1)
+		ids := make([]uint32, m)
+		for j := 0; j < m; j++ {
+			ids[j] = uint32(r.uvarint())
+		}
+		s.Records[i].SigIDs = ids
+	}
+	return r.finish()
+}
+
+func (s *Snapshot) encodePrepared() []byte {
+	var w writer
+	w.uvarint(uint64(len(s.Records)))
+	for i := range s.Records {
+		w.uvarint(uint64(len(s.Records[i].Segs)))
+		for _, seg := range s.Records[i].Segs {
+			w.uvarint(uint64(seg.Start))
+			w.uvarint(uint64(seg.End))
+			var flags uint8
+			if seg.Rule {
+				flags |= 1
+			}
+			if seg.Entity {
+				flags |= 2
+			}
+			w.u8(flags)
+		}
+		w.uvarint(uint64(s.Records[i].MinPart))
+	}
+	return w.buf
+}
+
+func (s *Snapshot) decodePrepared(b []byte) error {
+	r := reader{b: b}
+	n := r.count(1)
+	if n != len(s.Records) {
+		return fmt.Errorf("%w: prepared count %d != record count %d", ErrCorrupt, n, len(s.Records))
+	}
+	for i := 0; i < n; i++ {
+		m := r.count(3)
+		segs := make([]SegMeta, m)
+		for j := 0; j < m; j++ {
+			segs[j].Start = uint32(r.uvarint())
+			segs[j].End = uint32(r.uvarint())
+			flags := r.u8()
+			segs[j].Rule = flags&1 != 0
+			segs[j].Entity = flags&2 != 0
+		}
+		s.Records[i].Segs = segs
+		s.Records[i].MinPart = uint32(r.uvarint())
+	}
+	return r.finish()
+}
+
+func (s *Snapshot) encodeTombstones() []byte {
+	var w writer
+	w.uvarint(uint64(len(s.Dead)))
+	for _, word := range s.Dead {
+		w.u64(word)
+	}
+	return w.buf
+}
+
+func (s *Snapshot) decodeTombstones(b []byte) error {
+	r := reader{b: b}
+	n := r.count(8)
+	s.Dead = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		s.Dead[i] = r.u64()
+	}
+	return r.finish()
+}
+
+func (p *PlannerData) encode() []byte {
+	var w writer
+	w.uvarint(uint64(p.TauMax))
+	w.u8(p.Method)
+	for _, arr := range [][]uint64{p.CandRatio, p.VerifyNs, p.LatNs, p.DPShrink} {
+		w.uvarint(uint64(len(arr)))
+		for _, v := range arr {
+			w.u64(v)
+		}
+	}
+	for _, arr := range [][]int64{p.Decisions, p.EpochDecisions} {
+		w.uvarint(uint64(len(arr)))
+		for _, v := range arr {
+			w.u64(uint64(v))
+		}
+	}
+	w.u64(uint64(p.ExploreN))
+	w.u64(uint64(p.Plans))
+	w.u64(uint64(p.Fallbacks))
+	w.u64(uint64(p.Reanchors))
+	w.u64(uint64(p.Suggested))
+	return w.buf
+}
+
+func (p *PlannerData) decode(b []byte) error {
+	r := reader{b: b}
+	p.TauMax = int(r.uvarint())
+	p.Method = r.u8()
+	for _, dst := range []*[]uint64{&p.CandRatio, &p.VerifyNs, &p.LatNs, &p.DPShrink} {
+		n := r.count(8)
+		arr := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			arr[i] = r.u64()
+		}
+		*dst = arr
+	}
+	for _, dst := range []*[]int64{&p.Decisions, &p.EpochDecisions} {
+		n := r.count(8)
+		arr := make([]int64, n)
+		for i := 0; i < n; i++ {
+			arr[i] = int64(r.u64())
+		}
+		*dst = arr
+	}
+	p.ExploreN = int64(r.u64())
+	p.Plans = int64(r.u64())
+	p.Fallbacks = int64(r.u64())
+	p.Reanchors = int64(r.u64())
+	p.Suggested = int64(r.u64())
+	return r.finish()
+}
+
+// validate cross-checks the decoded sections: IDs strictly ascending and
+// below NextID, signature IDs inside the key universe, segment spans
+// ordered, frozen frequencies in Finalize order, and the tombstone bitmap
+// sized to the record count with no bits past the end.
+func (s *Snapshot) validate() error {
+	if s.Theta < 0 || s.Theta > 1 || s.Theta != s.Theta {
+		return fmt.Errorf("%w: theta %v out of range", ErrCorrupt, s.Theta)
+	}
+	if s.Shards < 1 || s.Shards > 1<<16 {
+		return fmt.Errorf("%w: shard count %d", ErrCorrupt, s.Shards)
+	}
+	if !sort.SliceIsSorted(s.Order.Freqs, func(i, j int) bool { return s.Order.Freqs[i] < s.Order.Freqs[j] }) {
+		return fmt.Errorf("%w: frozen frequencies not sorted", ErrCorrupt)
+	}
+	numKeys := uint32(s.Order.NumKeys())
+	prevID := int64(-1)
+	for i := range s.Records {
+		rec := &s.Records[i]
+		if int64(rec.ID) <= prevID {
+			return fmt.Errorf("%w: record IDs not strictly ascending at %d", ErrCorrupt, rec.ID)
+		}
+		prevID = int64(rec.ID)
+		if uint64(rec.ID) >= s.NextID {
+			return fmt.Errorf("%w: record ID %d >= next ID %d", ErrCorrupt, rec.ID, s.NextID)
+		}
+		for _, id := range rec.SigIDs {
+			if id >= numKeys {
+				return fmt.Errorf("%w: signature ID %d outside key universe %d", ErrCorrupt, id, numKeys)
+			}
+		}
+		for _, seg := range rec.Segs {
+			if seg.Start > seg.End {
+				return fmt.Errorf("%w: inverted segment span [%d,%d)", ErrCorrupt, seg.Start, seg.End)
+			}
+		}
+	}
+	wantWords := (len(s.Records) + 63) / 64
+	if len(s.Dead) != wantWords {
+		return fmt.Errorf("%w: tombstone bitmap has %d words, want %d", ErrCorrupt, len(s.Dead), wantWords)
+	}
+	if rem := len(s.Records) % 64; rem != 0 && wantWords > 0 {
+		if s.Dead[wantWords-1]>>uint(rem) != 0 {
+			return fmt.Errorf("%w: tombstone bits past record count", ErrCorrupt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testSnapshot builds a snapshot exercising every section: a mixed frozen and
+// dynamic order, sparse ascending record IDs, multiset signatures, segment
+// flags, a set tombstone bit and a populated planner table. Empty slices are
+// deliberately non-nil so a decode round-trip is reflect.DeepEqual-exact.
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Theta:  0.8,
+		Tau:    2,
+		Method: 2,
+		Plan:   1,
+		Shards: 4,
+		NextID: 7,
+		Order: OrderData{
+			FrozenKeys:  []string{"aa", "bb", "cc"},
+			Freqs:       []uint32{1, 2, 2},
+			DynamicKeys: []string{"dd"},
+		},
+		Records: []RecordData{
+			{ID: 0, Raw: "aa bb", SigIDs: []uint32{0, 1}, Segs: []SegMeta{{Start: 0, End: 1}, {Start: 1, End: 2, Rule: true}}, MinPart: 1},
+			{ID: 2, Raw: "cc dd", SigIDs: []uint32{2, 3, 3}, Segs: []SegMeta{{Start: 0, End: 2, Entity: true}}, MinPart: 2},
+			{ID: 6, Raw: "", SigIDs: []uint32{}, Segs: []SegMeta{}, MinPart: 0},
+		},
+		Dead: []uint64{1 << 1},
+		Planner: &PlannerData{
+			TauMax: 3, Method: 1,
+			CandRatio: []uint64{1, 2}, VerifyNs: []uint64{3, 4},
+			LatNs: []uint64{5, 6}, DPShrink: []uint64{7, 8},
+			Decisions: []int64{9, 10}, EpochDecisions: []int64{11, 12},
+			ExploreN: 1, Plans: 2, Fallbacks: 3, Reanchors: 4, Suggested: 2,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	want := &Snapshot{
+		Theta:   0.5,
+		Shards:  1,
+		Order:   OrderData{FrozenKeys: []string{}, Freqs: []uint32{}, DynamicKeys: []string{}},
+		Records: []RecordData{},
+		Dead:    []uint64{},
+	}
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotNoPlannerSection(t *testing.T) {
+	s := testSnapshot()
+	s.Planner = nil
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Planner != nil {
+		t.Fatalf("planner section materialized from nothing: %+v", got.Planner)
+	}
+}
+
+// TestSnapshotCorruption flips every byte of a valid image (and truncates it
+// at every length) and requires Decode to reject the result — every section
+// is checksummed and the table is structurally validated, so no single-byte
+// defect may slip through, and none may panic. The image carries required
+// sections only: flipping the table id of an optional section merely drops
+// the section, which is correct but not corruption.
+func TestSnapshotCorruption(t *testing.T) {
+	snap := testSnapshot()
+	snap.Planner = nil
+	data := snap.Encode()
+	for i := range data {
+		bad := make([]byte, len(data))
+		copy(bad, data)
+		bad[i] ^= 0xFF
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("byte %d flipped: Decode accepted corrupt image", i)
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		if _, err := Decode(data[:i]); err == nil {
+			t.Fatalf("truncated to %d bytes: Decode accepted", i)
+		}
+	}
+}
+
+// encodeSections builds an image from explicit (id, payload) sections with
+// the real header/table layout, so tests can inject sections Encode never
+// writes.
+func encodeSections(secs []struct {
+	id      uint32
+	payload []byte
+}) []byte {
+	const headerSize = 8 + 4 + 4
+	const entrySize = 4 + 8 + 8 + 4
+	var w writer
+	w.buf = append(w.buf, Magic...)
+	w.u32(Version)
+	w.u32(uint32(len(secs)))
+	offset := uint64(headerSize + entrySize*len(secs))
+	for _, sec := range secs {
+		w.u32(sec.id)
+		w.u64(offset)
+		w.u64(uint64(len(sec.payload)))
+		w.u32(checksum(sec.payload))
+		offset += uint64(len(sec.payload))
+	}
+	for _, sec := range secs {
+		w.buf = append(w.buf, sec.payload...)
+	}
+	return w.buf
+}
+
+func snapshotSections(s *Snapshot) []struct {
+	id      uint32
+	payload []byte
+} {
+	return []struct {
+		id      uint32
+		payload []byte
+	}{
+		{secMeta, s.encodeMeta()},
+		{secOrder, s.encodeOrder()},
+		{secRecords, s.encodeRecords()},
+		{secSigs, s.encodeSigs()},
+		{secPrepared, s.encodePrepared()},
+		{secTombstones, s.encodeTombstones()},
+	}
+}
+
+func TestSnapshotUnknownSectionSkipped(t *testing.T) {
+	want := testSnapshot()
+	want.Planner = nil
+	secs := append(snapshotSections(want), struct {
+		id      uint32
+		payload []byte
+	}{99, []byte("payload from a future format revision")})
+	got, err := Decode(encodeSections(secs))
+	if err != nil {
+		t.Fatalf("Decode with unknown section: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unknown section changed the decode:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotDuplicateSectionRejected(t *testing.T) {
+	s := testSnapshot()
+	secs := append(snapshotSections(s), snapshotSections(s)[0])
+	if _, err := Decode(encodeSections(secs)); err == nil {
+		t.Fatal("duplicate section accepted")
+	}
+}
+
+func TestSnapshotMissingSectionRejected(t *testing.T) {
+	s := testSnapshot()
+	s.Planner = nil
+	all := snapshotSections(s)
+	for drop := range all {
+		secs := make([]struct {
+			id      uint32
+			payload []byte
+		}, 0, len(all)-1)
+		for i, sec := range all {
+			if i != drop {
+				secs = append(secs, sec)
+			}
+		}
+		if _, err := Decode(encodeSections(secs)); err == nil {
+			t.Fatalf("image missing section %d accepted", all[drop].id)
+		}
+	}
+}
+
+func TestSnapshotUnsupportedVersion(t *testing.T) {
+	data := testSnapshot().Encode()
+	data[8]++ // little-endian version low byte
+	_, err := Decode(data)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+// TestSnapshotValidate drives every cross-section consistency check with an
+// image that decodes cleanly but describes an impossible index.
+func TestSnapshotValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"theta above one", func(s *Snapshot) { s.Theta = 1.5 }},
+		{"theta NaN", func(s *Snapshot) { nan := 0.0; s.Theta = nan / nan }},
+		{"zero shards", func(s *Snapshot) { s.Shards = 0 }},
+		{"unsorted frequencies", func(s *Snapshot) { s.Order.Freqs = []uint32{2, 1, 2} }},
+		{"record IDs not ascending", func(s *Snapshot) { s.Records[1].ID = 0 }},
+		{"record ID at next ID", func(s *Snapshot) { s.Records[2].ID = uint32(s.NextID) }},
+		{"signature outside universe", func(s *Snapshot) { s.Records[0].SigIDs[0] = uint32(s.Order.NumKeys()) }},
+		{"inverted segment span", func(s *Snapshot) { s.Records[0].Segs[0] = SegMeta{Start: 2, End: 1} }},
+		{"tombstone bitmap too short", func(s *Snapshot) { s.Dead = []uint64{} }},
+		{"tombstone bits past records", func(s *Snapshot) { s.Dead = []uint64{1 << 63} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testSnapshot()
+			tc.mutate(s)
+			if _, err := Decode(s.Encode()); err == nil {
+				t.Fatal("invalid snapshot accepted")
+			}
+		})
+	}
+}

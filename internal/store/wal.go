@@ -1,0 +1,122 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WAL entry framing:
+//
+//	length u32 | crc32c(payload) u32 | payload
+//
+// payload:
+//
+//	op u8 | count uvarint | items
+//
+// Insert items are length-prefixed raw record strings (one WAL entry is one
+// insert batch, so a batch is atomic: it is either fully durable or, after
+// torn-tail truncation, entirely absent). Remove items are stable record
+// IDs as uvarints.
+
+// WAL operation codes.
+const (
+	OpInsert = 1
+	OpRemove = 2
+)
+
+// maxWalEntry caps the framed length a replayer will believe. It exists to
+// bound allocation on hostile input, not to limit real batches — an insert
+// batch approaching it would be hundreds of megabytes of raw text.
+const maxWalEntry = 1 << 30
+
+// WalEntry is one logged mutation batch.
+type WalEntry struct {
+	Op   uint8
+	Raws []string // OpInsert: raw record strings, in batch order
+	IDs  []uint64 // OpRemove: stable record IDs, in batch order
+}
+
+// EncodeWalEntry frames one entry (length, checksum, payload) ready to be
+// appended to the log.
+func EncodeWalEntry(e WalEntry) ([]byte, error) {
+	var p writer
+	p.u8(e.Op)
+	switch e.Op {
+	case OpInsert:
+		p.uvarint(uint64(len(e.Raws)))
+		for _, raw := range e.Raws {
+			p.str(raw)
+		}
+	case OpRemove:
+		p.uvarint(uint64(len(e.IDs)))
+		for _, id := range e.IDs {
+			p.uvarint(id)
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown WAL op %d", e.Op)
+	}
+	if len(p.buf) > maxWalEntry {
+		return nil, fmt.Errorf("store: WAL entry of %d bytes exceeds limit", len(p.buf))
+	}
+	var w writer
+	w.u32(uint32(len(p.buf)))
+	w.u32(checksum(p.buf))
+	w.buf = append(w.buf, p.buf...)
+	return w.buf, nil
+}
+
+// decodeWalPayload parses one checksummed payload.
+func decodeWalPayload(b []byte) (WalEntry, error) {
+	r := reader{b: b}
+	e := WalEntry{Op: r.u8()}
+	switch e.Op {
+	case OpInsert:
+		n := r.count(1)
+		e.Raws = make([]string, n)
+		for i := 0; i < n; i++ {
+			e.Raws[i] = r.str()
+		}
+	case OpRemove:
+		n := r.count(1)
+		e.IDs = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			e.IDs[i] = r.uvarint()
+		}
+	default:
+		r.fail()
+	}
+	if err := r.finish(); err != nil {
+		return WalEntry{}, err
+	}
+	return e, nil
+}
+
+// ReplayWAL walks the log from the start and returns every entry up to the
+// first defect, together with the byte length of that clean prefix. A torn
+// or corrupt tail — short frame, checksum mismatch, undecodable payload —
+// is expected after a crash and simply ends the replay; it is not an
+// error. The caller truncates the log to goodLen before appending again so
+// the torn bytes can never be misread later.
+func ReplayWAL(data []byte) (entries []WalEntry, goodLen int) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return entries, off
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if uint64(length) > maxWalEntry || uint64(length) > uint64(len(data)-off-8) {
+			return entries, off
+		}
+		payload := data[off+8 : off+8+int(length)]
+		if checksum(payload) != crc {
+			return entries, off
+		}
+		e, err := decodeWalPayload(payload)
+		if err != nil {
+			return entries, off
+		}
+		entries = append(entries, e)
+		off += 8 + int(length)
+	}
+}

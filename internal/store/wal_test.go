@@ -1,0 +1,143 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testEntries() []WalEntry {
+	return []WalEntry{
+		{Op: OpInsert, Raws: []string{"alpha beta", "", "gamma"}},
+		{Op: OpRemove, IDs: []uint64{0, 7, 1 << 40}},
+		{Op: OpInsert, Raws: []string{"delta"}},
+	}
+}
+
+// equalEntries compares entry slices without distinguishing nil from empty
+// (a replay of zero entries returns nil).
+func equalEntries(a, b []WalEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func encodeLog(t *testing.T, entries []WalEntry) ([]byte, []int) {
+	t.Helper()
+	var log []byte
+	var ends []int // cumulative frame boundaries
+	for _, e := range entries {
+		frame, err := EncodeWalEntry(e)
+		if err != nil {
+			t.Fatalf("EncodeWalEntry: %v", err)
+		}
+		log = append(log, frame...)
+		ends = append(ends, len(log))
+	}
+	return log, ends
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	want := testEntries()
+	log, _ := encodeLog(t, want)
+	got, good := ReplayWAL(log)
+	if good != len(log) {
+		t.Fatalf("clean log: good prefix %d, want %d", good, len(log))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWALTornTail cuts the log at every byte: replay must return exactly the
+// entries whose frames fit entirely in the prefix, report the boundary of the
+// last complete frame as the clean length, and never panic.
+func TestWALTornTail(t *testing.T) {
+	want := testEntries()
+	log, ends := encodeLog(t, want)
+	for cut := 0; cut <= len(log); cut++ {
+		complete := 0
+		goodWant := 0
+		for i, end := range ends {
+			if end <= cut {
+				complete = i + 1
+				goodWant = end
+			}
+		}
+		got, good := ReplayWAL(log[:cut])
+		if good != goodWant {
+			t.Fatalf("cut %d: clean prefix %d, want %d", cut, good, goodWant)
+		}
+		if !equalEntries(got, want[:complete]) {
+			t.Fatalf("cut %d: replayed %d entries, want %d", cut, len(got), complete)
+		}
+	}
+}
+
+// TestWALCorruptByte flips every byte of the log: replay must stop exactly at
+// the frame holding the flip, returning the intact entries before it.
+func TestWALCorruptByte(t *testing.T) {
+	want := testEntries()
+	log, ends := encodeLog(t, want)
+	for i := range log {
+		frame := 0
+		goodWant := 0
+		for f, end := range ends {
+			if i >= end {
+				frame = f + 1
+				goodWant = end
+			}
+		}
+		bad := make([]byte, len(log))
+		copy(bad, log)
+		bad[i] ^= 0xFF
+		got, good := ReplayWAL(bad)
+		if good != goodWant {
+			t.Fatalf("byte %d flipped: clean prefix %d, want %d", i, good, goodWant)
+		}
+		if !equalEntries(got, want[:frame]) {
+			t.Fatalf("byte %d flipped: replayed %d entries, want %d", i, len(got), frame)
+		}
+	}
+}
+
+func TestWALUnknownOpStopsReplay(t *testing.T) {
+	// A frame with a valid checksum over a payload whose op the replayer does
+	// not know ends the replay at that frame.
+	var p writer
+	p.u8(3)
+	p.uvarint(0)
+	var w writer
+	w.u32(uint32(len(p.buf)))
+	w.u32(checksum(p.buf))
+	w.buf = append(w.buf, p.buf...)
+
+	good0, _ := EncodeWalEntry(WalEntry{Op: OpInsert, Raws: []string{"x"}})
+	log := append(append([]byte{}, good0...), w.buf...)
+	got, good := ReplayWAL(log)
+	if good != len(good0) || len(got) != 1 {
+		t.Fatalf("unknown op: replayed %d entries with prefix %d, want 1 entries at %d", len(got), good, len(good0))
+	}
+}
+
+func TestWALOversizedLengthStopsReplay(t *testing.T) {
+	var w writer
+	w.u32(maxWalEntry + 1)
+	w.u32(0)
+	w.buf = append(w.buf, make([]byte, 64)...)
+	got, good := ReplayWAL(w.buf)
+	if len(got) != 0 || good != 0 {
+		t.Fatalf("oversized frame believed: %d entries, prefix %d", len(got), good)
+	}
+}
+
+func TestWALEncodeRejectsUnknownOp(t *testing.T) {
+	if _, err := EncodeWalEntry(WalEntry{Op: 9}); err == nil {
+		t.Fatal("unknown op encoded")
+	}
+}
