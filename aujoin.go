@@ -163,6 +163,14 @@ type Stats struct {
 	// AutoTau was enabled, the adaptive planner's per-batch choice on
 	// planned Index probes, and the fixed build-time τ otherwise.
 	SuggestedTau int
+	// VerifiedCandidates counts the candidates whose full similarity was
+	// actually computed; PrunedByBound the candidates dismissed by a sound
+	// O(1) upper bound before any segment work; MemoHits the segment-pair
+	// similarity evaluations answered from the per-query memo instead of
+	// being recomputed. VerifiedCandidates + PrunedByBound ≤ Candidates.
+	VerifiedCandidates int64
+	PrunedByBound      int64
+	MemoHits           int64
 	// SuggestionTime, FilterTime and VerifyTime break the total down. Each
 	// is the wall-clock duration of its stage — elapsed time, NOT CPU time
 	// summed over verification workers or shards — so the three add up to
@@ -687,6 +695,15 @@ type IndexStats struct {
 	ProbePostings     int64 `json:"probe_postings"`
 	ProbeBitsetTokens int64 `json:"probe_bitset_tokens"`
 	ProbeSliceTokens  int64 `json:"probe_slice_tokens"`
+	// VerifiedCandidates, PrunedByBound and MemoHits are the cumulative
+	// verify-phase counters over every query served since the index was
+	// built: candidates whose similarity was actually computed, candidates
+	// skipped by the sound upper bounds (the O(1) size-ratio bound or the
+	// rising top-k floor), and segment-pair similarity evaluations answered
+	// from the per-query memo. Summed over shards.
+	VerifiedCandidates int64 `json:"verified_candidates"`
+	PrunedByBound      int64 `json:"pruned_by_bound"`
+	MemoHits           int64 `json:"memo_hits"`
 	// CacheHits and CacheMisses are the cumulative counters of the
 	// prepared-record cache consulted on Insert (shared across all shards;
 	// both zero when the cache is disabled).
@@ -864,15 +881,18 @@ func convertPairs(pairs []join.Pair, jstats join.Stats, tau int) ([]Match, Stats
 		tau = jstats.PlanTau
 	}
 	stats := Stats{
-		Candidates:      jstats.Candidates,
-		ShardCandidates: jstats.ShardCandidates,
-		Results:         len(pairs),
-		FilterPostings:  jstats.ProcessedPairs,
-		BitsetTokens:    jstats.BitsetTokens,
-		SliceTokens:     jstats.SliceTokens,
-		SuggestedTau:    tau,
-		FilterTime:      jstats.SignatureTime + jstats.FilterTime,
-		VerifyTime:      jstats.VerifyTime,
+		Candidates:         jstats.Candidates,
+		ShardCandidates:    jstats.ShardCandidates,
+		Results:            len(pairs),
+		FilterPostings:     jstats.ProcessedPairs,
+		BitsetTokens:       jstats.BitsetTokens,
+		SliceTokens:        jstats.SliceTokens,
+		VerifiedCandidates: jstats.VerifiedCandidates,
+		PrunedByBound:      jstats.PrunedByBound,
+		MemoHits:           jstats.MemoHits,
+		SuggestedTau:       tau,
+		FilterTime:         jstats.SignatureTime + jstats.FilterTime,
+		VerifyTime:         jstats.VerifyTime,
 	}
 	out := make([]Match, len(pairs))
 	for i, p := range pairs {

@@ -147,6 +147,15 @@ func TestHandleQueryPlanOverride(t *testing.T) {
 	if len(st.PlanDecisions) == 0 {
 		t.Errorf("stats.PlanDecisions empty after planned queries")
 	}
+	// The verify-phase counters flow through to /stats: queries with
+	// results must have verified candidates, and the scheduler/memo pair
+	// must have saved some work on this corpus.
+	if st.VerifiedCandidates == 0 {
+		t.Errorf("stats.VerifiedCandidates = 0 after answered queries")
+	}
+	if st.PrunedByBound == 0 && st.MemoHits == 0 {
+		t.Errorf("stats reports no pruned candidates and no memo hits")
+	}
 }
 
 // TestHandleProbeStreamsNDJSON pins the /probe contract: every confirmed

@@ -19,8 +19,12 @@
 // differ in absolute speed — and falls back to absolute ns/op otherwise.
 // The sibling is <name>Classic by default; "Name/Sibling" names it
 // explicitly (e.g. BenchmarkQueryPlanned/BenchmarkQueryFixed gates the
-// planned-over-fixed latency ratio). The run fails (exit 1) when any
-// current metric exceeds its baseline metric by more than -max-regress.
+// planned-over-fixed latency ratio). A ":allocs" suffix gates the
+// benchmark's absolute allocs/op instead of time (allocation counts are
+// deterministic and machine-independent, so no sibling is needed; e.g.
+// BenchmarkJoinSeq:allocs catches alloc regressions that ns ratios hide).
+// The run fails (exit 1) when any current metric exceeds its baseline
+// metric by more than -max-regress.
 package main
 
 import (
@@ -121,8 +125,14 @@ func main() {
 		if g == "" {
 			continue
 		}
-		name, sibling := splitGate(g)
-		if err := check(base, snap, name, sibling, *maxRegress); err != nil {
+		name, sibling, allocs := splitGate(g)
+		var err error
+		if allocs {
+			err = checkAllocs(base, snap, name, *maxRegress)
+		} else {
+			err = check(base, snap, name, sibling, *maxRegress)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -130,12 +140,16 @@ func main() {
 }
 
 // splitGate parses one -gate entry: "Name" gates against the implicit
-// <Name>Classic sibling, "Name/Sibling" names the ratio's denominator.
-func splitGate(g string) (name, sibling string) {
-	if i := strings.IndexByte(g, '/'); i >= 0 {
-		return g[:i], g[i+1:]
+// <Name>Classic sibling, "Name/Sibling" names the ratio's denominator, and
+// a ":allocs" suffix switches the gated metric to absolute allocs/op.
+func splitGate(g string) (name, sibling string, allocs bool) {
+	if rest, ok := strings.CutSuffix(g, ":allocs"); ok {
+		return rest, "", true
 	}
-	return g, g + "Classic"
+	if i := strings.IndexByte(g, '/'); i >= 0 {
+		return g[:i], g[i+1:], false
+	}
+	return g, g + "Classic", false
 }
 
 // parse reads benchmark result lines, keeping each name's fastest run.
@@ -242,6 +256,36 @@ func check(base, cur Snapshot, gate, sibling string, maxRegress float64) error {
 			gate, kind, curVal, baseVal, maxRegress*100)
 	}
 	return nil
+}
+
+// checkAllocs gates a benchmark's absolute allocs/op. The parse step keeps
+// the fastest run of a -count series, but allocs/op is deterministic across
+// runs of one binary, so any run's count is the count.
+func checkAllocs(base, cur Snapshot, gate string, maxRegress float64) error {
+	baseAllocs, ok := allocsOf(base, gate)
+	if !ok {
+		return fmt.Errorf("baseline has no %s allocs/op result", gate)
+	}
+	curAllocs, ok := allocsOf(cur, gate)
+	if !ok {
+		return fmt.Errorf("current run has no %s allocs/op result", gate)
+	}
+	limit := float64(baseAllocs) * (1 + maxRegress)
+	log.Printf("%s allocs/op: baseline %d, current %d, limit %.4g", gate, baseAllocs, curAllocs, limit)
+	if float64(curAllocs) > limit {
+		return fmt.Errorf("%s regressed: allocs/op %d exceeds baseline %d by more than %.0f%%",
+			gate, curAllocs, baseAllocs, maxRegress*100)
+	}
+	return nil
+}
+
+func allocsOf(s Snapshot, gate string) (int64, bool) {
+	for _, b := range s.Benchmarks {
+		if b.Name == gate {
+			return b.AllocsOp, b.AllocsOp > 0
+		}
+	}
+	return 0, false
 }
 
 func absMetric(s Snapshot, gate string) (float64, bool, bool) {

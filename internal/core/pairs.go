@@ -107,7 +107,16 @@ type ConflictGraph struct {
 // between any two pairs whose S-segments or T-segments overlap in token
 // positions.
 func BuildConflictGraph(pairs []SegmentPair) *ConflictGraph {
-	g := wmis.NewGraph(len(pairs))
+	g := &wmis.Graph{}
+	buildConflictGraphInto(g, pairs)
+	return &ConflictGraph{Graph: g, Pairs: pairs}
+}
+
+// buildConflictGraphInto fills g with the conflict graph of the candidate
+// pairs, reusing g's storage — the allocation-free form used by the verify
+// hot path, which builds one small graph per record pair.
+func buildConflictGraphInto(g *wmis.Graph, pairs []SegmentPair) {
+	g.Reset(len(pairs))
 	for i, p := range pairs {
 		g.SetWeight(i, p.Weight)
 	}
@@ -118,7 +127,6 @@ func BuildConflictGraph(pairs []SegmentPair) *ConflictGraph {
 			}
 		}
 	}
-	return &ConflictGraph{Graph: g, Pairs: pairs}
 }
 
 // selectedSegments maps an independent set of vertex indices to the

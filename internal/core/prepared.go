@@ -4,6 +4,7 @@ import (
 	"github.com/aujoin/aujoin/internal/matching"
 	"github.com/aujoin/aujoin/internal/sim"
 	"github.com/aujoin/aujoin/internal/strutil"
+	"github.com/aujoin/aujoin/internal/wmis"
 )
 
 // PreparedSegment is one well-defined segment of a prepared record together
@@ -83,11 +84,44 @@ type pairSeg struct{ s, t int32 }
 // to comparing the full similarity against θ (the fall-through computes it).
 const boundSlack = 1e-9
 
+// BoundSlack is the floating-point guard band of the verify-phase upper
+// bounds, exported so callers that schedule candidates by SizeRatioUpper can
+// prune with exactly the tolerance VerifyPrepared itself uses.
+const BoundSlack = boundSlack
+
+// memoCap bounds the per-scratch msim memo. Insertion stops (deterministically)
+// once the cap is reached; lookups keep working, so a capped memo only loses
+// hit rate, never correctness.
+const memoCap = 1 << 16
+
+// The msim memo is a two-level map: left segment text → (right segment
+// text → msim). Segment texts are space-joined normalised tokens
+// (strutil.JoinTokens), a bijective encoding of the token slice, so MSimData
+// is a pure function of (context, text pair). Two levels rather than a
+// struct key let fillMSim resolve the left text once per matrix row — the
+// row's inner lookups then hash only the right text, halving the string
+// hashing on the verify hot path.
+
+// ScratchStats counts verify-phase work performed through one Scratch.
+// Callers that want per-operation tallies snapshot the struct before a batch
+// and diff afterwards.
+type ScratchStats struct {
+	// Verified counts record pairs whose msim matrix was actually computed
+	// (they survived the O(1) size-ratio bound).
+	Verified int64
+	// PrunedByBound counts record pairs rejected by the O(1) partition-size
+	// ratio bound before any msim work.
+	PrunedByBound int64
+	// MemoHits counts segment-pair msim evaluations answered from the memo.
+	MemoHits int64
+}
+
 // Scratch holds the reusable working state of one verification worker: the
 // candidate-pair buffers, the dense msim cache, partition index lists, the
-// matching weight matrix and the Hungarian solver's internals. A Scratch
-// amortises all per-pair allocations across verify calls; it must not be
-// shared between goroutines.
+// matching weight matrix, the Hungarian solver's internals, the conflict
+// graph + w-MIS local-search arenas and the cross-candidate msim memo. A
+// Scratch amortises all per-pair allocations across verify calls; it must
+// not be shared between goroutines.
 type Scratch struct {
 	segPairs []SegmentPair
 	pairSegs []pairSeg
@@ -102,6 +136,29 @@ type Scratch struct {
 	ptIdx    []int32
 	weights  []float64
 	match    matching.Scratch
+
+	// conflict-graph + local-search arenas (Algorithm 1 Lines 1-4).
+	graph   wmis.Graph
+	wmisSc  wmis.Scratch
+	curSet  []int
+	candSet []int
+	bestTal []int
+	bestRem []int
+
+	// msim memo: values of MSimData keyed by segment-text pair (left text →
+	// right text → value), valid for one sim.Context. Repeated (Zipfian)
+	// tokens across a probe's candidate set hit the same segment texts over
+	// and over; the memo collapses those to a map lookup. memoN counts the
+	// total entries across rows for the memoCap bound.
+	memo    map[string]map[string]float64
+	memoN   int
+	memoCtx *sim.Context
+
+	// Stats tallies the work done through this scratch; DisableMemo turns
+	// the msim memo off (escape hatch, and the lever the memo-equivalence
+	// tests flip).
+	Stats       ScratchStats
+	DisableMemo bool
 }
 
 // NewScratch returns an empty scratch; buffers grow on first use.
@@ -175,6 +232,9 @@ func (c *Calculator) VerifyPrepared(ps, pt *PreparedRecord, theta float64, sc *S
 		return v, v >= theta
 	}
 	if sizeRatioUpper(ps, pt) < theta-boundSlack {
+		if sc != nil {
+			sc.Stats.PrunedByBound++
+		}
 		return 0, false
 	}
 	sc, pooled := c.scratch(sc)
@@ -183,6 +243,7 @@ func (c *Calculator) VerifyPrepared(ps, pt *PreparedRecord, theta float64, sc *S
 			c.scratchPool.Put(sc)
 		}
 	}()
+	sc.Stats.Verified++
 	c.fillMSim(sc, ps, pt)
 	if coverUpper(sc, ps, pt) < theta-boundSlack {
 		return 0, false
@@ -207,6 +268,22 @@ func sizeRatioUpper(ps, pt *PreparedRecord) float64 {
 	return 1
 }
 
+// SizeRatioUpper exposes the O(1) partition-size-ratio bound: an upper bound
+// on the unified similarity of the two prepared records, computed without
+// touching segment data. Verify schedulers order candidates by it
+// (descending) and prune once the bound falls below a rising threshold; the
+// bound dominates the similarity, so pruning below floor−BoundSlack is
+// exact.
+func SizeRatioUpper(ps, pt *PreparedRecord) float64 {
+	if len(ps.Tokens) == 0 || len(pt.Tokens) == 0 {
+		if len(ps.Tokens) == 0 && len(pt.Tokens) == 0 {
+			return 1
+		}
+		return 0
+	}
+	return sizeRatioUpper(ps, pt)
+}
+
 // fillMSim computes the dense msim matrix between every well-defined segment
 // of ps and pt into the scratch cache. Both the upper-bound screen and every
 // partition matrix of the local search read from this cache, so each segment
@@ -215,13 +292,63 @@ func (c *Calculator) fillMSim(sc *Scratch, ps, pt *PreparedRecord) {
 	ns, nt := len(ps.Segs), len(pt.Segs)
 	sc.msim = strutil.Resize(sc.msim, ns*nt)
 	sc.nt = nt
+	if sc.DisableMemo {
+		for i := range ps.Segs {
+			a := &ps.Segs[i].Data
+			row := sc.msim[i*nt : (i+1)*nt]
+			for j := range pt.Segs {
+				row[j] = c.Ctx.MSimData(a, &pt.Segs[j].Data)
+			}
+		}
+		return
+	}
+	if sc.memoCtx != c.Ctx {
+		// The memo caches context-dependent values; a scratch crossing
+		// calculators (different rules/taxonomy/q) must start fresh.
+		sc.memo = nil
+		sc.memoN = 0
+		sc.memoCtx = c.Ctx
+	}
 	for i := range ps.Segs {
 		a := &ps.Segs[i].Data
 		row := sc.msim[i*nt : (i+1)*nt]
+		mrow := sc.memoRow(a.Text)
 		for j := range pt.Segs {
-			row[j] = c.Ctx.MSimData(a, &pt.Segs[j].Data)
+			b := &pt.Segs[j].Data
+			if v, ok := mrow[b.Text]; ok {
+				sc.Stats.MemoHits++
+				row[j] = v
+				continue
+			}
+			v := c.Ctx.MSimData(a, b)
+			if sc.memoN < memoCap {
+				mrow[b.Text] = v
+				sc.memoN++
+			}
+			row[j] = v
 		}
 	}
+}
+
+// memoRow returns the memo row of one left segment text, creating it on
+// first use. The left side of a probe's msim matrices is the probe's own
+// segment set, so the handful of rows is resolved once per matrix and the
+// per-cell lookups hash only the candidate-side text.
+func (sc *Scratch) memoRow(text string) map[string]float64 {
+	if m, ok := sc.memo[text]; ok {
+		return m
+	}
+	if sc.memoN >= memoCap {
+		// Lookups on a nil row miss and the capped insert guard skips the
+		// store, so a full memo stops growing without a special case.
+		return nil
+	}
+	if sc.memo == nil {
+		sc.memo = make(map[string]map[string]float64, 64)
+	}
+	m := make(map[string]float64, 16)
+	sc.memo[text] = m
+	return m
 }
 
 // coverUpper bounds USIM using the row/column maxima of the msim matrix:
@@ -297,10 +424,13 @@ func (c *Calculator) similarityPrepared(sc *Scratch, ps, pt *PreparedRecord) flo
 		sc.tSel = sc.tSel[:0]
 		return c.simPreparedSelected(sc, ps, pt)
 	}
-	cg := BuildConflictGraph(pairs)
+	buildConflictGraphInto(&sc.graph, pairs)
 
-	// Line 1: w-MIS via SquareImp.
-	set := cg.Graph.SquareImp(wmisOptions(c.maxTalons()))
+	// Line 1: w-MIS via SquareImp. The solution is copied out of the wmis
+	// scratch into a core-owned buffer because the talon iterator below
+	// reuses the same wmis scratch.
+	sc.curSet = append(sc.curSet[:0], sc.graph.SquareImpScratch(wmisOptions(c.maxTalons()), &sc.wmisSc)...)
+	set := sc.curSet
 	best := c.simPreparedSet(sc, ps, pt, set)
 
 	// Lines 3-4: claw improvements measured on the unified similarity.
@@ -308,22 +438,30 @@ func (c *Calculator) similarityPrepared(sc *Scratch, ps, pt *PreparedRecord) flo
 	minGain := 1 / t
 	maxRounds := int(t)
 	for round := 0; round < maxRounds; round++ {
-		var bestTalons, bestRemoved []int
 		bestGain := 0.0
-		cg.Graph.EnumerateTalonSets(set, c.maxTalons(), func(talons, removed []int) bool {
-			candidate := wmisSwap(set, talons, removed)
-			v := c.simPreparedSet(sc, ps, pt, candidate)
+		haveBest := false
+		it := sc.graph.TalonSets(set, c.maxTalons(), false, &sc.wmisSc)
+		for {
+			talons, removed, ok := it.Next()
+			if !ok {
+				break
+			}
+			sc.candSet = wmis.SwapInto(sc.candSet[:0], set, talons, removed)
+			v := c.simPreparedSet(sc, ps, pt, sc.candSet)
 			if gain := v - best; gain > bestGain {
 				bestGain = gain
-				bestTalons = talons
-				bestRemoved = removed
+				// talons/removed alias the iterator's scratch; keep copies.
+				sc.bestTal = append(sc.bestTal[:0], talons...)
+				sc.bestRem = append(sc.bestRem[:0], removed...)
+				haveBest = true
 			}
-			return true
-		})
-		if bestTalons == nil || bestGain < minGain {
+		}
+		if !haveBest || bestGain < minGain {
 			break
 		}
-		set = wmisSwap(set, bestTalons, bestRemoved)
+		sc.candSet = wmis.SwapInto(sc.candSet[:0], set, sc.bestTal, sc.bestRem)
+		sc.curSet = append(sc.curSet[:0], sc.candSet...)
+		set = sc.curSet
 		best += bestGain
 	}
 	return best

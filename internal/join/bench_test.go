@@ -211,6 +211,50 @@ func BenchmarkQuery(b *testing.B) {
 	}
 }
 
+// verifyTopKBench serves top-k queries against a 2000-record dynamic index
+// (large candidate sets, so the verify phase dominates); opts toggles the
+// rising-threshold scheduler and the msim memo.
+func verifyTopKBench(b *testing.B, opts Options) {
+	j := NewJoiner(paperContext())
+	s := benchCorpus(2000, 1)
+	v := j.BuildDynamicIndex(s, opts, DynamicOptions{}).Snapshot()
+	// Keep only probes with a non-empty answer so every timed op exercises
+	// the verify phase (a θ=0.8 threshold leaves some of the raw pool
+	// matchless, and those would measure the count filter instead).
+	var probe [][]string
+	for _, r := range benchCorpus(64, 9) {
+		if len(v.QueryTopK(r.Tokens, 10)) > 0 {
+			probe = append(probe, r.Tokens)
+		}
+	}
+	if len(probe) < 16 {
+		b.Fatalf("only %d productive probes", len(probe))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := v.QueryTopK(probe[i%len(probe)], 10); len(out) == 0 {
+			b.Fatal("empty top-k result")
+		}
+	}
+}
+
+// BenchmarkVerifyTopK is the benchgate-gated top-k serving number: the
+// rising-floor scheduler prunes candidates whose cheap upper bound cannot
+// reach the heap's k-th similarity, and the memo reuses segment-pair msim
+// values across candidates of one query.
+func BenchmarkVerifyTopK(b *testing.B) {
+	verifyTopKBench(b, Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP})
+}
+
+// BenchmarkVerifyTopKNoPrune is the same workload through the plain verify
+// loop (Options.NoVerifyPrune + NoVerifyMemo) — the ratio sibling that makes
+// the gate machine-independent.
+func BenchmarkVerifyTopKNoPrune(b *testing.B) {
+	verifyTopKBench(b, Options{Theta: 0.8, Tau: 2, Method: pebble.AUDP,
+		NoVerifyPrune: true, NoVerifyMemo: true})
+}
+
 // mixedProbes builds the bimodal short/long probe pool of the planner
 // benchmarks: half 2-token fragments of dense vocabulary (where a small τ
 // over-admits little and saves posting scans), half three records
@@ -256,7 +300,7 @@ func BenchmarkPlanOverhead(b *testing.B) {
 	// carries the traffic (with the 1-in-16 exploration slot). Without the
 	// feedback half the forced initial sampling never completes and every
 	// plan re-measures an arm — a state no real workload stays in.
-	observe := func(d planner.Decision) { pl.Observe(d, 8, 1, 8_000, 100_000) }
+	observe := func(d planner.Decision) { pl.Observe(d, 8, 8, 1, 8_000, 100_000) }
 	for i := 0; i < 256; i++ {
 		observe(pl.Plan(v.base.sel, pres[i%len(pres)], v.base.inv.ListLength, len(v.records)))
 	}

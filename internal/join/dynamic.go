@@ -3,6 +3,8 @@ package join
 import (
 	"context"
 	"iter"
+	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -130,6 +132,13 @@ type DynamicIndex struct {
 	probeBitsetTokens atomic.Int64
 	probeSliceTokens  atomic.Int64
 
+	// Cumulative verify-phase work, the same way: candidates whose msim
+	// matrix was computed, candidates rejected by the sound upper bounds
+	// (size-ratio bound or the rising top-k floor), and msim memo hits.
+	verifyVerified atomic.Int64
+	verifyPruned   atomic.Int64
+	verifyMemoHits atomic.Int64
+
 	pool sync.Pool // *probeScratch shared across Views and generations
 }
 
@@ -138,6 +147,13 @@ func (dx *DynamicIndex) noteProbe(t filterTally) {
 	dx.probePostings.Add(t.postings)
 	dx.probeBitsetTokens.Add(t.bitsetTokens)
 	dx.probeSliceTokens.Add(t.sliceTokens)
+}
+
+// noteVerify folds one operation's verify tally into the cumulative counters.
+func (dx *DynamicIndex) noteVerify(t verifyTally) {
+	dx.verifyVerified.Add(t.verified)
+	dx.verifyPruned.Add(t.pruned)
+	dx.verifyMemoHits.Add(t.memoHits)
 }
 
 // segment is one immutable batch of inserted records: a sparse inverted
@@ -564,6 +580,15 @@ type DynamicStats struct {
 	ProbePostings     int64
 	ProbeBitsetTokens int64
 	ProbeSliceTokens  int64
+	// VerifiedCandidates, PrunedByBound and MemoHits are the cumulative
+	// verify-phase counters over every query served since the index was
+	// built: candidates whose msim matrix was computed, candidates skipped
+	// by the sound upper bounds (O(1) size-ratio bound or the rising top-k
+	// floor), and segment-pair msim evaluations answered from the memo.
+	// Summed over the shards of a ShardedIndex.
+	VerifiedCandidates int64
+	PrunedByBound      int64
+	MemoHits           int64
 	// CacheHits and CacheMisses are the cumulative prepared-record cache
 	// counters (one cache is shared across all shards of a ShardedIndex;
 	// zero when the cache is disabled).
@@ -613,6 +638,9 @@ func (v *View) Stats() DynamicStats {
 	st.ProbePostings = v.dx.probePostings.Load()
 	st.ProbeBitsetTokens = v.dx.probeBitsetTokens.Load()
 	st.ProbeSliceTokens = v.dx.probeSliceTokens.Load()
+	st.VerifiedCandidates = v.dx.verifyVerified.Load()
+	st.PrunedByBound = v.dx.verifyPruned.Load()
+	st.MemoHits = v.dx.verifyMemoHits.Load()
 	if pl := v.dx.planner; pl != nil {
 		c := pl.Counters()
 		st.SuggestedTau = c.SuggestedTau
@@ -838,17 +866,80 @@ func (v *View) planBatch(records []strutil.Record) planner.Decision {
 	return pl.PlanBatch(v.base.sel, pres, v.base.inv.ListLength, len(v.records))
 }
 
+// floorTracker is the shared rising floor of one top-k operation: the best
+// k-th-place similarity any participant (verify worker or shard) has proven
+// so far, maintained as a CAS-max over float bits. Every full k-heap's root
+// lower-bounds the global k-th best match, so a candidate whose upper bound
+// sits below the tracker can be skipped without changing the result.
+// Similarities are non-negative, so the float ordering matches the unsigned
+// bit ordering and the zero value is a no-op floor.
+type floorTracker struct {
+	bits atomic.Uint64
+}
+
+func (f *floorTracker) floor() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+func (f *floorTracker) raise(v float64) {
+	if v <= 0 {
+		return
+	}
+	nb := math.Float64bits(v)
+	for {
+		cur := f.bits.Load()
+		if math.Float64frombits(cur) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(cur, nb) {
+			return
+		}
+	}
+}
+
+// orderByUpperBound fills sc.ubs with the candidates paired with their O(1)
+// partition-size upper bound, ordered best-first (ties by position for
+// determinism). Verifying in this order lets the scheduler stop at the first
+// candidate whose bound falls under the rising floor: all later bounds are
+// no larger.
+func (v *View) orderByUpperBound(sc *probeScratch, cands []int32, pq *core.PreparedRecord) []candUB {
+	ubs := sc.ubs[:0]
+	for _, r := range cands {
+		ubs = append(ubs, candUB{r: r, ub: core.SizeRatioUpper(v.prepared[r], pq)})
+	}
+	sc.ubs = ubs
+	slices.SortFunc(ubs, func(a, b candUB) int {
+		if a.ub != b.ub {
+			if a.ub > b.ub {
+				return -1
+			}
+			return 1
+		}
+		if a.r != b.r {
+			if a.r < b.r {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return ubs
+}
+
 // verifyCandidatesParallel verifies the candidates across qo.Workers workers
 // with one lazily built similarity scratch each, feeding every confirmed
 // match to sink. sink is called from worker w only (no synchronisation
 // needed on per-worker accumulators); the error is the context error when
-// the run was cut short.
-func (v *View) verifyCandidatesParallel(ctx context.Context, cands []int32, pq *core.PreparedRecord, theta float64, workers int, sink func(w int, m QueryMatch)) error {
+// the run was cut short. The returned tally folds the workers' verify
+// counters.
+func (v *View) verifyCandidatesParallel(ctx context.Context, cands []int32, pq *core.PreparedRecord, theta float64, workers int, sink func(w int, m QueryMatch)) (verifyTally, error) {
 	scratches := make([]*core.Scratch, workers)
-	return parallelForWorkersCtx(ctx, len(cands), workers, func(w, i int) {
+	noMemo := v.dx.opts.NoVerifyMemo
+	err := parallelForWorkersCtx(ctx, len(cands), workers, func(w, i int) {
 		wsc := scratches[w]
 		if wsc == nil {
 			wsc = core.NewScratch()
+			wsc.DisableMemo = noMemo
 			scratches[w] = wsc
 		}
 		r := cands[i]
@@ -856,6 +947,60 @@ func (v *View) verifyCandidatesParallel(ctx context.Context, cands []int32, pq *
 			sink(w, QueryMatch{Record: v.records[r].ID, Similarity: val})
 		}
 	})
+	var vt verifyTally
+	for _, wsc := range scratches {
+		vt.addScratch(wsc)
+	}
+	return vt, err
+}
+
+// verifyTopKParallel is the rising-floor analogue of verifyCandidatesParallel
+// for top-k requests: candidates arrive in upper-bound order, every worker
+// keeps its own k-bounded heap in heaps[w], and the shared tracker carries
+// the best proven floor across workers (and shards). A candidate is skipped
+// when its bound sits below the live floor minus the verify slack — by then
+// k matches at least that good are known to exist, so the skip is exact.
+func (v *View) verifyTopKParallel(ctx context.Context, ubs []candUB, pq *core.PreparedRecord, theta float64, k, workers int, ft *floorTracker, heaps []topKHeap) (verifyTally, error) {
+	scratches := make([]*core.Scratch, workers)
+	noMemo := v.dx.opts.NoVerifyMemo
+	var pruned atomic.Int64
+	err := parallelForWorkersCtx(ctx, len(ubs), workers, func(w, i int) {
+		wsc := scratches[w]
+		if wsc == nil {
+			wsc = core.NewScratch()
+			wsc.DisableMemo = noMemo
+			scratches[w] = wsc
+		}
+		h := &heaps[w]
+		floor := theta
+		if f := ft.floor(); f > floor {
+			floor = f
+		}
+		if len(h.entries) == k {
+			if hf := h.entries[0].Similarity; hf > floor {
+				floor = hf
+			}
+		}
+		if ubs[i].ub < floor-core.BoundSlack {
+			pruned.Add(1)
+			return
+		}
+		r := ubs[i].r
+		// floor, not theta: a candidate below the floor cannot enter any
+		// final top-k, and one exactly at it still passes (ok is ≥).
+		if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, floor, wsc); ok {
+			h.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
+			if len(h.entries) == k {
+				ft.raise(h.entries[0].Similarity)
+			}
+		}
+	})
+	var vt verifyTally
+	for _, wsc := range scratches {
+		vt.addScratch(wsc)
+	}
+	vt.pruned += pruned.Load()
+	return vt, err
 }
 
 // probeRecordPrepared is ProbeRecordCtx for a ready-made probe signature,
@@ -873,17 +1018,20 @@ func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, ta
 	}
 	var out []QueryMatch
 	var err error
+	var vt verifyTally
 	if len(cands) > 0 {
 		verifyStart := time.Now()
 		defer func() { // the verify loop has several exits; one timer covers all
 			if ex != nil {
 				ex.VerifyNs.Add(time.Since(verifyStart).Nanoseconds())
+				ex.Pruned.Add(vt.pruned)
 			}
+			v.dx.noteVerify(vt)
 		}()
 		pq := lp.get()
 		if qo.Workers > 1 && len(cands) >= minParallelVerify {
 			outs := make([][]QueryMatch, qo.Workers)
-			err = v.verifyCandidatesParallel(ctx, cands, pq, theta, qo.Workers, func(w int, m QueryMatch) {
+			vt, err = v.verifyCandidatesParallel(ctx, cands, pq, theta, qo.Workers, func(w int, m QueryMatch) {
 				outs[w] = append(outs[w], m)
 			})
 			if err == nil {
@@ -893,6 +1041,8 @@ func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, ta
 			}
 		} else {
 			sim := sc.simScratch()
+			sim.DisableMemo = v.dx.opts.NoVerifyMemo
+			before := sim.Stats
 			for i, r := range cands {
 				if i%ctxCheckStride == 0 && ctx.Err() != nil {
 					err = ctx.Err()
@@ -902,6 +1052,11 @@ func (v *View) probeRecordPrepared(ctx context.Context, sig pebble.Signature, ta
 					out = append(out, QueryMatch{Record: v.records[r].ID, Similarity: val})
 				}
 			}
+			// The sim scratch is pooled, so its counters span operations;
+			// diff against the snapshot for this probe's share.
+			vt.verified = sim.Stats.Verified - before.Verified
+			vt.pruned = sim.Stats.PrunedByBound - before.PrunedByBound
+			vt.memoHits = sim.Stats.MemoHits - before.MemoHits
 		}
 	}
 	sc.release(&v.dx.pool)
@@ -932,7 +1087,7 @@ func (v *View) QueryTopKCtx(ctx context.Context, tokens []string, k int, qo Quer
 	start := time.Now()
 	d := v.planRecord(tokens, qo)
 	var ex planner.Exec
-	heap, err := v.queryTopKPrepared(ctx, d.Sig, d.Tau, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k, qo, &ex)
+	heap, err := v.queryTopKPrepared(ctx, d.Sig, d.Tau, &lazyPrepared{calc: v.dx.calc, tokens: tokens}, k, qo, &ex, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -946,7 +1101,15 @@ func (v *View) QueryTopKCtx(ctx context.Context, tokens []string, k int, qo Quer
 // before sorting once). With qo.Workers > 1 each worker keeps its own
 // k-bounded heap and the heaps are folded at the end — sound because the
 // top k of the union is contained in the union of per-worker top k's.
-func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, tau int, lp *lazyPrepared, k int, qo QueryOpts, ex *planner.Exec) (topKHeap, error) {
+//
+// Unless Options.NoVerifyPrune is set, candidates are verified in descending
+// order of their O(1) similarity upper bound against a rising floor: the
+// larger of θ, this scan's heap root once full, and the shared tracker ft
+// (which carries the best floor observed by concurrent workers and sibling
+// shards). A candidate whose bound falls below the floor — and, in the
+// ordered sequential scan, every candidate after it — is provably outside
+// the final top k, so the pruned scan returns bit-identical results.
+func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, tau int, lp *lazyPrepared, k int, qo QueryOpts, ex *planner.Exec, ft *floorTracker) (topKHeap, error) {
 	theta := v.dx.opts.thetaFor(qo)
 	sc := v.scratch()
 	cands, _ := v.candidatesRecord(sig, tau, sc)
@@ -955,17 +1118,36 @@ func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, tau 
 	}
 	var heap topKHeap
 	var err error
+	var vt verifyTally
 	if len(cands) > 0 {
 		verifyStart := time.Now()
 		defer func() {
 			if ex != nil {
 				ex.VerifyNs.Add(time.Since(verifyStart).Nanoseconds())
+				ex.Pruned.Add(vt.pruned)
 			}
+			v.dx.noteVerify(vt)
 		}()
 		pq := lp.get()
-		if qo.Workers > 1 && len(cands) >= minParallelVerify {
+		prune := !v.dx.opts.NoVerifyPrune
+		if ft == nil {
+			ft = &floorTracker{}
+		}
+		switch {
+		case qo.Workers > 1 && len(cands) >= minParallelVerify && prune:
 			heaps := make([]topKHeap, qo.Workers)
-			err = v.verifyCandidatesParallel(ctx, cands, pq, theta, qo.Workers, func(w int, m QueryMatch) {
+			ubs := v.orderByUpperBound(sc, cands, pq)
+			vt, err = v.verifyTopKParallel(ctx, ubs, pq, theta, k, qo.Workers, ft, heaps)
+			if err == nil {
+				for _, h := range heaps {
+					for _, m := range h.entries {
+						heap.offer(m, k)
+					}
+				}
+			}
+		case qo.Workers > 1 && len(cands) >= minParallelVerify:
+			heaps := make([]topKHeap, qo.Workers)
+			vt, err = v.verifyCandidatesParallel(ctx, cands, pq, theta, qo.Workers, func(w int, m QueryMatch) {
 				heaps[w].offer(m, k)
 			})
 			if err == nil {
@@ -977,8 +1159,46 @@ func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, tau 
 					}
 				}
 			}
-		} else {
+		case prune:
 			sim := sc.simScratch()
+			sim.DisableMemo = v.dx.opts.NoVerifyMemo
+			before := sim.Stats
+			ubs := v.orderByUpperBound(sc, cands, pq)
+			for i := range ubs {
+				if i%ctxCheckStride == 0 && ctx.Err() != nil {
+					err = ctx.Err()
+					break
+				}
+				floor := theta
+				if f := ft.floor(); f > floor {
+					floor = f
+				}
+				if len(heap.entries) == k {
+					if hf := heap.entries[0].Similarity; hf > floor {
+						floor = hf
+					}
+				}
+				if ubs[i].ub < floor-core.BoundSlack {
+					// Bounds only shrink from here (ubs is sorted) and the
+					// floor only rises: the whole tail is pruned.
+					vt.pruned += int64(len(ubs) - i)
+					break
+				}
+				r := ubs[i].r
+				if val, ok := v.dx.calc.VerifyPrepared(v.prepared[r], pq, floor, sim); ok {
+					heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
+					if len(heap.entries) == k {
+						ft.raise(heap.entries[0].Similarity)
+					}
+				}
+			}
+			vt.verified += sim.Stats.Verified - before.Verified
+			vt.pruned += sim.Stats.PrunedByBound - before.PrunedByBound
+			vt.memoHits += sim.Stats.MemoHits - before.MemoHits
+		default:
+			sim := sc.simScratch()
+			sim.DisableMemo = v.dx.opts.NoVerifyMemo
+			before := sim.Stats
 			for i, r := range cands {
 				if i%ctxCheckStride == 0 && ctx.Err() != nil {
 					err = ctx.Err()
@@ -988,6 +1208,9 @@ func (v *View) queryTopKPrepared(ctx context.Context, sig pebble.Signature, tau 
 					heap.offer(QueryMatch{Record: v.records[r].ID, Similarity: val}, k)
 				}
 			}
+			vt.verified = sim.Stats.Verified - before.Verified
+			vt.pruned = sim.Stats.PrunedByBound - before.PrunedByBound
+			vt.memoHits = sim.Stats.MemoHits - before.MemoHits
 		}
 	}
 	sc.release(&v.dx.pool)
@@ -1075,7 +1298,8 @@ func (v *View) Probe(records []strutil.Record) ([]Pair, Stats) {
 	prep := prepareRecords(records, v.dx.calc)
 	pairs, stats := runProbeStages(v.dx.calc, v.dx.opts, v.target(d.Tau), records, sigs, prep, false, time.Since(start))
 	stats.PlanTau = planTauOf(d)
-	v.dx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+	v.dx.noteVerify(verifyTally{verified: stats.VerifiedCandidates, pruned: stats.PrunedByBound, memoHits: stats.MemoHits})
+	v.dx.planner.Observe(d, int64(stats.Candidates), stats.VerifiedCandidates, int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
 	return pairs, stats
 }
 
@@ -1096,8 +1320,9 @@ func (v *View) probeStream(ctx context.Context, records []strutil.Record, emit f
 	sigs := v.dx.joiner.signatures(records, v.base.sel, d.Method, d.Tau)
 	prep := prepareRecords(records, v.dx.calc)
 	stats, err := runProbeStream(ctx, v.dx.calc, v.dx.opts, v.target(d.Tau), records, sigs, prep, false, time.Since(start), emit)
+	v.dx.noteVerify(verifyTally{verified: stats.VerifiedCandidates, pruned: stats.PrunedByBound, memoHits: stats.MemoHits})
 	if err == nil {
-		v.dx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+		v.dx.planner.Observe(d, int64(stats.Candidates), stats.VerifiedCandidates, int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
 	}
 	return err
 }

@@ -78,6 +78,17 @@ type Stats struct {
 	SliceTokens  int64
 	// Results is the number of pairs whose unified similarity reached θ.
 	Results int
+	// VerifiedCandidates counts the candidates whose msim matrix was actually
+	// computed: Candidates minus the pairs the O(1) partition-size bound (or
+	// the rising top-k floor) rejected before any segment work.
+	VerifiedCandidates int64
+	// PrunedByBound counts the candidates skipped by those sound upper
+	// bounds. VerifiedCandidates + PrunedByBound ≤ Candidates (a candidate
+	// with out-of-range ids counts as neither).
+	PrunedByBound int64
+	// MemoHits counts segment-pair msim evaluations answered from the
+	// per-worker memo instead of being recomputed.
+	MemoHits int64
 	// PlanTau is the overlap constraint the adaptive planner picked for this
 	// probe batch (0 on unplanned paths — fixed configuration or static
 	// Index probes).
@@ -119,6 +130,15 @@ type Options struct {
 	// Method/Tau on every request (today's pre-planner behaviour). Static
 	// Index probes are always fixed.
 	Plan PlanMode
+	// NoVerifyPrune disables the rising-threshold verify scheduler on top-k
+	// paths: candidates are verified in candidate order at the fixed θ, as
+	// before PR 9. Results are bit-identical either way (the property tests
+	// pin this); the toggle is the baseline for those tests and benchmarks.
+	NoVerifyPrune bool
+	// NoVerifyMemo disables the per-worker msim memo. Same contract: results
+	// are bit-identical, the toggle exists for equivalence tests and as an
+	// escape hatch for memory-constrained deployments.
+	NoVerifyMemo bool
 }
 
 func (o Options) workers() int {
@@ -224,6 +244,16 @@ type probeScratch struct {
 	acc    *invindex.Accumulator
 	merged []int32
 	sim    *core.Scratch
+	// ubs is the verify scheduler's ordering arena: candidates paired with
+	// their O(1) similarity upper bound, sorted best-first on top-k paths.
+	ubs []candUB
+}
+
+// candUB pairs a candidate record position with its partition-size-ratio
+// upper bound, the sort key of the rising-threshold verify scheduler.
+type candUB struct {
+	r  int32
+	ub float64
 }
 
 // scratchFromPool borrows a probe scratch from pool (allocating on a cold
@@ -466,6 +496,7 @@ func (ix *Index) ProbeRecord(tokens []string) []QueryMatch {
 	if len(cands) > 0 {
 		pq := ix.calc.Prepare(tokens)
 		sim := sc.simScratch()
+		sim.DisableMemo = ix.opts.NoVerifyMemo
 		for _, r := range cands {
 			if v, ok := ix.calc.VerifyPrepared(ix.prepared[r], pq, ix.opts.Theta, sim); ok {
 				out = append(out, QueryMatch{Record: int(r), Similarity: v})
@@ -703,8 +734,8 @@ type pairKey struct{ s, t int }
 func (j *Joiner) verify(s, t []strutil.Record, prepS, prepT []*core.PreparedRecord, candidates []pairKey, calc *core.Calculator, opts Options) []Pair {
 	var out []Pair
 	workers := opts.workers()
-	_, _ = collectStream(context.Background(), workers, func(ictx context.Context, ch chan<- Pair) error {
-		return streamVerify(ictx, s, t, prepS, prepT, candidates, calc, opts.Theta, workers, ch)
+	_, _ = collectStream(context.Background(), workers, func(ictx context.Context, ch chan<- []Pair) error {
+		return streamVerify(ictx, s, t, prepS, prepT, candidates, calc, opts.Theta, workers, opts.NoVerifyMemo, ch, nil)
 	}, func(p Pair) bool {
 		out = append(out, p)
 		return true

@@ -457,6 +457,9 @@ func (sv *ShardedView) Stats() DynamicStats {
 			st.ProbePostings += vs.ProbePostings
 			st.ProbeBitsetTokens += vs.ProbeBitsetTokens
 			st.ProbeSliceTokens += vs.ProbeSliceTokens
+			st.VerifiedCandidates += vs.VerifiedCandidates
+			st.PrunedByBound += vs.PrunedByBound
+			st.MemoHits += vs.MemoHits
 			if vs.BuildTime > st.BuildTime {
 				st.BuildTime = vs.BuildTime
 			}
@@ -642,9 +645,13 @@ func (sv *ShardedView) QueryTopKCtx(ctx context.Context, tokens []string, k int,
 	lp := &lazyPrepared{calc: sv.sx.joiner.calcFor(sv.sx.opts), tokens: tokens}
 	heaps := make([]topKHeap, len(sv.views))
 	var ex planner.Exec
+	// One floor tracker spans the whole fan-out: as soon as any shard's
+	// heap fills, its k-th similarity becomes a lower bound on the global
+	// k-th best, so sibling shards can skip candidates bounded below it.
+	var ft floorTracker
 	err := sv.fanout(ctx, func(ictx context.Context, w int) error {
 		var werr error
-		heaps[w], werr = sv.views[w].queryTopKPrepared(ictx, d.Sig, d.Tau, lp, k, qo, &ex)
+		heaps[w], werr = sv.views[w].queryTopKPrepared(ictx, d.Sig, d.Tau, lp, k, qo, &ex, &ft)
 		return werr
 	})
 	if err != nil {
@@ -681,7 +688,11 @@ func (sv *ShardedView) Probe(records []strutil.Record) ([]Pair, Stats) {
 	pairs, stats := runProbeStages(sv.sx.joiner.calcFor(sv.sx.opts), sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start))
 	stats.ShardCandidates = shardCands()
 	stats.PlanTau = planTauOf(d)
-	sv.sx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+	// Verification runs centrally over the flattened catalog, not per
+	// shard; attribute its counters to shard 0 so the sharded Stats sum
+	// still accounts for every verified candidate exactly once.
+	sv.views[0].dx.noteVerify(verifyTally{verified: stats.VerifiedCandidates, pruned: stats.PrunedByBound, memoHits: stats.MemoHits})
+	sv.sx.planner.Observe(d, int64(stats.Candidates), stats.VerifiedCandidates, int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
 	return pairs, stats
 }
 
@@ -702,8 +713,9 @@ func (sv *ShardedView) ProbeSeq(ctx context.Context, records []strutil.Record) i
 		sigs := sv.sx.joiner.signatures(records, sv.gen.sel, d.Method, d.Tau)
 		prep := prepareRecords(records, calc)
 		stats, err := runProbeStream(ctx, calc, sv.sx.opts, tgt, records, sigs, prep, false, time.Since(start), emit)
+		sv.views[0].dx.noteVerify(verifyTally{verified: stats.VerifiedCandidates, pruned: stats.PrunedByBound, memoHits: stats.MemoHits})
 		if err == nil {
-			sv.sx.planner.Observe(d, int64(stats.Candidates), int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
+			sv.sx.planner.Observe(d, int64(stats.Candidates), stats.VerifiedCandidates, int64(len(records)), stats.VerifyTime.Nanoseconds(), 0)
 		}
 		return err
 	})

@@ -89,18 +89,60 @@ feed:
 	return ctx.Err()
 }
 
+// verifyTally aggregates verify-phase work counters across the workers of
+// one run; the values feed Stats and the cumulative index atomics.
+type verifyTally struct {
+	verified int64
+	pruned   int64
+	memoHits int64
+}
+
+func (t *verifyTally) addScratch(sc *core.Scratch) {
+	if sc == nil {
+		return
+	}
+	t.verified += sc.Stats.Verified
+	t.pruned += sc.Stats.PrunedByBound
+	t.memoHits += sc.Stats.MemoHits
+}
+
+// pairBatchPool recycles the emit batches flowing from verification workers
+// to the collector, so steady-state match emission allocates nothing.
+var pairBatchPool = sync.Pool{
+	New: func() any {
+		s := make([]Pair, 0, emitBatch)
+		return &s
+	},
+}
+
 // streamVerify runs the thresholded prepared-record verification of the
 // candidate pairs in parallel, with one similarity scratch per worker, and
-// sends every pair reaching theta to out in completion order. It returns nil
-// after the last send, or the context error when cancelled; it never closes
-// out (the caller owns the channel).
-func streamVerify(ctx context.Context, s, t []strutil.Record, prepS, prepT []*core.PreparedRecord, candidates []pairKey, calc *core.Calculator, theta float64, workers int, out chan<- Pair) error {
+// sends every pair reaching theta to out in completion order, batched in
+// pooled slices of up to emitBatch pairs. It returns nil after the last
+// send, or the context error when cancelled; it never closes out (the caller
+// owns the channel). When vt is non-nil, the workers' verify counters are
+// accumulated into it before returning.
+func streamVerify(ctx context.Context, s, t []strutil.Record, prepS, prepT []*core.PreparedRecord, candidates []pairKey, calc *core.Calculator, theta float64, workers int, noMemo bool, out chan<- []Pair, vt *verifyTally) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	scratches := make([]*core.Scratch, workers)
+	batches := make([]*[]Pair, workers)
 	done := ctx.Done()
-	return parallelForWorkersCtx(ctx, len(candidates), workers, func(w, i int) {
+	flush := func(w int) {
+		b := batches[w]
+		if b == nil || len(*b) == 0 {
+			return
+		}
+		batches[w] = nil
+		select {
+		case out <- *b:
+		case <-done:
+			*b = (*b)[:0]
+			pairBatchPool.Put(b)
+		}
+	}
+	err := parallelForWorkersCtx(ctx, len(candidates), workers, func(w, i int) {
 		c := candidates[i]
 		if c.s >= len(s) || c.t >= len(t) {
 			return
@@ -108,29 +150,47 @@ func streamVerify(ctx context.Context, s, t []strutil.Record, prepS, prepT []*co
 		sc := scratches[w]
 		if sc == nil {
 			sc = core.NewScratch()
+			sc.DisableMemo = noMemo
 			scratches[w] = sc
 		}
 		if v, ok := calc.VerifyPrepared(prepS[c.s], prepT[c.t], theta, sc); ok {
-			select {
-			case out <- Pair{S: s[c.s].ID, T: t[c.t].ID, Similarity: v}:
-			case <-done:
+			b := batches[w]
+			if b == nil {
+				b = pairBatchPool.Get().(*[]Pair)
+				batches[w] = b
+			}
+			*b = append(*b, Pair{S: s[c.s].ID, T: t[c.t].ID, Similarity: v})
+			if len(*b) >= emitBatch {
+				flush(w)
 			}
 		}
 	})
+	// Workers have all returned; hand their partial batches to the collector
+	// and fold their counters.
+	for w := range batches {
+		flush(w)
+	}
+	if vt != nil {
+		for _, sc := range scratches {
+			vt.addScratch(sc)
+		}
+	}
+	return err
 }
 
-// collectStream drives one producer goroutine that sends pairs to a bounded
-// channel and forwards each pair to emit on the caller's goroutine. When emit
-// returns false the internal context is cancelled, the channel drained, and
-// the producer joined — the consumer walking away mid-stream leaks nothing
-// and is not an error. The returned count is the number of pairs emitted.
-func collectStream(ctx context.Context, workers int, produce func(ctx context.Context, out chan<- Pair) error, emit func(Pair) bool) (int, error) {
+// collectStream drives one producer goroutine that sends pair batches to a
+// bounded channel and forwards each pair to emit on the caller's goroutine,
+// returning consumed batches to the pool. When emit returns false the
+// internal context is cancelled, the channel drained, and the producer
+// joined — the consumer walking away mid-stream leaks nothing and is not an
+// error. The returned count is the number of pairs emitted.
+func collectStream(ctx context.Context, workers int, produce func(ctx context.Context, out chan<- []Pair) error, emit func(Pair) bool) (int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	out := make(chan Pair, workers*emitBatch)
+	out := make(chan []Pair, workers)
 	done := make(chan error, 1)
 	goPipeline(func() {
 		err := produce(ictx, out)
@@ -139,16 +199,20 @@ func collectStream(ctx context.Context, workers int, produce func(ctx context.Co
 	})
 	emitted := 0
 	stopped := false
-	for p := range out {
-		if stopped {
-			continue
+	for batch := range out {
+		for _, p := range batch {
+			if stopped {
+				break
+			}
+			if !emit(p) {
+				stopped = true
+				cancel()
+				break
+			}
+			emitted++
 		}
-		if !emit(p) {
-			stopped = true
-			cancel()
-			continue
-		}
-		emitted++
+		batch = batch[:0]
+		pairBatchPool.Put(&batch)
 	}
 	err := <-done
 	if stopped {
@@ -191,10 +255,14 @@ func runProbeStream(ctx context.Context, calc *core.Calculator, opts Options, tg
 	}
 
 	start = time.Now()
-	results, err := collectStream(ctx, opts.workers(), func(ictx context.Context, out chan<- Pair) error {
-		return streamVerify(ictx, tgt.records, records, tgt.prepared, prep, candidates, calc, opts.Theta, opts.workers(), out)
+	var vt verifyTally
+	results, err := collectStream(ctx, opts.workers(), func(ictx context.Context, out chan<- []Pair) error {
+		return streamVerify(ictx, tgt.records, records, tgt.prepared, prep, candidates, calc, opts.Theta, opts.workers(), opts.NoVerifyMemo, out, &vt)
 	}, emit)
 	stats.VerifyTime = time.Since(start)
+	stats.VerifiedCandidates = vt.verified
+	stats.PrunedByBound = vt.pruned
+	stats.MemoHits = vt.memoHits
 	stats.Results = results
 	return stats, err
 }

@@ -1,13 +1,15 @@
 package pebble
 
-import "github.com/aujoin/aujoin/internal/sim"
+import (
+	"sort"
 
-// groupKey identifies a (segment, measure) pebble group, the granularity at
-// which the accumulated similarity (Definition 4) takes its inner maximum.
-type groupKey struct {
-	segment int
-	measure sim.Measure
-}
+	"github.com/aujoin/aujoin/internal/sim"
+)
+
+// numMeasures is the number of similarity measures pebbles can carry
+// (sim.Jaccard, sim.Synonym, sim.Taxonomy); group IDs are
+// segment*numMeasures + measure.
+const numMeasures = 3
 
 // AccTable holds the accumulated-similarity suffix sums of a sorted pebble
 // list: AS(i) for every 1-based position i, where
@@ -26,8 +28,18 @@ type AccTable struct {
 	// as[i] = AS(i+1) in the 1-based notation of the paper, for i in [0, n);
 	// as[n] = 0.
 	as []float64
-	// scratch backs the weight lists of TopWeights / TopWeightsGroup.
+	// scratch backs the weight lists of TopWeightsGroup.
 	scratch []float64
+	// groupPos[g] lists the positions (ascending) of group g's pebbles,
+	// g = segment*numMeasures + measure. The selection DP queries one group
+	// at a time for every (position, segment) cell; indexing by group keeps
+	// those queries proportional to the group's size instead of rescanning
+	// the whole pebble list per cell.
+	groupPos [][]int32
+	// topPrefix[c] caches TW_c(B[1, p]) for every prefix length p, built
+	// lazily on the first TopWeights call with that c (selection runs with
+	// one τ at a time; the estimator asks for a handful).
+	topPrefix map[int][]float64
 }
 
 // NewAccTable computes the accumulated-similarity table of a pebble list
@@ -35,18 +47,45 @@ type AccTable struct {
 func NewAccTable(sorted []Pebble) *AccTable {
 	n := len(sorted)
 	t := &AccTable{pebbles: sorted, as: make([]float64, n+1)}
-	groupSum := map[groupKey]float64{}
-	segMax := map[int]float64{}
+
+	maxSeg := -1
+	for i := range sorted {
+		if sorted[i].Segment > maxSeg {
+			maxSeg = sorted[i].Segment
+		}
+	}
+	nGroups := (maxSeg + 1) * numMeasures
+
+	// Suffix accumulation of Definition 4, right to left: whenever a group's
+	// running sum overtakes its segment's best measure, AS grows by the
+	// difference.
+	groupSum := make([]float64, nGroups)
+	segMax := make([]float64, maxSeg+1)
+	counts := make([]int32, nGroups)
 	total := 0.0
 	for i := n - 1; i >= 0; i-- {
 		p := sorted[i]
-		gk := groupKey{segment: p.Segment, measure: p.Measure}
-		groupSum[gk] += p.Weight
-		if groupSum[gk] > segMax[p.Segment] {
-			total += groupSum[gk] - segMax[p.Segment]
-			segMax[p.Segment] = groupSum[gk]
+		g := p.Segment*numMeasures + int(p.Measure)
+		groupSum[g] += p.Weight
+		if groupSum[g] > segMax[p.Segment] {
+			total += groupSum[g] - segMax[p.Segment]
+			segMax[p.Segment] = groupSum[g]
 		}
 		t.as[i] = total
+		counts[g]++
+	}
+
+	// Bucket the positions of each group, ascending, into one shared arena.
+	arena := make([]int32, n)
+	t.groupPos = make([][]int32, nGroups)
+	off := int32(0)
+	for g, c := range counts {
+		t.groupPos[g] = arena[off : off : off+c]
+		off += c
+	}
+	for i := range sorted {
+		g := sorted[i].Segment*numMeasures + int(sorted[i].Measure)
+		t.groupPos[g] = append(t.groupPos[g], int32(i))
 	}
 	return t
 }
@@ -71,6 +110,9 @@ func (t *AccTable) Total() float64 { return t.AS(1) }
 
 // TopWeights returns the sum of the c heaviest pebble weights among the
 // first `prefix` pebbles (1-based count), i.e. TW_c(B[1, prefix]) of Eq. (8).
+// The per-prefix sums are precomputed per c, so the heuristic's scan over
+// candidate cut positions pays O(1) per position instead of re-selecting
+// the top weights of each prefix.
 func (t *AccTable) TopWeights(prefix, c int) float64 {
 	if c <= 0 || prefix <= 0 {
 		return 0
@@ -78,12 +120,46 @@ func (t *AccTable) TopWeights(prefix, c int) float64 {
 	if prefix > len(t.pebbles) {
 		prefix = len(t.pebbles)
 	}
-	weights := t.scratch[:0]
-	for i := 0; i < prefix; i++ {
-		weights = append(weights, t.pebbles[i].Weight)
+	row, ok := t.topPrefix[c]
+	if !ok {
+		row = t.buildTopPrefix(c)
+		if t.topPrefix == nil {
+			t.topPrefix = make(map[int][]float64, 2)
+		}
+		t.topPrefix[c] = row
 	}
-	t.scratch = weights
-	return sumTopK(weights, c)
+	return row[prefix]
+}
+
+// buildTopPrefix computes TW_c(B[1, p]) for every p in [0, n], maintaining
+// a descending top-c window over one left-to-right sweep. Each prefix sum
+// adds the window's values largest-first — the same addition order as a
+// per-prefix selection sort, so the cached sums are bit-identical to the
+// scan they replace.
+func (t *AccTable) buildTopPrefix(c int) []float64 {
+	n := len(t.pebbles)
+	row := make([]float64, n+1)
+	top := make([]float64, 0, c)
+	for p := 1; p <= n; p++ {
+		w := t.pebbles[p-1].Weight
+		if len(top) < c {
+			top = append(top, w)
+			for j := len(top) - 1; j > 0 && top[j] > top[j-1]; j-- {
+				top[j], top[j-1] = top[j-1], top[j]
+			}
+		} else if w > top[c-1] {
+			top[c-1] = w
+			for j := c - 1; j > 0 && top[j] > top[j-1]; j-- {
+				top[j], top[j-1] = top[j-1], top[j]
+			}
+		}
+		s := 0.0
+		for _, v := range top {
+			s += v
+		}
+		row[p] = s
+	}
+	return row
 }
 
 // TopWeightsGroup returns TW_c over the first `prefix` pebbles restricted to
@@ -96,12 +172,16 @@ func (t *AccTable) TopWeightsGroup(prefix, c, segment int, measure sim.Measure) 
 	if prefix > len(t.pebbles) {
 		prefix = len(t.pebbles)
 	}
+	g := segment*numMeasures + int(measure)
+	if g < 0 || g >= len(t.groupPos) {
+		return 0
+	}
 	weights := t.scratch[:0]
-	for i := 0; i < prefix; i++ {
-		p := t.pebbles[i]
-		if p.Segment == segment && p.Measure == measure {
-			weights = append(weights, p.Weight)
+	for _, idx := range t.groupPos[g] {
+		if int(idx) >= prefix {
+			break
 		}
+		weights = append(weights, t.pebbles[idx].Weight)
 	}
 	t.scratch = weights
 	return sumTopK(weights, c)
@@ -114,12 +194,16 @@ func (t *AccTable) SuffixWeightGroup(i, segment int, measure sim.Measure) float6
 	if i < 1 {
 		i = 1
 	}
+	g := segment*numMeasures + int(measure)
+	if g < 0 || g >= len(t.groupPos) {
+		return 0
+	}
+	pos := t.groupPos[g]
+	start := int32(i - 1)
+	lo := sort.Search(len(pos), func(k int) bool { return pos[k] >= start })
 	total := 0.0
-	for idx := i - 1; idx < len(t.pebbles); idx++ {
-		p := t.pebbles[idx]
-		if p.Segment == segment && p.Measure == measure {
-			total += p.Weight
-		}
+	for _, idx := range pos[lo:] {
+		total += t.pebbles[idx].Weight
 	}
 	return total
 }

@@ -59,7 +59,20 @@ type Pebble struct {
 type Generator struct {
 	Ctx *sim.Context
 	seg *core.Segmenter
+
+	// gramSigs caches, per segment text, the gram pebbles of that text with
+	// an unset Segment field (the caller stamps it). Gram generation — the
+	// q-gram split plus one key allocation per gram — dominates the probe
+	// path's allocations, and segment texts repeat heavily across records
+	// and probes, so the cache converts the hot path to a copy of an
+	// immutable template. gramSigCount bounds the cache: past the cap new
+	// texts are generated without being stored.
+	gramSigs     sync.Map // string -> []Pebble
+	gramSigCount atomic.Int64
 }
+
+// maxGramSigs caps the gram-template cache (distinct segment texts).
+const maxGramSigs = 1 << 19
 
 // NewGenerator returns a Generator over the given context.
 func NewGenerator(ctx *sim.Context) *Generator {
@@ -112,23 +125,42 @@ func (g *Generator) Pebbles(tokens []string) ([]Pebble, []core.Segment) {
 	segments := g.seg.Segments(tokens)
 	var out []Pebble
 	for idx, seg := range segments {
-		out = append(out, g.segmentPebbles(seg, idx)...)
+		out = g.appendSegmentPebbles(out, seg, idx)
 	}
 	return out, segments
 }
 
-// segmentPebbles generates the pebbles of one segment per Table 2.
-func (g *Generator) segmentPebbles(seg core.Segment, idx int) []Pebble {
-	var out []Pebble
+// gramPebbles returns the gram pebbles of one segment text with Segment
+// left at zero, served from the template cache when possible.
+func (g *Generator) gramPebbles(text string) []Pebble {
+	if v, ok := g.gramSigs.Load(text); ok {
+		return v.([]Pebble)
+	}
+	var tmpl []Pebble
+	grams := strutil.QGrams(text, g.Ctx.GramQ())
+	if len(grams) > 0 {
+		tmpl = make([]Pebble, len(grams))
+		w := 1 / float64(len(grams))
+		for i, gram := range grams {
+			tmpl[i] = Pebble{Key: "g:" + gram, Weight: w, Measure: sim.Jaccard}
+		}
+	}
+	if g.gramSigCount.Load() < maxGramSigs {
+		if _, loaded := g.gramSigs.LoadOrStore(text, tmpl); !loaded {
+			g.gramSigCount.Add(1)
+		}
+	}
+	return tmpl
+}
+
+// appendSegmentPebbles appends the pebbles of one segment per Table 2.
+func (g *Generator) appendSegmentPebbles(out []Pebble, seg core.Segment, idx int) []Pebble {
 	text := strutil.JoinTokens(seg.Tokens)
 
 	if g.Ctx.JaccardEnabled() {
-		grams := strutil.QGrams(text, g.Ctx.GramQ())
-		if len(grams) > 0 {
-			w := 1 / float64(len(grams))
-			for _, gram := range grams {
-				out = append(out, Pebble{Key: "g:" + gram, Weight: w, Segment: idx, Measure: sim.Jaccard})
-			}
+		for _, p := range g.gramPebbles(text) {
+			p.Segment = idx
+			out = append(out, p)
 		}
 	}
 

@@ -159,7 +159,6 @@ func selectPrefixHeuristic(acc *AccTable, target float64, tau int) int {
 // TW_{τ-1} bound, so the resulting signatures are never longer.
 func selectPrefixDP(acc *AccTable, segments []core.Segment, target float64, tau int) int {
 	t := len(segments)
-	measures := []sim.Measure{sim.Jaccard, sim.Synonym, sim.Taxonomy}
 
 	// W[p][d] (flat, row p at w[p*tau:]) and the accessory row V are
 	// allocated once and reused across prefix positions; per-iteration
@@ -181,9 +180,28 @@ func selectPrefixDP(acc *AccTable, segments []core.Segment, target float64, tau 
 			segIdx := p - 1
 			prev, row := w[(p-1)*tau:p*tau], w[p*tau:(p+1)*tau]
 			// Accessory table row V[p][c] per Eq. (13)-(14); V[p][0] = 0.
-			r0 := rValue(acc, i, 0, segIdx, measures)
+			// The suffix weight of each measure's group is the same for
+			// every c, so it is computed once per (i, P) rather than once
+			// per R(P, i, c) evaluation.
+			var sfx [numMeasures]float64
+			for mi, f := range dpMeasures {
+				sfx[mi] = acc.SuffixWeightGroup(i, segIdx, f)
+			}
+			r0 := 0.0
+			for _, s := range sfx {
+				if s > r0 {
+					r0 = s
+				}
+			}
 			for c := 1; c < tau; c++ {
-				v[c] = rValue(acc, i, c, segIdx, measures) - r0
+				best := 0.0
+				for mi, f := range dpMeasures {
+					val := sfx[mi] + acc.TopWeightsGroup(i-1, c, segIdx, f)
+					if val > best {
+						best = val
+					}
+				}
+				v[c] = best - r0
 			}
 			for d := 1; d < tau; d++ {
 				best := 0.0
@@ -220,15 +238,5 @@ func selectPrefixDP(acc *AccTable, segments []core.Segment, target float64, tau 
 	return 0
 }
 
-// rValue computes R(P, i, c) of Eq. (14): the best single-measure bound for
-// segment P when c extra pebbles from the prefix B[1, i-1] may be used.
-func rValue(acc *AccTable, i, c, segment int, measures []sim.Measure) float64 {
-	best := 0.0
-	for _, f := range measures {
-		v := acc.SuffixWeightGroup(i, segment, f) + acc.TopWeightsGroup(i-1, c, segment, f)
-		if v > best {
-			best = v
-		}
-	}
-	return best
-}
+// dpMeasures enumerates the measures R(P, i, c) of Eq. (14) maximizes over.
+var dpMeasures = [numMeasures]sim.Measure{sim.Jaccard, sim.Synonym, sim.Taxonomy}

@@ -120,6 +120,11 @@ type Decision struct {
 type Exec struct {
 	Candidates atomic.Int64
 	VerifyNs   atomic.Int64
+	// Pruned counts candidates skipped by the rising-floor upper-bound
+	// check before Algorithm-1 verification ran; the verify-ns EWMA is
+	// fed Candidates−Pruned so pruning makes verification look cheaper
+	// per verified candidate, not per enumerated one.
+	Pruned atomic.Int64
 }
 
 // exploreEvery is the deterministic exploration cadence: one plan in this
@@ -527,13 +532,15 @@ func (p *Planner) PlanBatch(sel *pebble.Selector, pres []pebble.Presig, listLen 
 }
 
 // Observe folds one executed request into the feedback table: candidates
-// and verifyNs are request totals (across shards), probes the number of
-// probe records the request planned for (1 for single-record queries), and
-// elapsedNs the request's wall-clock latency — 0 when the caller has no
-// meaningful per-request clock (batch joins amortise across a collection,
-// so their wall time would poison the single-record latency cells).
-// Non-planned decisions are ignored.
-func (p *Planner) Observe(d Decision, candidates, probes, verifyNs, elapsedNs int64) {
+// and verifyNs are request totals (across shards), verified the subset of
+// candidates that actually ran Algorithm-1 verification (candidates minus
+// upper-bound-pruned; pass candidates when no pruning applies), probes the
+// number of probe records the request planned for (1 for single-record
+// queries), and elapsedNs the request's wall-clock latency — 0 when the
+// caller has no meaningful per-request clock (batch joins amortise across
+// a collection, so their wall time would poison the single-record latency
+// cells). Non-planned decisions are ignored.
+func (p *Planner) Observe(d Decision, candidates, verified, probes, verifyNs, elapsedNs int64) {
 	if p == nil || !d.Planned || d.bucket < 0 {
 		return
 	}
@@ -546,8 +553,8 @@ func (p *Planner) Observe(d Decision, candidates, probes, verifyNs, elapsedNs in
 	}
 	ratio := clamp(float64(candidates)/float64(probes)/est, 1.0/64, 64)
 	p.candRatio[d.bucket].update(ratio)
-	if candidates > 0 && verifyNs > 0 {
-		p.verifyNs[d.bucket].update(clamp(float64(verifyNs)/float64(candidates), 1, 1e8))
+	if verified > 0 && verifyNs > 0 {
+		p.verifyNs[d.bucket].update(clamp(float64(verifyNs)/float64(verified), 1, 1e8))
 	}
 	if elapsedNs > 0 {
 		p.latNs[d.bucket].updateGeo(clamp(float64(elapsedNs)/float64(probes), 1, 1e10), alphaLat, latWinsor)
@@ -559,7 +566,8 @@ func (p *Planner) ObserveExec(d Decision, ex *Exec, probes, elapsedNs int64) {
 	if p == nil || ex == nil {
 		return
 	}
-	p.Observe(d, ex.Candidates.Load(), probes, ex.VerifyNs.Load(), elapsedNs)
+	cands := ex.Candidates.Load()
+	p.Observe(d, cands, cands-ex.Pruned.Load(), probes, ex.VerifyNs.Load(), elapsedNs)
 }
 
 // Reanchor re-anchors the feedback table after a re-finalize: the candidate

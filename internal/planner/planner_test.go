@@ -117,7 +117,7 @@ func TestPlanFallsBack(t *testing.T) {
 
 	// Observing a fallback (or any non-planned decision) must not touch the
 	// feedback table.
-	p.Observe(d, 1000, 1, 1e9, 0)
+	p.Observe(d, 1000, 1000, 1, 1e9, 0)
 	for i := range p.candRatio {
 		if p.candRatio[i].value(0) != 0 {
 			t.Fatal("fallback observation reached the EWMA table")
@@ -130,7 +130,7 @@ func TestObserveFeedsEwma(t *testing.T) {
 	d := Decision{Method: pebble.AUHeuristic, Tau: 2, EstCandidates: 100,
 		Planned: true, bucket: p.bucketOf(pebble.AUHeuristic, 2, 3)}
 
-	p.Observe(d, 200, 1, 200*2000, 0)
+	p.Observe(d, 200, 200, 1, 200*2000, 0)
 	if got := p.candRatio[d.bucket].value(1.0); got != 2.0 {
 		t.Errorf("candRatio after first observation = %v, want 2.0", got)
 	}
@@ -139,14 +139,14 @@ func TestObserveFeedsEwma(t *testing.T) {
 	}
 
 	// Second observation folds in with α.
-	p.Observe(d, 100, 1, 0, 0)
+	p.Observe(d, 100, 100, 1, 0, 0)
 	want := (1-alpha)*2.0 + alpha*1.0
 	if got := p.candRatio[d.bucket].value(1.0); math.Abs(got-want) > 1e-12 {
 		t.Errorf("candRatio after second observation = %v, want %v", got, want)
 	}
 
 	// Extreme observations clamp instead of poisoning the table.
-	p.Observe(Decision{Planned: true, EstCandidates: 1, bucket: d.bucket}, 1_000_000, 1, 1, 0)
+	p.Observe(Decision{Planned: true, EstCandidates: 1, bucket: d.bucket}, 1_000_000, 1_000_000, 1, 1, 0)
 	if got := p.candRatio[d.bucket].value(1.0); got > 64*2 {
 		t.Errorf("candRatio escaped the clamp: %v", got)
 	}
@@ -193,7 +193,7 @@ func TestReanchorResuggestsTauAndDecays(t *testing.T) {
 
 func TestNilPlannerIsInert(t *testing.T) {
 	var p *Planner
-	p.Observe(Decision{Planned: true}, 1, 1, 1, 1)
+	p.Observe(Decision{Planned: true}, 1, 1, 1, 1, 1)
 	p.ObserveExec(Decision{Planned: true}, &Exec{}, 1, 1)
 	p.Reanchor()
 	if p.SuggestedTau() != 0 {

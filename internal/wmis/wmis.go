@@ -23,27 +23,56 @@ package wmis
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 )
 
 // Graph is an undirected vertex-weighted graph. Vertices are indexed
-// 0..N-1. The zero value is an empty graph; use NewGraph to pre-size.
+// 0..N-1. The zero value is an empty graph; use NewGraph to pre-size, or
+// Reset to reuse one graph's backing storage across many small instances.
 type Graph struct {
 	weights []float64
 	adj     []bitset
+	// arena is the flattened backing store of adj when the graph was sized
+	// through Reset: one contiguous allocation instead of one bitset per
+	// vertex, so a reused Graph allocates nothing once grown.
+	arena []uint64
 }
 
 // NewGraph creates a graph with n isolated vertices of weight 0.
 func NewGraph(n int) *Graph {
-	g := &Graph{
-		weights: make([]float64, n),
-		adj:     make([]bitset, n),
-	}
-	words := (n + 63) / 64
-	for i := range g.adj {
-		g.adj[i] = make(bitset, words)
-	}
+	g := &Graph{}
+	g.Reset(n)
 	return g
+}
+
+// Reset re-sizes the graph to n isolated vertices of weight 0, reusing the
+// backing storage of previous instantiations. Conflict-graph verification
+// builds one small graph per candidate pair; Reset makes that allocation-free
+// in the steady state.
+func (g *Graph) Reset(n int) {
+	words := (n + 63) / 64
+	need := n * words
+	if cap(g.arena) >= need {
+		g.arena = g.arena[:need]
+		clear(g.arena)
+	} else {
+		g.arena = make([]uint64, need)
+	}
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = make([]bitset, n)
+	}
+	for i := 0; i < n; i++ {
+		g.adj[i] = bitset(g.arena[i*words : (i+1)*words])
+	}
+	if cap(g.weights) >= n {
+		g.weights = g.weights[:n]
+		clear(g.weights)
+	} else {
+		g.weights = make([]float64, n)
+	}
 }
 
 // Len returns the number of vertices.
@@ -156,33 +185,101 @@ func Swap(set, talons, removed []int) []int {
 	return out
 }
 
+// SwapInto appends set ∪ talons \ removed to dst and returns it, without
+// allocating beyond dst's growth. All three inputs must be sorted ascending,
+// removed must be a subset of set, and talons must be disjoint from set —
+// exactly the shape produced by the talon iterator — so the union is a
+// three-way merge rather than a map-and-sort.
+func SwapInto(dst, set, talons, removed []int) []int {
+	ri, ti := 0, 0
+	for _, v := range set {
+		if ri < len(removed) && removed[ri] == v {
+			ri++
+			continue
+		}
+		for ti < len(talons) && talons[ti] < v {
+			dst = append(dst, talons[ti])
+			ti++
+		}
+		dst = append(dst, v)
+	}
+	dst = append(dst, talons[ti:]...)
+	return dst
+}
+
+// Scratch holds the reusable buffers of the scratch-based solvers. A zero
+// value is ready to use; buffers grow on demand and are retained across
+// calls, so a long-lived Scratch makes Greedy/SquareImp/TalonSets
+// allocation-free in the steady state. A Scratch supports one active
+// TalonIter at a time and is not safe for concurrent use.
+type Scratch struct {
+	order      []int
+	blocked    bitset
+	inSet      bitset
+	candidates []int
+	cur        []int
+	idxs       []int
+	nbr        []int
+	bestT      []int
+	bestR      []int
+	swap       []int
+	set        []int
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBitset(b bitset, words int) bitset {
+	if cap(b) < words {
+		return make(bitset, words)
+	}
+	b = b[:words]
+	clear(b)
+	return b
+}
+
+// GreedyScratch is Greedy using sc's buffers. The returned slice aliases
+// sc.set and stays valid until the next GreedyScratch/SquareImpScratch call
+// on sc.
+func (g *Graph) GreedyScratch(sc *Scratch) []int {
+	n := g.Len()
+	sc.order = growInts(sc.order, n)
+	for i := range sc.order {
+		sc.order[i] = i
+	}
+	slices.SortFunc(sc.order, func(a, b int) int {
+		if g.weights[a] != g.weights[b] {
+			if g.weights[a] > g.weights[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+	sc.blocked = growBitset(sc.blocked, (n+63)/64)
+	sc.set = sc.set[:0]
+	for _, v := range sc.order {
+		if g.weights[v] <= 0 || sc.blocked.has(v) {
+			continue
+		}
+		sc.set = append(sc.set, v)
+		sc.blocked.set(v)
+		sc.blocked.or(g.adj[v])
+	}
+	slices.Sort(sc.set)
+	return sc.set
+}
+
 // Greedy computes an independent set by repeatedly taking the heaviest
 // remaining vertex and discarding its neighbours. Ties are broken by vertex
 // index for determinism.
 func (g *Graph) Greedy() []int {
-	n := g.Len()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		if g.weights[order[a]] != g.weights[order[b]] {
-			return g.weights[order[a]] > g.weights[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	blocked := make(bitset, (n+63)/64)
-	var set []int
-	for _, v := range order {
-		if g.weights[v] <= 0 || blocked.has(v) {
-			continue
-		}
-		set = append(set, v)
-		blocked.set(v)
-		blocked.or(g.adj[v])
-	}
-	sort.Ints(set)
-	return set
+	var sc Scratch
+	return append([]int(nil), g.GreedyScratch(&sc)...)
 }
 
 // SquareImpOptions tunes the SquareImp local search.
@@ -219,73 +316,143 @@ func (o SquareImpOptions) withDefaults(n int) SquareImpOptions {
 // a set of mutually non-adjacent vertices T outside the current solution A
 // whose squared weight exceeds the squared weight of N(T, A), and swaps.
 func (g *Graph) SquareImp(opts SquareImpOptions) []int {
+	var sc Scratch
+	return append([]int(nil), g.SquareImpScratch(opts, &sc)...)
+}
+
+// SquareImpScratch is SquareImp using sc's buffers. The returned slice
+// aliases sc and stays valid until the next solver call on sc.
+func (g *Graph) SquareImpScratch(opts SquareImpOptions, sc *Scratch) []int {
 	opts = opts.withDefaults(g.Len())
-	set := g.Greedy()
+	set := g.GreedyScratch(sc)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		talons, removed, gain := g.bestSquaredImprovement(set, opts.MaxTalons)
+		talons, removed, gain := g.bestSquaredImprovement(sc, set, opts.MaxTalons)
 		if talons == nil || gain <= opts.MinImprove {
 			break
 		}
-		set = Swap(set, talons, removed)
+		sc.swap = SwapInto(sc.swap[:0], set, talons, removed)
+		set = append(set[:0], sc.swap...)
 	}
 	return set
 }
 
 // bestSquaredImprovement searches for the talon set (|T| ≤ maxTalons) with
 // the largest squared-weight gain over its neighbourhood in the current
-// set. It returns nil talons when no improvement exists.
-func (g *Graph) bestSquaredImprovement(set []int, maxTalons int) (talons, removed []int, gain float64) {
-	inSet := make(bitset, (g.Len()+63)/64)
-	for _, v := range set {
-		inSet.set(v)
-	}
-	var bestT, bestR []int
+// set. It returns nil talons when no improvement exists; otherwise the
+// returned slices alias sc.bestT/sc.bestR.
+func (g *Graph) bestSquaredImprovement(sc *Scratch, set []int, maxTalons int) (talons, removed []int, gain float64) {
+	it := g.TalonSets(set, maxTalons, true, sc)
 	bestGain := 0.0
-
-	var candidates []int
-	for v := 0; v < g.Len(); v++ {
-		if !inSet.has(v) && g.weights[v] > 0 {
-			candidates = append(candidates, v)
+	found := false
+	for {
+		t, r, ok := it.Next()
+		if !ok {
+			break
+		}
+		gainHere := g.SquaredWeightOf(t) - g.SquaredWeightOf(r)
+		if gainHere > bestGain {
+			bestGain = gainHere
+			sc.bestT = append(sc.bestT[:0], t...)
+			sc.bestR = append(sc.bestR[:0], r...)
+			found = true
 		}
 	}
+	if !found {
+		return nil, nil, 0
+	}
+	return sc.bestT, sc.bestR, bestGain
+}
 
-	var cur []int
-	var rec func(start int)
-	rec = func(start int) {
-		if len(cur) > 0 {
-			removedSet := g.NeighborsOfSetInSet(cur, set)
-			gainHere := g.SquaredWeightOf(cur) - g.SquaredWeightOf(removedSet)
-			if gainHere > bestGain {
-				bestGain = gainHere
-				bestT = append([]int(nil), cur...)
-				bestR = removedSet
-			}
+// TalonIter enumerates the non-empty independent talon sets outside a given
+// solution set in depth-first lexicographic order, without allocating. It is
+// the pull-based counterpart of EnumerateTalonSets; obtain one from
+// Graph.TalonSets and drain it with Next.
+type TalonIter struct {
+	g         *Graph
+	sc        *Scratch
+	set       []int
+	maxTalons int
+	i         int
+}
+
+// TalonSets prepares an iterator over every non-empty independent set of
+// vertices outside set with size at most maxTalons. When positiveOnly is
+// true, only vertices of positive weight are considered (the squared-weight
+// improvement criterion never benefits from non-positive talons). The
+// iterator borrows sc's buffers: only one iterator per Scratch may be active
+// at a time, and the slices returned by Next alias sc.
+func (g *Graph) TalonSets(set []int, maxTalons int, positiveOnly bool, sc *Scratch) TalonIter {
+	sc.inSet = growBitset(sc.inSet, (g.Len()+63)/64)
+	for _, v := range set {
+		sc.inSet.set(v)
+	}
+	sc.candidates = sc.candidates[:0]
+	for v := 0; v < g.Len(); v++ {
+		if sc.inSet.has(v) {
+			continue
 		}
-		if len(cur) == maxTalons {
-			return
+		if positiveOnly && g.weights[v] <= 0 {
+			continue
 		}
-		for i := start; i < len(candidates); i++ {
-			v := candidates[i]
-			ok := true
-			for _, u := range cur {
-				if g.HasEdge(u, v) {
-					ok = false
+		sc.candidates = append(sc.candidates, v)
+	}
+	sc.cur = sc.cur[:0]
+	sc.idxs = sc.idxs[:0]
+	return TalonIter{g: g, sc: sc, set: set, maxTalons: maxTalons}
+}
+
+// Next returns the next talon set together with N(T, set), the members of
+// set that the swap would remove. Both slices alias the iterator's Scratch
+// and are only valid until the following Next call. ok is false when the
+// enumeration is exhausted.
+func (it *TalonIter) Next() (talons, removed []int, ok bool) {
+	g, sc := it.g, it.sc
+	for {
+		if len(sc.cur) < it.maxTalons {
+			for ; it.i < len(sc.candidates); it.i++ {
+				v := sc.candidates[it.i]
+				compatible := true
+				for _, u := range sc.cur {
+					if g.adj[u].has(v) {
+						compatible = false
+						break
+					}
+				}
+				if compatible {
 					break
 				}
 			}
-			if !ok {
-				continue
+		} else {
+			it.i = len(sc.candidates)
+		}
+		if it.i < len(sc.candidates) {
+			sc.cur = append(sc.cur, sc.candidates[it.i])
+			sc.idxs = append(sc.idxs, it.i)
+			it.i++
+			return sc.cur, g.neighborsOfSetInSet(sc, sc.cur, it.set), true
+		}
+		if len(sc.cur) == 0 {
+			return nil, nil, false
+		}
+		it.i = sc.idxs[len(sc.idxs)-1] + 1
+		sc.idxs = sc.idxs[:len(sc.idxs)-1]
+		sc.cur = sc.cur[:len(sc.cur)-1]
+	}
+}
+
+// neighborsOfSetInSet computes N(talons, set) into sc.nbr. Because set is
+// iterated in order, the output is sorted and duplicate-free without a map.
+func (g *Graph) neighborsOfSetInSet(sc *Scratch, talons, set []int) []int {
+	sc.nbr = sc.nbr[:0]
+	for _, u := range set {
+		for _, v := range talons {
+			if u == v || g.adj[v].has(u) {
+				sc.nbr = append(sc.nbr, u)
+				break
 			}
-			cur = append(cur, v)
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
 		}
 	}
-	rec(0)
-	if bestT == nil {
-		return nil, nil, 0
-	}
-	return bestT, bestR, bestGain
+	return sc.nbr
 }
 
 // EnumerateTalonSets calls fn for every non-empty independent set of
@@ -293,56 +460,21 @@ func (g *Graph) bestSquaredImprovement(set []int, maxTalons int) (talons, remove
 // the members of set that would have to be removed (N(T, set)). If fn
 // returns false the enumeration stops early. The unified-similarity
 // approximation (Algorithm 1) uses this to search for claw improvements
-// measured on the final similarity rather than squared weight.
+// measured on the final similarity rather than squared weight. The slices
+// handed to fn are fresh copies the callback may retain; hot paths should
+// use TalonSets instead.
 func (g *Graph) EnumerateTalonSets(set []int, maxTalons int, fn func(talons, removed []int) bool) {
-	inSet := make(bitset, (g.Len()+63)/64)
-	for _, v := range set {
-		inSet.set(v)
-	}
-	var candidates []int
-	for v := 0; v < g.Len(); v++ {
-		if !inSet.has(v) {
-			candidates = append(candidates, v)
-		}
-	}
-	var cur []int
-	stopped := false
-	var rec func(start int)
-	rec = func(start int) {
-		if stopped {
+	var sc Scratch
+	it := g.TalonSets(set, maxTalons, false, &sc)
+	for {
+		t, r, ok := it.Next()
+		if !ok {
 			return
 		}
-		if len(cur) > 0 {
-			removed := g.NeighborsOfSetInSet(cur, set)
-			if !fn(append([]int(nil), cur...), removed) {
-				stopped = true
-				return
-			}
-		}
-		if len(cur) == maxTalons {
+		if !fn(append([]int(nil), t...), append([]int(nil), r...)) {
 			return
 		}
-		for i := start; i < len(candidates); i++ {
-			v := candidates[i]
-			ok := true
-			for _, u := range cur {
-				if g.HasEdge(u, v) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			cur = append(cur, v)
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
-			if stopped {
-				return
-			}
-		}
 	}
-	rec(0)
 }
 
 // ExactResult reports the outcome of the exact branch-and-bound solver.

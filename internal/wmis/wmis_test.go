@@ -376,3 +376,148 @@ func BenchmarkSquareImp50(b *testing.B) {
 		g.SquareImp(SquareImpOptions{MaxTalons: 2})
 	}
 }
+
+// randomGraph fills g (via Reset) with a random instance: n vertices,
+// weights in (-0.2, 1.0] so some vertices are non-positive, edge density p.
+func randomGraph(g *Graph, rng *rand.Rand, n int, p float64) {
+	g.Reset(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64()*1.2-0.2)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+}
+
+// TestScratchReuseMatchesFresh pins the scratch-based solvers to the legacy
+// allocating API: one Graph (resized through Reset) and one Scratch reused
+// across many random instances must produce exactly the sets a fresh graph
+// and fresh buffers produce — no state may leak between instances.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reused Graph
+	var sc Scratch
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(13)
+		p := rng.Float64() * 0.7
+		seed := rng.Int63()
+		build := func(g *Graph) {
+			randomGraph(g, rand.New(rand.NewSource(seed)), n, p)
+		}
+		build(&reused)
+		fresh := NewGraph(n)
+		build(fresh)
+
+		gotGreedy := reused.GreedyScratch(&sc)
+		wantGreedy := fresh.Greedy()
+		if !sameSet(gotGreedy, wantGreedy) {
+			t.Fatalf("trial %d (n=%d p=%.2f): GreedyScratch=%v Greedy=%v", trial, n, p, gotGreedy, wantGreedy)
+		}
+		opts := SquareImpOptions{MaxTalons: 1 + rng.Intn(3)}
+		gotImp := append([]int(nil), reused.SquareImpScratch(opts, &sc)...)
+		wantImp := fresh.SquareImp(opts)
+		if !sameSet(gotImp, wantImp) {
+			t.Fatalf("trial %d (n=%d p=%.2f): SquareImpScratch=%v SquareImp=%v", trial, n, p, gotImp, wantImp)
+		}
+		if err := reused.Validate(gotImp); err != nil {
+			t.Fatalf("trial %d: scratch solution not independent: %v", trial, err)
+		}
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refEnumerateTalons is an independent recursive reference for the talon
+// enumeration contract: every non-empty independent subset of the non-set
+// vertices with size ≤ maxTalons, visited in depth-first lexicographic order
+// (each set emitted when its last vertex is pushed), paired with N(T, set).
+func refEnumerateTalons(g *Graph, set []int, maxTalons int, emit func(talons, removed []int)) {
+	inSet := map[int]bool{}
+	for _, v := range set {
+		inSet[v] = true
+	}
+	var cands []int
+	for v := 0; v < g.Len(); v++ {
+		if !inSet[v] {
+			cands = append(cands, v)
+		}
+	}
+	var cur []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) >= maxTalons {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			v := cands[i]
+			ok := true
+			for _, u := range cur {
+				if g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur = append(cur, v)
+			emit(append([]int(nil), cur...), g.NeighborsOfSetInSet(cur, set))
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+}
+
+// TestTalonIterMatchesRecursiveReference pins the pull-based TalonIter (and
+// through it EnumerateTalonSets) to the recursive reference: same sets, same
+// removed neighbourhoods, same order.
+func TestTalonIterMatchesRecursiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var sc Scratch
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		g := NewGraph(n)
+		randomGraph(g, rng, n, rng.Float64()*0.8)
+		set := g.Greedy()
+		maxTalons := 1 + rng.Intn(3)
+
+		type entry struct{ talons, removed []int }
+		var want []entry
+		refEnumerateTalons(g, set, maxTalons, func(tt, rr []int) {
+			want = append(want, entry{tt, rr})
+		})
+		var got []entry
+		it := g.TalonSets(set, maxTalons, false, &sc)
+		for {
+			tt, rr, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, entry{append([]int(nil), tt...), append([]int(nil), rr...)})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d talon sets, reference has %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !sameSet(got[i].talons, want[i].talons) || !sameSet(got[i].removed, want[i].removed) {
+				t.Fatalf("trial %d entry %d: got %v/%v want %v/%v",
+					trial, i, got[i].talons, got[i].removed, want[i].talons, want[i].removed)
+			}
+		}
+	}
+}
