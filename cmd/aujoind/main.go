@@ -9,6 +9,7 @@
 //	aujoind -catalog catalog.txt -theta 0.8 -tau 2 [-addr :8321] [-shards N] \
 //	        [-synonyms rules.tsv] [-taxonomy tax.tsv] [-measures TJS] \
 //	        [-data-dir /var/lib/aujoin] [-checkpoint-every 5m]
+//	aujoind -join http://coord:8080 [-advertise http://host:8321] [-shards N]
 //
 // -shards partitions the index so insert/remove batches parallelize across
 // shards and rebuild stalls are bounded by shard size (0 = GOMAXPROCS,
@@ -23,6 +24,14 @@
 // pre-restart state without re-running signature selection or verification
 // preparation. The synonym/taxonomy/measure flags must match across
 // restarts — similarity resources are not persisted.
+//
+// -join turns the daemon into a cluster worker: it registers with the
+// aujoin-coord coordinator at the given URL, receives its replica-group
+// assignment and build parameters from it (so -catalog, -theta, -tau,
+// -filter and -data-dir conflict with -join), and serves coordinator
+// traffic stamped with the cluster's order epoch. -advertise is the URL the
+// coordinator reaches this worker at; it defaults to
+// http://127.0.0.1<addr> when -addr is a bare port.
 //
 // Endpoints:
 //
@@ -46,7 +55,11 @@
 //	POST /snapshot                       fold the WAL into a new durable
 //	                                     checkpoint (requires -data-dir)
 //	GET  /stats                          snapshot statistics
-//	GET  /healthz                        liveness probe
+//	GET  /healthz                        liveness probe: 200 as soon as the
+//	                                     listener is up
+//	GET  /readyz                         readiness probe: 503 until recovery
+//	                                     (or cluster configuration) finishes,
+//	                                     then 200
 //
 // Every query and probe runs under the request's context: a client that
 // hangs up or times out cancels the in-flight filter-and-verify work instead
@@ -58,7 +71,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -66,44 +78,103 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/cluster"
 	"github.com/aujoin/aujoin/internal/cmdutil"
 )
+
+// config is the parsed and validated flag set.
+type config struct {
+	addr      string
+	catalog   string
+	theta     float64
+	tau       int
+	filter    string
+	shards    int
+	synPath   string
+	taxPath   string
+	measures  string
+	dataDir   string
+	ckptIvl   time.Duration
+	join      string
+	advertise string
+}
+
+// validate rejects flag combinations that cannot mean what the operator
+// intended, with errors that say which flag to drop.
+func (c *config) validate() error {
+	if c.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 selects GOMAXPROCS), got %d", c.shards)
+	}
+	if c.join != "" {
+		if c.catalog != "" {
+			return errors.New("-catalog conflicts with -join: a cluster worker is seeded by the coordinator, not from a local file (seed the catalog on aujoin-coord instead)")
+		}
+		if c.dataDir != "" {
+			return errors.New("-data-dir conflicts with -join: cluster workers hold coordinator-assigned record IDs, which the local WAL cannot represent (worker durability is not supported yet)")
+		}
+		if !strings.HasPrefix(c.join, "http://") && !strings.HasPrefix(c.join, "https://") {
+			return fmt.Errorf("-join must be an http(s) URL, got %q", c.join)
+		}
+	}
+	if c.ckptIvl > 0 && c.dataDir == "" {
+		return errors.New("-checkpoint-every requires -data-dir")
+	}
+	return nil
+}
+
+// advertiseURL is the URL the coordinator reaches this worker at: the
+// -advertise flag when set, else http://127.0.0.1<addr> when -addr is a
+// bare port (the local-cluster default), else http://<addr>.
+func (c *config) advertiseURL() string {
+	if c.advertise != "" {
+		return strings.TrimRight(c.advertise, "/")
+	}
+	if strings.HasPrefix(c.addr, ":") {
+		return "http://127.0.0.1" + c.addr
+	}
+	return "http://" + c.addr
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aujoind: ")
 
-	var (
-		addr     = flag.String("addr", ":8321", "listen address")
-		catalog  = flag.String("catalog", "", "path to the initial catalog (one record per line); optional")
-		theta    = flag.Float64("theta", 0.8, "unified similarity threshold in [0,1]")
-		tau      = flag.Int("tau", 2, "overlap constraint")
-		filter   = flag.String("filter", "dp", "signature filter: u, heuristic or dp")
-		shards   = flag.Int("shards", 1, "index partitions (0 = GOMAXPROCS)")
-		synPath  = flag.String("synonyms", "", "optional synonym rules file (lhs<TAB>rhs[<TAB>closeness])")
-		taxPath  = flag.String("taxonomy", "", "optional taxonomy file (node<TAB>parent)")
-		measures = flag.String("measures", "TJS", "measure combination (e.g. J, TS, TJS)")
-		dataDir  = flag.String("data-dir", "", "durable data directory (snapshot + WAL); empty = in-memory only")
-		ckptIvl  = flag.Duration("checkpoint-every", 0, "background checkpoint interval (requires -data-dir; 0 disables)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8321", "listen address")
+	flag.StringVar(&cfg.catalog, "catalog", "", "path to the initial catalog (one record per line); optional")
+	flag.Float64Var(&cfg.theta, "theta", 0.8, "unified similarity threshold in [0,1]")
+	flag.IntVar(&cfg.tau, "tau", 2, "overlap constraint")
+	flag.StringVar(&cfg.filter, "filter", "dp", "signature filter: u, heuristic or dp")
+	flag.IntVar(&cfg.shards, "shards", 1, "index partitions (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.synPath, "synonyms", "", "optional synonym rules file (lhs<TAB>rhs[<TAB>closeness])")
+	flag.StringVar(&cfg.taxPath, "taxonomy", "", "optional taxonomy file (node<TAB>parent)")
+	flag.StringVar(&cfg.measures, "measures", "TJS", "measure combination (e.g. J, TS, TJS)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory (snapshot + WAL); empty = in-memory only")
+	flag.DurationVar(&cfg.ckptIvl, "checkpoint-every", 0, "background checkpoint interval (requires -data-dir; 0 disables)")
+	flag.StringVar(&cfg.join, "join", "", "coordinator URL: run as a cluster worker instead of a standalone daemon")
+	flag.StringVar(&cfg.advertise, "advertise", "", "URL the coordinator reaches this worker at (default derived from -addr)")
 	flag.Parse()
 
-	opts := []aujoin.Option{aujoin.WithMeasures(*measures)}
-	if *synPath != "" {
-		f, err := os.Open(*synPath)
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []aujoin.Option{aujoin.WithMeasures(cfg.measures)}
+	if cfg.synPath != "" {
+		f, err := os.Open(cfg.synPath)
 		if err != nil {
 			log.Fatalf("open synonyms: %v", err)
 		}
 		opts = append(opts, aujoin.WithSynonymsFrom(f))
 		defer f.Close()
 	}
-	if *taxPath != "" {
-		f, err := os.Open(*taxPath)
+	if cfg.taxPath != "" {
+		f, err := os.Open(cfg.taxPath)
 		if err != nil {
 			log.Fatalf("open taxonomy: %v", err)
 		}
@@ -115,49 +186,22 @@ func main() {
 		log.Fatalf("configuration: %v", err)
 	}
 
-	var records []string
-	if *catalog != "" {
-		if records, err = cmdutil.ReadLines(*catalog); err != nil {
-			log.Fatalf("read catalog: %v", err)
-		}
-	}
-	start := time.Now()
-	jopts := aujoin.JoinOptions{Theta: *theta, Tau: *tau, Filter: cmdutil.ParseFilter(*filter)}
-	iopts := aujoin.IndexOptions{Shards: *shards}
-	var ix *aujoin.Index
-	var px *aujoin.PersistentIndex
-	if *dataDir != "" {
-		px, err = joiner.OpenPersistent(*dataDir, records, jopts, iopts)
-		if err != nil {
-			log.Fatalf("open data dir: %v", err)
-		}
-		ix = px.Index()
-		st := ix.Stats()
-		log.Printf("recovered %d records (%d live) from %s in %v (θ=%v τ=%d shards=%d)",
-			st.Records, st.Live, *dataDir, time.Since(start).Round(time.Millisecond), st.Theta, st.Tau, st.Shards)
+	// The listener comes up before the index does: /healthz answers the
+	// moment the socket is bound, /readyz flips to 200 when recovery (or
+	// cluster configuration) completes. A restarting durable daemon is
+	// reachable-but-not-ready during WAL replay instead of invisible.
+	var node *cluster.Node
+	var worker *cluster.Worker
+	if cfg.join != "" {
+		worker = cluster.NewWorker(joiner, cfg.shards)
+		node = cluster.NewWorkerNode(worker)
 	} else {
-		ix = joiner.IndexWith(records, jopts, iopts)
-		log.Printf("indexed %d records in %v (θ=%v τ=%d shards=%d)",
-			len(records), time.Since(start).Round(time.Millisecond), *theta, *tau, ix.Stats().Shards)
+		node = cluster.NewNode()
 	}
-
-	srv := &server{ix: ix, px: px}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", srv.handleQuery)
-	mux.HandleFunc("/probe", srv.handleProbe)
-	mux.HandleFunc("/insert", srv.handleInsert)
-	mux.HandleFunc("/remove", srv.handleRemove)
-	mux.HandleFunc("/remove-batch", srv.handleRemoveBatch)
-	mux.HandleFunc("/snapshot", srv.handleSnapshot)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
+		Addr:              cfg.addr,
+		Handler:           node.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -168,28 +212,77 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s", cfg.addr)
 
-	if px != nil && *ckptIvl > 0 {
+	var px *aujoin.PersistentIndex
+	ready := make(chan struct{}) // closed once recovery publishes px (or immediately in worker mode)
+	if cfg.join != "" {
+		close(ready)
+		self := cfg.advertiseURL()
 		go func() {
-			ticker := time.NewTicker(*ckptIvl)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-ticker.C:
-					start := time.Now()
-					if err := px.Checkpoint(); err != nil {
-						// Sticky store failure: further mutations are refused
-						// anyway, so log loudly and keep serving reads.
-						log.Printf("background checkpoint: %v", err)
-						return
-					}
-					log.Printf("checkpointed in %v", time.Since(start).Round(time.Millisecond))
+			if err := cluster.RegisterWorker(ctx, http.DefaultClient, strings.TrimRight(cfg.join, "/"), self); err != nil {
+				if ctx.Err() == nil {
+					log.Printf("register with %s: %v", cfg.join, err)
+				}
+				return
+			}
+			log.Printf("registered with %s as %s", cfg.join, self)
+		}()
+	} else {
+		go func() {
+			defer close(ready)
+			var records []string
+			if cfg.catalog != "" {
+				if records, err = cmdutil.ReadLines(cfg.catalog); err != nil {
+					log.Fatalf("read catalog: %v", err)
 				}
 			}
+			start := time.Now()
+			jopts := aujoin.JoinOptions{Theta: cfg.theta, Tau: cfg.tau, Filter: cmdutil.ParseFilter(cfg.filter)}
+			iopts := aujoin.IndexOptions{Shards: cfg.shards}
+			var ix *aujoin.Index
+			if cfg.dataDir != "" {
+				px, err = joiner.OpenPersistent(cfg.dataDir, records, jopts, iopts)
+				if err != nil {
+					log.Fatalf("open data dir: %v", err)
+				}
+				ix = px.Index()
+				st := ix.Stats()
+				log.Printf("recovered %d records (%d live) from %s in %v (θ=%v τ=%d shards=%d)",
+					st.Records, st.Live, cfg.dataDir, time.Since(start).Round(time.Millisecond), st.Theta, st.Tau, st.Shards)
+			} else {
+				ix = joiner.IndexWith(records, jopts, iopts)
+				log.Printf("indexed %d records in %v (θ=%v τ=%d shards=%d)",
+					len(records), time.Since(start).Round(time.Millisecond), cfg.theta, cfg.tau, ix.Stats().Shards)
+			}
+			node.SetBackend(&cluster.Backend{IX: ix, PX: px})
 		}()
+
+		if cfg.ckptIvl > 0 {
+			go func() {
+				<-ready
+				if px == nil {
+					return
+				}
+				ticker := time.NewTicker(cfg.ckptIvl)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-ticker.C:
+						start := time.Now()
+						if err := px.Checkpoint(); err != nil {
+							// Sticky store failure: further mutations are refused
+							// anyway, so log loudly and keep serving reads.
+							log.Printf("background checkpoint: %v", err)
+							return
+						}
+						log.Printf("checkpointed in %v", time.Since(start).Round(time.Millisecond))
+					}
+				}
+			}()
+		}
 	}
 
 	select {
@@ -203,6 +296,7 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	<-ready // px is published before ready closes (a failed recovery exits via log.Fatalf)
 	if px != nil {
 		// One final checkpoint folds the WAL so the next start restores a
 		// compact snapshot instead of replaying the whole mutation log.
@@ -212,263 +306,5 @@ func main() {
 		if err := px.Close(); err != nil {
 			log.Printf("close data dir: %v", err)
 		}
-	}
-}
-
-// server wires the dynamic index into HTTP handlers. The index is safe for
-// concurrent use, so the handlers carry no locking of their own. When px is
-// non-nil the daemon is durable: mutation handlers route through it so every
-// batch hits the WAL before the index, and a durability failure surfaces as
-// HTTP 500 (the store is read-only from then on — queries keep working).
-type server struct {
-	ix *aujoin.Index
-	px *aujoin.PersistentIndex
-}
-
-// maxBodyBytes caps POST bodies (an insert batch has no business being
-// larger) and maxTopK caps the per-query result heap, so a single request
-// cannot balloon the daemon's memory.
-const (
-	maxBodyBytes = 8 << 20
-	maxTopK      = 10000
-)
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
-		return
-	}
-	// A missing or non-positive k is rejected rather than passed through: an
-	// unbounded "all matches" response is never what a serving client wants,
-	// and silently treating k=0 as "everything" made the degenerate case the
-	// most expensive one.
-	k, err := strconv.Atoi(r.URL.Query().Get("k"))
-	if err != nil || k < 1 || k > maxTopK {
-		http.Error(w, fmt.Sprintf("k is required and must be an integer in [1, %d]", maxTopK), http.StatusBadRequest)
-		return
-	}
-	opts := aujoin.QueryOptions{K: k}
-	if raw := r.URL.Query().Get("min_sim"); raw != "" {
-		minSim, err := strconv.ParseFloat(raw, 64)
-		if err != nil || minSim <= 0 || minSim > 1 {
-			http.Error(w, "min_sim must be a float in (0, 1]", http.StatusBadRequest)
-			return
-		}
-		opts.MinSimilarity = minSim
-	}
-	switch r.URL.Query().Get("plan") {
-	case "", "auto":
-		// PlanAuto is the zero value.
-	case "fixed":
-		opts.Plan = aujoin.PlanFixed
-	default:
-		http.Error(w, "plan must be auto or fixed", http.StatusBadRequest)
-		return
-	}
-	// The request context cancels the fan-out mid-verification when the
-	// client disconnects or times out; there is no one left to tell, so the
-	// handler just stops.
-	matches, err := s.ix.QueryTopKCtx(r.Context(), q, opts)
-	if err != nil {
-		return
-	}
-	nw := cmdutil.NewNDJSONWriter(w)
-	for _, m := range matches {
-		if nw.Write(m) != nil {
-			return
-		}
-	}
-}
-
-type probeRequest struct {
-	Records []string `json:"records"`
-}
-
-// probeMatch is one streamed probe result line: the stable ID of the matched
-// catalog record, the position of the probe record in the request batch, and
-// their unified similarity.
-type probeMatch struct {
-	S          int     `json:"s"`
-	T          int     `json:"t"`
-	Similarity float64 `json:"similarity"`
-}
-
-// handleProbe joins a batch of records against the current snapshot and
-// streams each match as an NDJSON line the moment the parallel verify stage
-// confirms it — the response starts before the join finishes, peak match
-// buffering stays bounded by the worker count, and a client hanging up
-// mid-stream cancels the remaining filter-and-verify work via the request
-// context.
-func (s *server) handleProbe(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req probeRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	nw := cmdutil.NewNDJSONWriter(w)
-	for m, err := range s.ix.ProbeSeq(r.Context(), req.Records) {
-		if err != nil {
-			// Cancelled (client gone or deadline passed) mid-join; the
-			// pipeline has already stopped, and an NDJSON stream has no
-			// in-band error channel worth inventing for a dead client.
-			return
-		}
-		if nw.Write(probeMatch{S: m.S, T: m.T, Similarity: m.Similarity}) != nil {
-			return
-		}
-	}
-}
-
-type insertRequest struct {
-	Records []string `json:"records"`
-}
-
-type insertResponse struct {
-	IDs []int `json:"ids"`
-}
-
-func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req insertRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	var ids []int
-	if s.px != nil {
-		var err error
-		if ids, err = s.px.Insert(req.Records); err != nil {
-			http.Error(w, "durable insert: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-	} else {
-		ids = s.ix.Insert(req.Records)
-	}
-	if ids == nil {
-		ids = []int{}
-	}
-	writeJSON(w, insertResponse{IDs: ids})
-}
-
-type removeRequest struct {
-	ID int `json:"id"`
-}
-
-type removeResponse struct {
-	Removed bool `json:"removed"`
-}
-
-func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req removeRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	var removed bool
-	if s.px != nil {
-		var err error
-		if removed, err = s.px.Remove(req.ID); err != nil {
-			http.Error(w, "durable remove: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-	} else {
-		removed = s.ix.Remove(req.ID)
-	}
-	writeJSON(w, removeResponse{Removed: removed})
-}
-
-type removeBatchRequest struct {
-	IDs []int `json:"ids"`
-}
-
-type removeBatchResponse struct {
-	// Removed reports, positionally for each requested id, whether it was
-	// present and live; RemovedCount totals the true entries.
-	Removed      []bool `json:"removed"`
-	RemovedCount int    `json:"removed_count"`
-}
-
-func (s *server) handleRemoveBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req removeBatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	var removed []bool
-	if s.px != nil {
-		var err error
-		if removed, err = s.px.RemoveBatch(req.IDs); err != nil {
-			http.Error(w, "durable remove: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-	} else {
-		removed = s.ix.RemoveBatch(req.IDs)
-	}
-	if removed == nil {
-		removed = []bool{}
-	}
-	count := 0
-	for _, ok := range removed {
-		if ok {
-			count++
-		}
-	}
-	writeJSON(w, removeBatchResponse{Removed: removed, RemovedCount: count})
-}
-
-type snapshotResponse struct {
-	Checkpointed bool `json:"checkpointed"`
-}
-
-// handleSnapshot folds the WAL into a new durable snapshot generation on
-// demand. Mutations stall for the duration of the checkpoint; queries do not.
-func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	if s.px == nil {
-		http.Error(w, "daemon is not durable: start with -data-dir to enable snapshots", http.StatusBadRequest)
-		return
-	}
-	if err := s.px.Checkpoint(); err != nil {
-		http.Error(w, "checkpoint: "+err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, snapshotResponse{Checkpointed: true})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	writeJSON(w, s.ix.Stats())
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
 	}
 }

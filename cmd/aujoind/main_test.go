@@ -1,292 +1,61 @@
 package main
 
 import (
-	"bufio"
-	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"math/rand"
-	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
-
-	"github.com/aujoin/aujoin"
 )
 
-// denseCatalog builds records in near-duplicate families so probes against
-// it produce many matches — enough that an aborted stream is clearly
-// distinguishable from a completed one.
-func denseCatalog(n int, seed int64) []string {
-	rng := rand.New(rand.NewSource(seed))
-	templates := []string{
-		"espresso cafe helsinki city center",
-		"apple cake bakery market street",
-		"database systems course spring term",
+// TestValidateFlags pins the flag-combination contract: impossible or
+// ambiguous invocations are refused with an error naming the conflict
+// instead of half-working.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     config
+		wantErr string // substring; empty = valid
+	}{
+		{name: "defaults", cfg: config{addr: ":8321", shards: 1}},
+		{name: "negative shards", cfg: config{shards: -1}, wantErr: "-shards"},
+		{name: "zero shards is GOMAXPROCS", cfg: config{shards: 0}},
+		{name: "catalog with join", cfg: config{join: "http://127.0.0.1:8080", catalog: "c.txt"}, wantErr: "-catalog conflicts with -join"},
+		{name: "data-dir with join", cfg: config{join: "http://127.0.0.1:8080", dataDir: "/tmp/d"}, wantErr: "-data-dir conflicts with -join"},
+		{name: "join without scheme", cfg: config{join: "127.0.0.1:8080"}, wantErr: "http(s) URL"},
+		{name: "worker mode ok", cfg: config{join: "http://127.0.0.1:8080", shards: 2}},
+		{name: "checkpoint without data-dir", cfg: config{ckptIvl: time.Minute}, wantErr: "-checkpoint-every requires -data-dir"},
+		{name: "checkpoint with data-dir", cfg: config{dataDir: "/tmp/d", ckptIvl: time.Minute}},
 	}
-	tail := []string{"north", "south", "east", "west", "old", "new"}
-	out := make([]string, n)
-	for i := range out {
-		out[i] = templates[i%len(templates)] + " " + tail[rng.Intn(len(tail))]
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
 	}
-	return out
 }
 
-func testServer(t *testing.T, catalogSize int) *server {
-	t.Helper()
-	j, err := aujoin.NewStrict()
-	if err != nil {
-		t.Fatalf("NewStrict: %v", err)
+// TestAdvertiseURL pins how a worker derives the address the coordinator
+// calls back on.
+func TestAdvertiseURL(t *testing.T) {
+	cases := []struct {
+		cfg  config
+		want string
+	}{
+		{config{addr: ":8321"}, "http://127.0.0.1:8321"},
+		{config{addr: "10.0.0.7:8321"}, "http://10.0.0.7:8321"},
+		{config{addr: ":8321", advertise: "http://worker-3:9000"}, "http://worker-3:9000"},
+		{config{addr: ":8321", advertise: "http://worker-3:9000/"}, "http://worker-3:9000"},
 	}
-	ix := j.Index(denseCatalog(catalogSize, 1), aujoin.JoinOptions{Theta: 0.7, Tau: 2})
-	return &server{ix: ix}
-}
-
-// decodeNDJSON parses every line of an NDJSON body into vs (a slice of
-// pointers pattern is avoided: one target type per call).
-func decodeLines[T any](t *testing.T, body string) []T {
-	t.Helper()
-	var out []T
-	sc := bufio.NewScanner(strings.NewReader(body))
-	for sc.Scan() {
-		if strings.TrimSpace(sc.Text()) == "" {
-			continue
+	for _, tc := range cases {
+		if got := tc.cfg.advertiseURL(); got != tc.want {
+			t.Errorf("advertiseURL(%+v) = %q, want %q", tc.cfg, got, tc.want)
 		}
-		var v T
-		if err := json.Unmarshal([]byte(sc.Text()), &v); err != nil {
-			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-// TestHandleQueryStreamsNDJSON pins the /query contract: top-k matches come
-// back as one JSON object per line, ordered by descending similarity, and
-// min_sim tightens the threshold per request.
-func TestHandleQueryStreamsNDJSON(t *testing.T) {
-	srv := testServer(t, 60)
-	req := httptest.NewRequest(http.MethodGet, "/query?q=espresso+cafe+helsinki+city+center+north&k=5", nil)
-	rec := httptest.NewRecorder()
-	srv.handleQuery(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d, body %q", rec.Code, rec.Body.String())
-	}
-	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
-		t.Errorf("content type %q", ct)
-	}
-	matches := decodeLines[aujoin.QueryMatch](t, rec.Body.String())
-	if len(matches) != 5 {
-		t.Fatalf("got %d matches, want 5", len(matches))
-	}
-	for i := 1; i < len(matches); i++ {
-		if matches[i].Similarity > matches[i-1].Similarity {
-			t.Fatalf("matches not ordered by similarity: %v", matches)
-		}
-	}
-
-	// min_sim=1 keeps only exact matches.
-	req = httptest.NewRequest(http.MethodGet, "/query?q=espresso+cafe+helsinki+city+center+north&k=50&min_sim=1", nil)
-	rec = httptest.NewRecorder()
-	srv.handleQuery(rec, req)
-	strict := decodeLines[aujoin.QueryMatch](t, rec.Body.String())
-	if len(strict) == 0 {
-		t.Fatal("min_sim=1 returned no matches for an exact catalog string")
-	}
-	for _, m := range strict {
-		if m.Similarity < 1 {
-			t.Fatalf("min_sim=1 returned similarity %v", m.Similarity)
-		}
-	}
-
-	// Parameter validation.
-	for _, url := range []string{"/query?q=x", "/query?k=3", "/query?q=x&k=0", "/query?q=x&k=3&min_sim=2", "/query?q=x&k=3&plan=greedy"} {
-		rec := httptest.NewRecorder()
-		srv.handleQuery(rec, httptest.NewRequest(http.MethodGet, url, nil))
-		if rec.Code != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400", url, rec.Code)
-		}
-	}
-}
-
-// TestHandleQueryPlanOverride pins the ?plan= contract: fixed and auto (and
-// the default) return identical match sets — the planner only changes how
-// the filter runs — and the planned requests show up in /stats counters.
-func TestHandleQueryPlanOverride(t *testing.T) {
-	srv := testServer(t, 60)
-	query := func(plan string) []aujoin.QueryMatch {
-		url := "/query?q=espresso+cafe+helsinki+city+center+north&k=10"
-		if plan != "" {
-			url += "&plan=" + plan
-		}
-		rec := httptest.NewRecorder()
-		srv.handleQuery(rec, httptest.NewRequest(http.MethodGet, url, nil))
-		if rec.Code != http.StatusOK {
-			t.Fatalf("plan=%q: status %d, body %q", plan, rec.Code, rec.Body.String())
-		}
-		return decodeLines[aujoin.QueryMatch](t, rec.Body.String())
-	}
-	auto, fixed, def := query("auto"), query("fixed"), query("")
-	if fmt.Sprint(auto) != fmt.Sprint(fixed) || fmt.Sprint(auto) != fmt.Sprint(def) {
-		t.Fatalf("plan modes disagree:\nauto  %v\nfixed %v\ndefault %v", auto, fixed, def)
-	}
-
-	rec := httptest.NewRecorder()
-	srv.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
-	var st aujoin.IndexStats
-	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
-		t.Fatalf("stats response %q: %v", rec.Body.String(), err)
-	}
-	// Two of the three queries ran adaptively (auto + default); fixed must
-	// not count as a plan.
-	if st.Plans != 2 {
-		t.Errorf("stats.Plans = %d, want 2 (auto + default)", st.Plans)
-	}
-	if len(st.PlanDecisions) == 0 {
-		t.Errorf("stats.PlanDecisions empty after planned queries")
-	}
-	// The verify-phase counters flow through to /stats: queries with
-	// results must have verified candidates, and the scheduler/memo pair
-	// must have saved some work on this corpus.
-	if st.VerifiedCandidates == 0 {
-		t.Errorf("stats.VerifiedCandidates = 0 after answered queries")
-	}
-	if st.PrunedByBound == 0 && st.MemoHits == 0 {
-		t.Errorf("stats reports no pruned candidates and no memo hits")
-	}
-}
-
-// TestHandleProbeStreamsNDJSON pins the /probe contract: every confirmed
-// match arrives as an NDJSON line and the set equals the batch Probe result.
-func TestHandleProbeStreamsNDJSON(t *testing.T) {
-	srv := testServer(t, 45)
-	probe := denseCatalog(10, 2)
-	body, _ := json.Marshal(probeRequest{Records: probe})
-	req := httptest.NewRequest(http.MethodPost, "/probe", strings.NewReader(string(body)))
-	rec := httptest.NewRecorder()
-	srv.handleProbe(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d, body %q", rec.Code, rec.Body.String())
-	}
-	got := decodeLines[probeMatch](t, rec.Body.String())
-	want, _ := srv.ix.Probe(probe)
-	if len(got) != len(want) {
-		t.Fatalf("streamed %d matches, batch Probe returns %d", len(got), len(want))
-	}
-	seen := make(map[probeMatch]bool, len(got))
-	for _, m := range got {
-		seen[m] = true
-	}
-	for _, m := range want {
-		if !seen[probeMatch{S: m.S, T: m.T, Similarity: m.Similarity}] {
-			t.Fatalf("batch match %+v missing from stream", m)
-		}
-	}
-}
-
-// cancellingWriter simulates a client that hangs up mid-stream: the first
-// write succeeds, then the request context is cancelled and every further
-// write fails — exactly what net/http presents to a handler whose peer
-// disconnected.
-type cancellingWriter struct {
-	*httptest.ResponseRecorder
-	cancel context.CancelFunc
-	writes int
-}
-
-func (cw *cancellingWriter) Write(p []byte) (int, error) {
-	cw.writes++
-	if cw.writes > 1 {
-		cw.cancel()
-		return 0, errors.New("client disconnected")
-	}
-	return cw.ResponseRecorder.Write(p)
-}
-
-// TestHandleProbeAbortsOnClientDisconnect is the cancellation satellite for
-// the daemon: when the client connection dies mid-stream, the handler must
-// abort the in-flight join — returning long before the full join would
-// complete — instead of verifying candidates for a dead peer.
-func TestHandleProbeAbortsOnClientDisconnect(t *testing.T) {
-	srv := testServer(t, 300)
-	probe := denseCatalog(300, 3)
-	body, _ := json.Marshal(probeRequest{Records: probe})
-
-	// Baseline: the full probe, timed, so the aborted run has a yardstick.
-	start := time.Now()
-	full, _ := srv.ix.Probe(probe)
-	fullTime := time.Since(start)
-	if len(full) < 10000 {
-		t.Fatalf("workload too small: %d matches", len(full))
-	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	req := httptest.NewRequest(http.MethodPost, "/probe", strings.NewReader(string(body))).WithContext(ctx)
-	cw := &cancellingWriter{ResponseRecorder: httptest.NewRecorder(), cancel: cancel}
-	start = time.Now()
-	srv.handleProbe(cw, req)
-	abortTime := time.Since(start)
-
-	if cw.writes >= len(full) {
-		t.Fatalf("handler wrote %d lines despite disconnect (full result %d)", cw.writes, len(full))
-	}
-	if abortTime >= fullTime {
-		t.Errorf("aborted probe took %v, full probe %v — disconnect did not stop the join",
-			abortTime, fullTime)
-	}
-}
-
-// TestHandleProbeRequestContext drives the real network path: a client with
-// a short deadline hits /probe on a live server, and the handler must return
-// promptly once the request context dies.
-func TestHandleProbeRequestContext(t *testing.T) {
-	srv := testServer(t, 300)
-	done := make(chan struct{})
-	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer close(done)
-		srv.handleProbe(w, r)
-	}))
-	defer ts.Close()
-
-	body, _ := json.Marshal(probeRequest{Records: denseCatalog(300, 4)})
-	ctx, cancel := context.WithCancel(context.Background())
-	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/probe", strings.NewReader(string(body)))
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatalf("probe request: %v", err)
-	}
-	// Read one line of the stream, then hang up.
-	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
-		t.Fatalf("first streamed line: %v", err)
-	}
-	cancel()
-	resp.Body.Close()
-	select {
-	case <-done:
-	case <-time.After(30 * time.Second):
-		t.Fatal("handler did not return after client disconnect")
-	}
-}
-
-// TestHandleInsertRemoveRoundTrip keeps the mutation endpoints honest after
-// the streaming rework.
-func TestHandleInsertRemoveRoundTrip(t *testing.T) {
-	srv := testServer(t, 10)
-	body, _ := json.Marshal(insertRequest{Records: []string{"espresso cafe helsinki city center extra"}})
-	rec := httptest.NewRecorder()
-	srv.handleInsert(rec, httptest.NewRequest(http.MethodPost, "/insert", strings.NewReader(string(body))))
-	var ins insertResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil || len(ins.IDs) != 1 {
-		t.Fatalf("insert response %q (%v)", rec.Body.String(), err)
-	}
-	rmBody := fmt.Sprintf(`{"id": %d}`, ins.IDs[0])
-	rec = httptest.NewRecorder()
-	srv.handleRemove(rec, httptest.NewRequest(http.MethodPost, "/remove", strings.NewReader(rmBody)))
-	var rm removeResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &rm); err != nil || !rm.Removed {
-		t.Fatalf("remove response %q (%v)", rec.Body.String(), err)
 	}
 }

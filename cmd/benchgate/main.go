@@ -13,6 +13,11 @@
 // -cpu suffix); repeated runs of one benchmark (-count N) keep the fastest
 // ns/op, the usual noise floor estimate.
 //
+// Without -out, the snapshot lands at the first free dated name —
+// BENCH_<date>.json, then BENCH_<date>.2.json, … — so repeated runs on one
+// day accumulate instead of overwriting each other. An explicit -out
+// overwrites its target.
+//
 // -gate takes a comma-separated list of gates. Each gate compares the
 // *ratio* of the gated benchmark to a sibling when both sides have one — a
 // machine-independent measure, since CI runners and the baseline machine
@@ -63,6 +68,18 @@ type Snapshot struct {
 // benchLine matches "BenchmarkName[-cpus]  iters  123 ns/op [...]".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
 
+// freeSnapshotPath picks the first unused dated snapshot name:
+// BENCH_<date>.json, then BENCH_<date>.2.json, BENCH_<date>.3.json, ….
+func freeSnapshotPath(date string) string {
+	path := "BENCH_" + date + ".json"
+	for n := 2; ; n++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+		path = fmt.Sprintf("BENCH_%s.%d.json", date, n)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
@@ -102,7 +119,11 @@ func main() {
 	}
 	path := *out
 	if path == "" {
-		path = "BENCH_" + snap.Date + ".json"
+		// Default snapshots append, never clobber: a second run on the same
+		// day lands in BENCH_<date>.2.json and so on, so a day with several
+		// benchmark sessions keeps every snapshot. An explicit -out keeps
+		// overwrite semantics.
+		path = freeSnapshotPath(snap.Date)
 	}
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -1,0 +1,400 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/cluster"
+	"github.com/aujoin/aujoin/internal/cmdutil"
+	"github.com/aujoin/aujoin/internal/datagen"
+	"github.com/aujoin/aujoin/internal/metrics"
+)
+
+// clusterBenchConfig parameterises the cluster serving benchmark: an
+// in-process cluster (coordinator + workers on loopback HTTP) is driven
+// with closed-loop top-k query load and a background mutator, once with a
+// single worker and once with the full worker set, and the aggregate QPS
+// and latency breakdown of the two runs are compared.
+type clusterBenchConfig struct {
+	Workers  int // full-cluster worker count (phase two)
+	Replicas int
+	Records  int
+	Duration time.Duration
+	Clients  int // concurrent closed-loop query clients
+	TopK     int
+	Theta    float64
+	Tau      int
+	// Kill stops one worker halfway through the full-cluster run, so the
+	// reported numbers include replica failover (requires Replicas >= 2).
+	Kill bool
+	// Check rebuilds a single-node index over the same catalog, replays the
+	// full-cluster run's mutation log onto it, and verifies the quiesced
+	// cluster answers a query sample bit-identically; divergence aborts the
+	// process with a non-zero exit, so the mode doubles as a cluster smoke.
+	Check bool
+	Seed  int64
+}
+
+// clusterPhase is one load run against one cluster shape.
+type clusterPhase struct {
+	workers  int
+	queries  int64
+	errors   int64
+	elapsed  time.Duration
+	lat      []float64 // client-observed end-to-end latency, ms
+	mergeP   [3]float64
+	perWork  []workerLat
+	killedAt time.Duration // 0 = no kill
+}
+
+// workerLat is the direct (coordinator-bypassing) per-group query latency of
+// one worker.
+type workerLat struct {
+	addr string
+	lat  []float64
+}
+
+// clusterOp is one entry of the mutation log, replayed onto the reference
+// index for the equivalence check.
+type clusterOp struct {
+	inserts []string
+	removes []int
+}
+
+type clusterBenchResult struct {
+	cfg     clusterBenchConfig
+	single  clusterPhase
+	multi   clusterPhase
+	checked int
+}
+
+func (r clusterBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "catalog=%d θ=%v τ=%d clients=%d duration=%v replicas=%d\n",
+		r.cfg.Records, r.cfg.Theta, r.cfg.Tau, r.cfg.Clients, r.cfg.Duration, r.cfg.Replicas)
+	for _, ph := range []clusterPhase{r.single, r.multi} {
+		qps := float64(ph.queries) / ph.elapsed.Seconds()
+		fmt.Fprintf(&b, "%d worker(s): queries=%d (%.0f qps) errors=%d", ph.workers, ph.queries, qps, ph.errors)
+		if ph.killedAt > 0 {
+			fmt.Fprintf(&b, " worker-killed-at=%v", ph.killedAt.Round(time.Millisecond))
+		}
+		b.WriteByte('\n')
+		if len(ph.lat) > 0 {
+			ps := metrics.Percentiles(ph.lat, 50, 95, 99)
+			fmt.Fprintf(&b, "  end-to-end ms: p50=%.3f p95=%.3f p99=%.3f\n", ps[0], ps[1], ps[2])
+		}
+		fmt.Fprintf(&b, "  coordinator merge ms: p50=%.3f p95=%.3f p99=%.3f\n", ph.mergeP[0], ph.mergeP[1], ph.mergeP[2])
+		for _, wl := range ph.perWork {
+			if len(wl.lat) == 0 {
+				fmt.Fprintf(&b, "  worker %s direct ms: (down)\n", wl.addr)
+				continue
+			}
+			ps := metrics.Percentiles(wl.lat, 50, 95, 99)
+			fmt.Fprintf(&b, "  worker %s direct ms: p50=%.3f p95=%.3f p99=%.3f\n", wl.addr, ps[0], ps[1], ps[2])
+		}
+	}
+	sq := float64(r.single.queries) / r.single.elapsed.Seconds()
+	mq := float64(r.multi.queries) / r.multi.elapsed.Seconds()
+	if sq > 0 {
+		fmt.Fprintf(&b, "aggregate QPS %dw/%dw: %.2fx (scales with cores: each worker is in-process here, GOMAXPROCS bounds the win)\n",
+			r.multi.workers, r.single.workers, mq/sq)
+	}
+	if r.cfg.Check {
+		fmt.Fprintf(&b, "equivalence: %d queries bit-identical to single-node index\n", r.checked)
+	}
+	return b.String()
+}
+
+// benchCluster is an in-process cluster the benchmark drives over real HTTP.
+type benchCluster struct {
+	coord   *cluster.Coordinator
+	coordTS *httptest.Server
+	workers []*httptest.Server
+	cancel  context.CancelFunc
+}
+
+func startBenchCluster(n, r int, catalog []string, cfg clusterBenchConfig) (*benchCluster, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	coord := cluster.NewCoordinator(cluster.CoordConfig{
+		Workers: n, Replicas: r, Theta: cfg.Theta, Tau: cfg.Tau, Filter: "dp",
+		Catalog: catalog, Heartbeat: 200 * time.Millisecond,
+	})
+	bc := &benchCluster{coord: coord, coordTS: httptest.NewServer(coord.Mux()), cancel: cancel}
+	go coord.Run(ctx)
+	for i := 0; i < n; i++ {
+		j, err := aujoin.NewStrict()
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		node := cluster.NewWorkerNode(cluster.NewWorker(j, 1))
+		wts := httptest.NewServer(node.Mux())
+		bc.workers = append(bc.workers, wts)
+		if err := cluster.RegisterWorker(ctx, http.DefaultClient, bc.coordTS.URL, wts.URL); err != nil {
+			bc.close()
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for !coord.Ready() {
+		if err := coord.BootstrapErr(); err != nil {
+			bc.close()
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			bc.close()
+			return nil, fmt.Errorf("cluster of %d did not become ready", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return bc, nil
+}
+
+func (bc *benchCluster) close() {
+	bc.cancel()
+	bc.coordTS.Close()
+	for _, w := range bc.workers {
+		w.Close()
+	}
+}
+
+// clusterTopK fetches one top-k answer (from the coordinator, or — with a
+// group and epoch stamp — directly from a worker).
+func clusterTopK(base, q string, k int, extra string, header http.Header) ([]aujoin.QueryMatch, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/query?q=%s&k=%d%s", base, url.QueryEscape(q), k, extra), nil)
+	if err != nil {
+		return nil, err
+	}
+	for key, vs := range header {
+		req.Header[key] = vs
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out []aujoin.QueryMatch
+	err = cmdutil.DecodeNDJSON(resp.Body, func(m aujoin.QueryMatch) error {
+		out = append(out, m)
+		return nil
+	})
+	return out, err
+}
+
+// runClusterPhase drives the closed-loop load against one cluster shape and
+// collects the latency breakdown. It returns the mutation log so the
+// equivalence check can replay it.
+func runClusterPhase(bc *benchCluster, n, r int, queryPool, insertPool []string, cfg clusterBenchConfig, kill bool) (clusterPhase, []clusterOp, error) {
+	ph := clusterPhase{workers: n}
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+
+	var queries, errs int64
+	latAll := make([][]float64, cfg.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w) + 1))
+			var lat []float64
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := queryPool[rng.Intn(len(queryPool))]
+				t0 := time.Now()
+				_, err := clusterTopK(bc.coordTS.URL, q, cfg.TopK, "", nil)
+				d := time.Since(t0)
+				atomic.AddInt64(&queries, 1)
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+				} else if i%4 == 0 {
+					lat = append(lat, float64(d.Microseconds())/1000)
+				}
+			}
+			latAll[w] = lat
+		}(w)
+	}
+
+	// Mutator: single-threaded, so the op order (and therefore the
+	// coordinator's ID allocation) is exactly reproducible on the reference
+	// index.
+	var ops []clusterOp
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed + 4242))
+		var live []int
+		for time.Now().Before(deadline) {
+			batch := make([]string, 1+rng.Intn(3))
+			for i := range batch {
+				batch[i] = insertPool[rng.Intn(len(insertPool))]
+			}
+			body, _ := json.Marshal(cluster.InsertRequest{Records: batch})
+			resp, err := http.Post(bc.coordTS.URL+"/insert", "application/json", bytes.NewReader(body))
+			op := clusterOp{}
+			if err == nil {
+				var ir cluster.InsertResponse
+				if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ir) == nil {
+					op.inserts = batch
+					live = append(live, ir.IDs...)
+				}
+				resp.Body.Close()
+			}
+			if len(live) > 16 {
+				k := rng.Intn(len(live))
+				id := live[k]
+				body, _ := json.Marshal(cluster.RemoveBatchRequest{IDs: []int{id}})
+				resp, err := http.Post(bc.coordTS.URL+"/remove-batch", "application/json", bytes.NewReader(body))
+				if err == nil {
+					if resp.StatusCode == http.StatusOK {
+						op.removes = append(op.removes, id)
+						live = append(live[:k], live[k+1:]...)
+					}
+					resp.Body.Close()
+				}
+			}
+			if op.inserts != nil || op.removes != nil {
+				ops = append(ops, op)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	if kill && n > 1 && r > 1 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(cfg.Duration / 2)
+			ph.killedAt = time.Since(start)
+			bc.workers[1].CloseClientConnections()
+			bc.workers[1].Close()
+		}()
+	}
+	wg.Wait()
+	ph.queries, ph.errors, ph.elapsed = queries, errs, time.Since(start)
+	for _, l := range latAll {
+		ph.lat = append(ph.lat, l...)
+	}
+
+	// Coordinator-side merge percentiles and per-worker direct latency.
+	st := bc.coord.Stats()
+	ph.mergeP = [3]float64{st.MergeMsP50, st.MergeMsP95, st.MergeMsP99}
+	ring := cluster.NewRing(n, r)
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	for wi, wts := range bc.workers {
+		wl := workerLat{addr: wts.URL}
+		groups := ring.GroupsOf(wi)
+		for i := 0; i < 40; i++ {
+			g := groups[i%len(groups)]
+			hdr := http.Header{}
+			hdr.Set(cluster.EpochHeader, strconv.FormatInt(bc.coord.Stats().Epoch, 10))
+			q := queryPool[rng.Intn(len(queryPool))]
+			t0 := time.Now()
+			if _, err := clusterTopK(wts.URL, q, cfg.TopK, fmt.Sprintf("&group=%d", g), hdr); err != nil {
+				break // dead (killed) worker: report it as down
+			}
+			wl.lat = append(wl.lat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		ph.perWork = append(ph.perWork, wl)
+	}
+	return ph, ops, nil
+}
+
+// runClusterBench boots the single-worker and full clusters over the same
+// catalog, drives the same load shape at both, and (with Check) verifies
+// the full cluster still answers bit-identically to a single-node index
+// after the run's mutations — and after the mid-run worker kill.
+func runClusterBench(cfg clusterBenchConfig) clusterBenchResult {
+	gen := datagen.New(datagen.MEDLike(cfg.Records, cfg.Seed))
+	ds := gen.Generate()
+	catalog := make([]string, len(ds.S))
+	for i, rec := range ds.S {
+		catalog[i] = rec.Raw
+	}
+	queryPool := make([]string, len(ds.T))
+	insertPool := make([]string, len(ds.T))
+	for i, rec := range ds.T {
+		queryPool[i] = rec.Raw
+		insertPool[i] = rec.Raw
+	}
+
+	res := clusterBenchResult{cfg: cfg}
+
+	single, err := startBenchCluster(1, 1, catalog, cfg)
+	if err != nil {
+		log.Fatalf("cluster: boot 1-worker cluster: %v", err)
+	}
+	res.single, _, err = runClusterPhase(single, 1, 1, queryPool, insertPool, cfg, false)
+	single.close()
+	if err != nil {
+		log.Fatalf("cluster: 1-worker phase: %v", err)
+	}
+
+	multi, err := startBenchCluster(cfg.Workers, cfg.Replicas, catalog, cfg)
+	if err != nil {
+		log.Fatalf("cluster: boot %d-worker cluster: %v", cfg.Workers, err)
+	}
+	ph, ops, err := runClusterPhase(multi, cfg.Workers, cfg.Replicas, queryPool, insertPool, cfg, cfg.Kill)
+	if err != nil {
+		multi.close()
+		log.Fatalf("cluster: %d-worker phase: %v", cfg.Workers, err)
+	}
+	res.multi = ph
+
+	if cfg.Check {
+		// Replay the run onto a single-node index and compare the quiesced
+		// cluster against it, bit for bit.
+		j, err := aujoin.NewStrict()
+		if err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		ref := j.IndexWith(catalog,
+			aujoin.JoinOptions{Theta: cfg.Theta, Tau: cfg.Tau, Filter: aujoin.AUFilterDP},
+			aujoin.IndexOptions{Shards: 1})
+		for _, op := range ops {
+			if op.inserts != nil {
+				ref.Insert(op.inserts)
+			}
+			if op.removes != nil {
+				ref.RemoveBatch(op.removes)
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 99))
+		for i := 0; i < 30; i++ {
+			q := queryPool[rng.Intn(len(queryPool))]
+			got, err := clusterTopK(multi.coordTS.URL, q, cfg.TopK, "", nil)
+			if err != nil {
+				multi.close()
+				log.Fatalf("cluster: check query %d: %v", i, err)
+			}
+			want := ref.QueryTopK(q, cfg.TopK)
+			same := len(got) == len(want)
+			for k := 0; same && k < len(want); k++ {
+				same = got[k] == want[k]
+			}
+			if !same {
+				multi.close()
+				log.Fatalf("cluster: check query %d (%q) diverged:\n  cluster     %v\n  single-node %v", i, q, got, want)
+			}
+			res.checked++
+		}
+	}
+	multi.close()
+	return res
+}

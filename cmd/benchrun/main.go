@@ -10,7 +10,7 @@
 //
 // Experiment identifiers follow DESIGN.md §3: table8, table9, fig3, fig4,
 // fig5, fig6, fig7, table10, table11, table12, fig8, table13, table14.
-// Four extra identifiers (not part of the paper, excluded from "all"):
+// Five extra identifiers (not part of the paper, excluded from "all"):
 //
 //   - "serve" drives concurrent QueryTopK traffic against a mutating
 //     dynamic index and reports QPS, latency percentiles and rebuild
@@ -25,6 +25,13 @@
 //     restores a second index from it and reports cold-build vs restore
 //     wall time plus snapshot size; it exits non-zero if the restored
 //     index's top-k answers diverge, so it doubles as a recovery smoke.
+//   - "cluster" boots an in-process multi-worker cluster (coordinator +
+//     aujoind workers over loopback HTTP), drives closed-loop query load
+//     with a background mutator at a 1-worker and an N-worker cluster,
+//     optionally kills a worker mid-run, and reports aggregate QPS plus
+//     end-to-end, coordinator-merge and per-worker latency percentiles;
+//     -cluster-check additionally verifies the cluster's answers are
+//     bit-identical to a single-node index (non-zero exit on divergence).
 package main
 
 import (
@@ -69,6 +76,17 @@ func main() {
 		recoverTau     = flag.Int("recover-tau", 2, "recover mode: overlap constraint")
 		recoverProbes  = flag.Int("recover-probes", 100, "recover mode: top-k equivalence probe count")
 		recoverDir     = flag.String("recover-dir", "", "recover mode: snapshot directory (empty = temp dir)")
+
+		clusterWorkers  = flag.Int("cluster-workers", 3, "cluster mode: worker count for the full-cluster phase")
+		clusterReplicas = flag.Int("cluster-replicas", 2, "cluster mode: replication factor")
+		clusterRecords  = flag.Int("cluster-records", 2000, "cluster mode: seeded catalog size")
+		clusterDuration = flag.Duration("cluster-duration", 3*time.Second, "cluster mode: load duration per phase")
+		clusterClients  = flag.Int("cluster-clients", 4, "cluster mode: concurrent closed-loop query clients")
+		clusterTopK     = flag.Int("cluster-k", 10, "cluster mode: top-k per query")
+		clusterTheta    = flag.Float64("cluster-theta", 0.8, "cluster mode: similarity threshold")
+		clusterTau      = flag.Int("cluster-tau", 2, "cluster mode: overlap constraint")
+		clusterKill     = flag.Bool("cluster-kill", true, "cluster mode: kill one worker halfway through the full-cluster phase")
+		clusterCheck    = flag.Bool("cluster-check", false, "cluster mode: verify the cluster answers bit-identically to a single-node index (non-zero exit on divergence)")
 
 		scaleRecords = flag.Int("scale-records", 1_000_000, "filterscale mode: indexed-side corpus size")
 		scaleProbes  = flag.Int("scale-probes", 200, "filterscale mode: probe-side record count")
@@ -121,6 +139,21 @@ func main() {
 				Seed:    *seed,
 			})
 		},
+		"cluster": func() fmt.Stringer {
+			return runClusterBench(clusterBenchConfig{
+				Workers:  *clusterWorkers,
+				Replicas: *clusterReplicas,
+				Records:  *clusterRecords,
+				Duration: *clusterDuration,
+				Clients:  *clusterClients,
+				TopK:     *clusterTopK,
+				Theta:    *clusterTheta,
+				Tau:      *clusterTau,
+				Kill:     *clusterKill,
+				Check:    *clusterCheck,
+				Seed:     *seed,
+			})
+		},
 		"filterscale": func() fmt.Stringer {
 			return runFilterScale(filterScaleConfig{
 				Records: *scaleRecords,
@@ -156,7 +189,7 @@ func main() {
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
-			log.Printf("unknown experiment %q; known: %s, serve, profile, filterscale, recover", id, strings.Join(order, ", "))
+			log.Printf("unknown experiment %q; known: %s, serve, profile, filterscale, recover, cluster", id, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s ===\n%s\n", id, run().String())

@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/cmdutil"
+)
+
+// testCluster is an in-process cluster: a coordinator and N worker daemons,
+// all on loopback httptest servers, speaking the real HTTP protocol.
+type testCluster struct {
+	coord   *Coordinator
+	coordTS *httptest.Server
+	workers []*httptest.Server
+}
+
+// startCluster boots a coordinator and n workers with r-way replication,
+// seeds the catalog, and blocks until the cluster is ready (which includes
+// the bootstrap epoch bump).
+func startCluster(t *testing.T, n, r int, catalog []string, theta float64, tau int, filter string) *testCluster {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	coord := NewCoordinator(CoordConfig{
+		Workers: n, Replicas: r, Theta: theta, Tau: tau, Filter: filter,
+		Catalog:   catalog,
+		Heartbeat: 100 * time.Millisecond, HedgeDelay: 20 * time.Millisecond,
+		SyncFraction: -1, // bumps are driven explicitly by the tests
+		Logf:         t.Logf,
+	})
+	coordTS := httptest.NewServer(coord.Mux())
+	go coord.Run(ctx)
+	tc := &testCluster{coord: coord, coordTS: coordTS}
+	t.Cleanup(func() {
+		cancel()
+		coordTS.Close()
+		for _, w := range tc.workers {
+			w.Close() // idempotent: already-killed workers are fine
+		}
+	})
+	for i := 0; i < n; i++ {
+		j, err := aujoin.NewStrict()
+		if err != nil {
+			t.Fatalf("NewStrict: %v", err)
+		}
+		node := NewWorkerNode(NewWorker(j, 1))
+		wts := httptest.NewServer(node.Mux())
+		tc.workers = append(tc.workers, wts)
+		if err := RegisterWorker(ctx, http.DefaultClient, coordTS.URL, wts.URL); err != nil {
+			t.Fatalf("register worker %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !coord.Ready() {
+		if err := coord.BootstrapErr(); err != nil {
+			t.Fatalf("bootstrap: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster did not become ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return tc
+}
+
+// kill hard-stops worker i and waits for the coordinator to fail it out.
+func (tc *testCluster) kill(t *testing.T, i int) {
+	t.Helper()
+	addr := tc.workers[i].URL
+	tc.workers[i].CloseClientConnections()
+	tc.workers[i].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, w := range tc.coord.Stats().Workers {
+			if w.Addr == addr && w.State == "down" {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never marked %s down", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (tc *testCluster) topK(t *testing.T, q string, k int) []aujoin.QueryMatch {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/query?q=%s&k=%d", tc.coordTS.URL, url.QueryEscape(q), k))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %q: status %d", q, resp.StatusCode)
+	}
+	var out []aujoin.QueryMatch
+	if err := cmdutil.DecodeNDJSON(resp.Body, func(m aujoin.QueryMatch) error {
+		out = append(out, m)
+		return nil
+	}); err != nil {
+		t.Fatalf("decode query stream: %v", err)
+	}
+	return out
+}
+
+func (tc *testCluster) probe(t *testing.T, records []string) []ProbeMatch {
+	t.Helper()
+	body, _ := json.Marshal(ProbeRequest{Records: records})
+	resp, err := http.Post(tc.coordTS.URL+"/probe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe: status %d", resp.StatusCode)
+	}
+	var out []ProbeMatch
+	if err := cmdutil.DecodeNDJSON(resp.Body, func(m ProbeMatch) error {
+		out = append(out, m)
+		return nil
+	}); err != nil {
+		t.Fatalf("decode probe stream: %v", err)
+	}
+	return out
+}
+
+func (tc *testCluster) insert(t *testing.T, records []string) []int {
+	t.Helper()
+	body, _ := json.Marshal(InsertRequest{Records: records})
+	resp, err := http.Post(tc.coordTS.URL+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	defer resp.Body.Close()
+	var ir InsertResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d (%v)", resp.StatusCode, err)
+	}
+	return ir.IDs
+}
+
+func (tc *testCluster) removeBatch(t *testing.T, ids []int) []bool {
+	t.Helper()
+	body, _ := json.Marshal(RemoveBatchRequest{IDs: ids})
+	resp, err := http.Post(tc.coordTS.URL+"/remove-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("remove-batch: %v", err)
+	}
+	defer resp.Body.Close()
+	var rr RemoveBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove-batch: status %d (%v)", resp.StatusCode, err)
+	}
+	return rr.Removed
+}
+
+func (tc *testCluster) bump(t *testing.T) {
+	t.Helper()
+	resp, err := http.Post(tc.coordTS.URL+"/epoch/bump", "application/json", nil)
+	if err != nil {
+		t.Fatalf("epoch bump: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch bump: status %d", resp.StatusCode)
+	}
+}
+
+// equivalenceQueries mixes exact catalog strings, partial overlaps and a
+// no-match query so the comparison exercises full, fuzzy and empty results.
+var equivalenceQueries = []string{
+	"espresso cafe helsinki city center north",
+	"espresso cafe helsinki center",
+	"apple cake bakery market street old",
+	"apple bakery market",
+	"database systems course spring term west",
+	"database course spring",
+	"espresso cafe helsinki city center",
+	"apple cake bakery market street",
+	"zz unrelated tokens qq",
+}
+
+// checkEquivalence asserts the cluster's answers are bit-identical to the
+// single-node reference index: QueryTopK at small and large k (values AND
+// order), and the probe match set.
+func checkEquivalence(t *testing.T, tc *testCluster, ref *aujoin.Index, probes []string, stage string) {
+	t.Helper()
+	for _, q := range equivalenceQueries {
+		for _, k := range []int{10, 500} {
+			got := tc.topK(t, q, k)
+			want := ref.QueryTopK(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %q k=%d: cluster %d matches, single-node %d", stage, q, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: query %q k=%d: match %d differs: cluster %+v, single-node %+v",
+						stage, q, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	got := tc.probe(t, probes)
+	want, _ := ref.Probe(probes)
+	if len(got) != len(want) {
+		t.Fatalf("%s: probe: cluster %d matches, single-node %d", stage, len(got), len(want))
+	}
+	seen := make(map[ProbeMatch]bool, len(got))
+	for _, m := range got {
+		seen[m] = true
+	}
+	for _, m := range want {
+		if !seen[ProbeMatch{S: m.S, T: m.T, Similarity: m.Similarity}] {
+			t.Fatalf("%s: probe: single-node match %+v missing from cluster", stage, m)
+		}
+	}
+}
+
+// TestClusterEquivalence is the cluster's ground truth: a 3-worker cluster
+// with 2-way replication must return bit-identical Query/QueryTopK/Probe
+// results to a single-node index over the same catalog — after seeding,
+// after an identical mutation sequence, after a coordinator-driven global
+// re-finalize (epoch bump), after killing one worker mid-workload, and
+// after mutating and bumping again with the worker still dead. Under -short
+// one (filter, θ) combination runs; the full matrix is 3 filters × 3
+// thresholds.
+func TestClusterEquivalence(t *testing.T) {
+	combos := []struct {
+		filter string
+		theta  float64
+	}{{"dp", 0.8}}
+	if !testing.Short() {
+		combos = nil
+		for _, f := range []string{"u", "heuristic", "dp"} {
+			for _, th := range []float64{0.7, 0.8, 0.9} {
+				combos = append(combos, struct {
+					filter string
+					theta  float64
+				}{f, th})
+			}
+		}
+	}
+	for _, cb := range combos {
+		t.Run(fmt.Sprintf("%s-theta%v", cb.filter, cb.theta), func(t *testing.T) {
+			catalog := denseCatalog(180, 7)
+			probes := denseCatalog(15, 8)
+			tc := startCluster(t, 3, 2, catalog, cb.theta, 2, cb.filter)
+
+			j, err := aujoin.NewStrict()
+			if err != nil {
+				t.Fatalf("NewStrict: %v", err)
+			}
+			jopts := aujoin.JoinOptions{Theta: cb.theta, Tau: 2, Filter: cmdutil.ParseFilter(cb.filter)}
+			ref := j.IndexWith(catalog, jopts, aujoin.IndexOptions{Shards: 1})
+			checkEquivalence(t, tc, ref, probes, "seeded")
+
+			// Identical mutation sequence on both sides: IDs must agree
+			// (the coordinator allocates exactly like a single node), then
+			// results must stay identical.
+			extra := denseCatalog(24, 9)
+			gotIDs := tc.insert(t, extra)
+			wantIDs := ref.Insert(extra)
+			if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+				t.Fatalf("insert IDs diverge: cluster %v, single-node %v", gotIDs, wantIDs)
+			}
+			rm := []int{gotIDs[0], 3, 17, 171, 99999}
+			gotRm := tc.removeBatch(t, rm)
+			wantRm := ref.RemoveBatch(rm)
+			if fmt.Sprint(gotRm) != fmt.Sprint(wantRm) {
+				t.Fatalf("remove flags diverge: cluster %v, single-node %v", gotRm, wantRm)
+			}
+			checkEquivalence(t, tc, ref, probes, "mutated")
+
+			// Global re-finalize: results must be identical under the new
+			// frozen order (exactness is order-independent).
+			tc.bump(t)
+			checkEquivalence(t, tc, ref, probes, "after epoch bump")
+
+			// Kill one worker: R=2 keeps every group served by its other
+			// replica, reads fail over, writes keep applying.
+			tc.kill(t, 1)
+			checkEquivalence(t, tc, ref, probes, "one worker down")
+
+			extra2 := denseCatalog(10, 10)
+			ids2 := tc.insert(t, extra2)
+			want2 := ref.Insert(extra2)
+			if fmt.Sprint(ids2) != fmt.Sprint(want2) {
+				t.Fatalf("post-kill insert IDs diverge: cluster %v, single-node %v", ids2, want2)
+			}
+			checkEquivalence(t, tc, ref, probes, "mutated with worker down")
+
+			tc.bump(t)
+			checkEquivalence(t, tc, ref, probes, "epoch bump with worker down")
+		})
+	}
+}
+
+// TestClusterGatherError pins the structured partial-failure contract on
+// the wire: with no replication (R=1), killing a worker leaves its group
+// unanswerable, and /query must respond 502 with a JSON body naming the
+// failed group and worker — not a bare first-error string, and never a
+// silently truncated 200.
+func TestClusterGatherError(t *testing.T) {
+	catalog := denseCatalog(60, 5)
+	tc := startCluster(t, 3, 1, catalog, 0.7, 2, "dp")
+	deadAddr := tc.workers[1].URL
+	tc.kill(t, 1)
+
+	resp, err := http.Get(tc.coordTS.URL + "/query?q=" + url.QueryEscape(catalog[0]) + "&k=5")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	var body struct {
+		Code     string `json:"code"`
+		Failures []struct {
+			Group int    `json:"group"`
+			Addr  string `json:"addr"`
+			Error string `json:"error"`
+		} `json:"failures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if body.Code != "gather_failed" || len(body.Failures) == 0 {
+		t.Fatalf("error body %+v, want code gather_failed with failures", body)
+	}
+	found := false
+	for _, f := range body.Failures {
+		if f.Group == 1 && f.Addr == deadAddr {
+			found = true
+			if f.Error == "" {
+				t.Errorf("failure for group 1 carries no error text")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("failures %+v do not name group 1 on %s", body.Failures, deadAddr)
+	}
+}
+
+// TestClusterStreamAbortOnDisconnect pins cancellation propagation through
+// the coordinator: a client that hangs up mid-stream must tear down every
+// worker-side pipeline — the process-wide pipeline goroutine gauge settles
+// back to zero instead of workers verifying candidates for a dead client.
+func TestClusterStreamAbortOnDisconnect(t *testing.T) {
+	catalog := denseCatalog(300, 3)
+	tc := startCluster(t, 3, 2, catalog, 0.7, 2, "dp")
+
+	// Streaming probe: read one line, hang up.
+	body, _ := json.Marshal(ProbeRequest{Records: denseCatalog(300, 4)})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, tc.coordTS.URL+"/probe", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("first streamed line: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+	settleGoroutines(t, "probe disconnect")
+
+	// Buffered top-k: cancel while the gather is in flight.
+	qctx, qcancel := context.WithCancel(context.Background())
+	qreq, _ := http.NewRequestWithContext(qctx, http.MethodGet,
+		tc.coordTS.URL+"/query?q="+url.QueryEscape(catalog[0])+"&k=500", nil)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		qcancel()
+	}()
+	if qresp, err := http.DefaultClient.Do(qreq); err == nil {
+		qresp.Body.Close()
+	}
+	qcancel()
+	settleGoroutines(t, "query cancel")
+}
+
+// settleGoroutines waits for the engine's pipeline goroutine gauge to hit
+// zero: every fan-out the cancelled request started has unwound.
+func settleGoroutines(t *testing.T, stage string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if aujoin.PipelineGoroutines() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d pipeline goroutines still running", stage, aujoin.PipelineGoroutines())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterRejectsStaleEpoch pins the epoch fence: a request stamped with
+// an outdated epoch is answered 409 epoch_mismatch (with the worker's
+// current epoch), not served under the wrong order silently.
+func TestClusterRejectsStaleEpoch(t *testing.T) {
+	catalog := denseCatalog(40, 6)
+	tc := startCluster(t, 2, 2, catalog, 0.7, 2, "dp")
+	tc.bump(t) // move the cluster past the bootstrap epoch
+
+	req, _ := http.NewRequest(http.MethodGet,
+		tc.workers[0].URL+"/query?q="+url.QueryEscape(catalog[0])+"&k=3&group=0", nil)
+	req.Header.Set(EpochHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("stale query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale epoch: status %d, want 409", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode 409 body: %v", err)
+	}
+	if eb.Code != "epoch_mismatch" || eb.Epoch < 2 {
+		t.Fatalf("409 body %+v, want code epoch_mismatch with current epoch", eb)
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import "testing"
+
+// TestRingDeterministic pins that placement is a pure function of
+// (workers, replicas): two rings built with the same shape agree on every
+// owner — the property that lets a replacement coordinator resume routing
+// without any state handoff.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(5, 2), NewRing(5, 2)
+	for id := 0; id < 10000; id++ {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("id %d: owners disagree (%d vs %d)", id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+// TestRingBalance checks that sequential IDs (the only kind the coordinator
+// allocates) spread roughly evenly over the groups.
+func TestRingBalance(t *testing.T) {
+	const n, ids = 5, 100000
+	rg := NewRing(n, 2)
+	counts := make([]int, n)
+	for id := 0; id < ids; id++ {
+		counts[rg.Owner(id)]++
+	}
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		lo, hi = min(lo, c), max(hi, c)
+	}
+	// 64 vnodes per group keeps shares within a small factor of even.
+	if lo == 0 || float64(hi)/float64(lo) > 2.0 {
+		t.Fatalf("unbalanced ownership: %v", counts)
+	}
+}
+
+// TestRingReplicaConsistency pins the group/worker duality: worker w
+// replicates group g exactly when g lists w among its replicas, every group
+// has exactly R distinct replicas, and every worker hosts exactly R groups.
+func TestRingReplicaConsistency(t *testing.T) {
+	for _, shape := range []struct{ n, r int }{{1, 1}, {3, 1}, {3, 2}, {5, 3}, {4, 7}} {
+		rg := NewRing(shape.n, shape.r)
+		r := rg.Replicas()
+		if r < 1 || r > shape.n {
+			t.Fatalf("N=%d R=%d: effective replicas %d out of range", shape.n, shape.r, r)
+		}
+		hosts := make([]map[int]bool, shape.n)
+		for w := range hosts {
+			hosts[w] = map[int]bool{}
+			for _, g := range rg.GroupsOf(w) {
+				hosts[w][g] = true
+			}
+			if len(hosts[w]) != r {
+				t.Fatalf("N=%d R=%d: worker %d hosts %d groups, want %d", shape.n, shape.r, w, len(hosts[w]), r)
+			}
+		}
+		for g := 0; g < shape.n; g++ {
+			reps := rg.GroupReplicas(g)
+			seen := map[int]bool{}
+			for _, w := range reps {
+				if seen[w] {
+					t.Fatalf("N=%d R=%d: group %d lists worker %d twice", shape.n, shape.r, g, w)
+				}
+				seen[w] = true
+				if !hosts[w][g] {
+					t.Fatalf("N=%d R=%d: group %d names worker %d, but GroupsOf(%d) omits %d", shape.n, shape.r, g, w, w, g)
+				}
+			}
+			if len(reps) != r {
+				t.Fatalf("N=%d R=%d: group %d has %d replicas, want %d", shape.n, shape.r, g, len(reps), r)
+			}
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aujoin/aujoin"
+	"github.com/aujoin/aujoin/internal/cmdutil"
+)
+
+// Worker is the cluster-mode state of an aujoind process: one empty-born
+// aujoin.Index per replica group it hosts (a worker with R-way replication
+// hosts R group indexes), the coordinator-pushed membership, and the
+// order-epoch state machine. Workers start with nothing and receive
+// everything — config, records, orders — from the coordinator, which is
+// what keeps every replica of a group byte-identical: same records, same
+// IDs, same application order, same adopted frequency order.
+type Worker struct {
+	joiner *aujoin.Joiner
+	shards int
+
+	// epoch is this worker's committed order epoch; adopted (guarded by mu)
+	// is the prepared-but-uncommitted one during a bump's window. Requests
+	// stamped with either are served: after adoption the indexes already
+	// answer under the new order, and answers are exact under any order —
+	// the stamp only exists to fence out workers that missed a bump
+	// entirely.
+	epoch atomic.Int64
+	ready atomic.Bool
+
+	mu      sync.Mutex
+	ring    *Ring
+	self    int
+	jopts   aujoin.JoinOptions
+	groups  map[int]*workerGroup
+	adopted int64
+}
+
+// workerGroup is one hosted replica group: its index and the apply
+// sequencing. The group mutex serializes ApplyRequests so the sequence
+// check and the mutation are atomic; queries never take it.
+type workerGroup struct {
+	ix  *aujoin.Index
+	mu  sync.Mutex
+	seq atomic.Uint64
+}
+
+// NewWorker builds an unconfigured worker around the joiner (which carries
+// the locally configured synonym/taxonomy/measure resources — those must
+// match across the cluster, exactly as they must match across restarts of a
+// durable daemon). shards is the per-group index partition count.
+func NewWorker(joiner *aujoin.Joiner, shards int) *Worker {
+	return &Worker{joiner: joiner, shards: shards}
+}
+
+// register mounts the worker-only protocol endpoints.
+func (wk *Worker) register(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster/config", wk.handleConfig)
+	mux.HandleFunc("/cluster/apply", wk.handleApply)
+	mux.HandleFunc("/cluster/freqs", wk.handleFreqs)
+	mux.HandleFunc("/cluster/build-order", wk.handleBuildOrder)
+	mux.HandleFunc("/cluster/adopt", wk.handleAdopt)
+	mux.HandleFunc("/cluster/commit", wk.handleCommit)
+}
+
+// RegisterWorker announces a worker to the coordinator, retrying until the
+// registration is accepted or ctx ends. Configuration arrives by push once
+// every expected worker has registered.
+func RegisterWorker(ctx context.Context, client *http.Client, coordURL, selfAddr string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, _ := json.Marshal(RegisterRequest{Addr: selfAddr})
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordURL+"/cluster/register", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(300 * time.Millisecond):
+		}
+	}
+}
+
+// heartbeat assembles the /readyz body: committed epoch, per-group applied
+// sequences, and the interned-key split summed over the hosted groups (the
+// coordinator's auto-bump trigger watches the dynamic region's growth).
+func (wk *Worker) heartbeat() (Heartbeat, bool) {
+	hb := Heartbeat{Ready: wk.ready.Load(), Epoch: wk.epoch.Load()}
+	if !hb.Ready {
+		return hb, false
+	}
+	wk.mu.Lock()
+	groups := make(map[int]*workerGroup, len(wk.groups))
+	for g, wg := range wk.groups {
+		groups[g] = wg
+	}
+	wk.mu.Unlock()
+	hb.Groups = make(map[string]uint64, len(groups))
+	for g, wg := range groups {
+		hb.Groups[strconv.Itoa(g)] = wg.seq.Load()
+		st := wg.ix.Stats()
+		hb.FrozenKeys += st.FrozenKeys
+		hb.DynamicKeys += st.DynamicKeys
+	}
+	return hb, true
+}
+
+// stats is the worker-mode /stats body.
+func (wk *Worker) stats() map[string]any {
+	out := map[string]any{
+		"ready": wk.ready.Load(),
+		"epoch": wk.epoch.Load(),
+	}
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	groups := make(map[string]any, len(wk.groups))
+	for g, wg := range wk.groups {
+		groups[strconv.Itoa(g)] = map[string]any{"seq": wg.seq.Load(), "index": wg.ix.Stats()}
+	}
+	out["groups"] = groups
+	if wk.ring != nil {
+		out["self"] = wk.self
+		out["workers"] = wk.ring.Workers()
+		out["replicas"] = wk.ring.Replicas()
+	}
+	return out
+}
+
+// resolve maps a read request to the hosted group index it addresses:
+// checks readiness, the epoch stamp, and the group parameter, writing the
+// protocol error when any fails.
+func (wk *Worker) resolve(w http.ResponseWriter, r *http.Request) (*aujoin.Index, bool) {
+	if !wk.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{Error: "worker is not configured yet", Code: "not_ready"})
+		return nil, false
+	}
+	if !wk.checkEpoch(w, r.Header.Get(EpochHeader)) {
+		return nil, false
+	}
+	raw := r.URL.Query().Get("group")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: "worker mode: group parameter is required"})
+		return nil, false
+	}
+	g, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: "group must be an integer"})
+		return nil, false
+	}
+	wg := wk.group(g)
+	if wg == nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Error: fmt.Sprintf("group %d is not hosted here", g), Code: "wrong_group"})
+		return nil, false
+	}
+	return wg.ix, true
+}
+
+// checkEpoch enforces the order-sync fence: a request stamped with an epoch
+// this worker has neither committed nor prepared is answered 409 with the
+// worker's committed epoch, telling the coordinator this replica missed a
+// bump and must not serve. Unstamped requests (direct debugging access)
+// pass.
+func (wk *Worker) checkEpoch(w http.ResponseWriter, stamp string) bool {
+	if stamp == "" {
+		return true
+	}
+	e, err := strconv.ParseInt(stamp, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: "bad epoch stamp"})
+		return false
+	}
+	cur := wk.epoch.Load()
+	if e == cur {
+		return true
+	}
+	wk.mu.Lock()
+	adopted := wk.adopted
+	wk.mu.Unlock()
+	if adopted != 0 && e == adopted {
+		return true
+	}
+	writeError(w, http.StatusConflict, ErrorBody{
+		Error: fmt.Sprintf("epoch mismatch: request %d, worker %d", e, cur),
+		Code:  "epoch_mismatch", Epoch: cur,
+	})
+	return false
+}
+
+func (wk *Worker) group(g int) *workerGroup {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return wk.groups[g]
+}
+
+// handleConfig is the coordinator's bootstrap push: membership, join
+// parameters and the initial epoch. The worker builds one empty index per
+// group it replicates and becomes ready. A repeated identical push is
+// acknowledged idempotently (the coordinator retries on timeouts).
+func (wk *Worker) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var cfg ConfigRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&cfg); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(cfg.Workers) == 0 || cfg.Self < 0 || cfg.Self >= len(cfg.Workers) {
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: "config: self out of range"})
+		return
+	}
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if wk.ring != nil {
+		if wk.ring.Workers() == len(cfg.Workers) && wk.self == cfg.Self {
+			writeJSON(w, map[string]bool{"ok": true})
+			return
+		}
+		writeError(w, http.StatusConflict, ErrorBody{Error: "worker is already configured differently"})
+		return
+	}
+	wk.ring = NewRing(len(cfg.Workers), cfg.Replicas)
+	wk.self = cfg.Self
+	wk.jopts = aujoin.JoinOptions{Theta: cfg.Theta, Tau: cfg.Tau, Filter: cmdutil.ParseFilter(cfg.Filter)}
+	wk.groups = make(map[int]*workerGroup)
+	for _, g := range wk.ring.GroupsOf(cfg.Self) {
+		ix := wk.joiner.IndexWith(nil, wk.jopts, aujoin.IndexOptions{Shards: wk.shards})
+		// The order is owned by the coordinator's epoch protocol from here
+		// on: no local threshold may ever re-freeze it.
+		ix.DisableAutoRefreeze()
+		wk.groups[g] = &workerGroup{ix: ix}
+	}
+	wk.epoch.Store(cfg.Epoch)
+	wk.ready.Store(true)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// handleApply applies one sequenced mutation batch to one hosted group.
+// Sequencing makes application idempotent and gap-detecting: a replayed
+// sequence acknowledges without re-applying, a gap means this replica
+// missed a batch (it answers 409 and the coordinator takes it out — a
+// replica that missed a write must not serve).
+func (wk *Worker) handleApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !wk.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrorBody{Error: "worker is not configured yet", Code: "not_ready"})
+		return
+	}
+	var req ApplyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !wk.checkEpoch(w, strconv.FormatInt(req.Epoch, 10)) {
+		return
+	}
+	wg := wk.group(req.Group)
+	if wg == nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Error: fmt.Sprintf("group %d is not hosted here", req.Group), Code: "wrong_group"})
+		return
+	}
+	wg.mu.Lock()
+	defer wg.mu.Unlock()
+	last := wg.seq.Load()
+	if req.Seq <= last {
+		writeJSON(w, ApplyResponse{Applied: false})
+		return
+	}
+	if req.Seq != last+1 {
+		writeError(w, http.StatusConflict, ErrorBody{
+			Error: fmt.Sprintf("sequence gap on group %d: have %d, got %d", req.Group, last, req.Seq),
+			Code:  "seq_gap",
+		})
+		return
+	}
+	if len(req.IDs) > 0 {
+		if err := wg.ix.InsertWithIDs(req.IDs, req.Records); err != nil {
+			http.Error(w, "apply insert: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	var removed []bool
+	if len(req.Removes) > 0 {
+		removed = wg.ix.RemoveBatch(req.Removes)
+	}
+	wg.seq.Store(req.Seq)
+	writeJSON(w, ApplyResponse{Applied: true, Removed: removed})
+}
+
+// handleFreqs exports one hosted group's live key-frequency table — the
+// builder's raw material during an epoch bump.
+func (wk *Worker) handleFreqs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	g, err := strconv.Atoi(r.URL.Query().Get("group"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorBody{Error: "group must be an integer"})
+		return
+	}
+	wg := wk.group(g)
+	if wg == nil {
+		writeError(w, http.StatusNotFound, ErrorBody{Error: fmt.Sprintf("group %d is not hosted here", g), Code: "wrong_group"})
+		return
+	}
+	writeJSON(w, wg.ix.KeyFrequencies())
+}
+
+// handleBuildOrder runs on the elected builder: it collects one frequency
+// table per group (locally when the group is hosted here, over HTTP
+// otherwise), sums them — the groups partition the record space, so the sum
+// IS the global document-frequency table — and returns the finalize-ordered
+// image everyone will adopt.
+func (wk *Worker) handleBuildOrder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BuildOrderRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	freq := map[string]int{}
+	for _, src := range req.Sources {
+		img, err := wk.groupFreqs(r.Context(), src)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, ErrorBody{Error: fmt.Sprintf("collect group %d from %s: %v", src.Group, src.Addr, err)})
+			return
+		}
+		for i, k := range img.Keys {
+			freq[k] += img.Freqs[i]
+		}
+	}
+	keys := make([]string, 0, len(freq))
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		fi, fj := freq[keys[i]], freq[keys[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return keys[i] < keys[j]
+	})
+	img := aujoin.OrderImage{Keys: keys, Freqs: make([]int, len(keys))}
+	for i, k := range keys {
+		img.Freqs[i] = freq[k]
+	}
+	writeJSON(w, OrderPayload{Epoch: req.Epoch, Order: img})
+}
+
+// groupFreqs reads one group's frequency table, short-circuiting to the
+// local index when this worker hosts the group.
+func (wk *Worker) groupFreqs(ctx context.Context, src FreqSource) (aujoin.OrderImage, error) {
+	if wg := wk.group(src.Group); wg != nil {
+		return wg.ix.KeyFrequencies(), nil
+	}
+	var img aujoin.OrderImage
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/cluster/freqs?group=%d", src.Addr, src.Group), nil)
+	if err != nil {
+		return img, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return img, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return img, fmt.Errorf("status %s", resp.Status)
+	}
+	return img, json.NewDecoder(resp.Body).Decode(&img)
+}
+
+// handleAdopt is the prepare phase of an epoch bump on the worker side: the
+// hosted group indexes are rebuilt under the shipped global order, one
+// group at a time — a rolling rebuild; reads keep being served from the
+// pre-adoption snapshots throughout. The worker's committed epoch does not
+// change yet; the prepared epoch is remembered so requests stamped with it
+// are already accepted.
+func (wk *Worker) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var payload OrderPayload
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 512<<20)).Decode(&payload); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := wk.epoch.Load()
+	if payload.Epoch == cur {
+		writeJSON(w, map[string]bool{"ok": true}) // replayed commit-complete bump
+		return
+	}
+	if payload.Epoch < cur {
+		writeError(w, http.StatusConflict, ErrorBody{
+			Error: fmt.Sprintf("adopt epoch %d behind committed %d", payload.Epoch, cur),
+			Code:  "epoch_mismatch", Epoch: cur,
+		})
+		return
+	}
+	wk.mu.Lock()
+	groups := make([]*workerGroup, 0, len(wk.groups))
+	for _, wg := range wk.groups {
+		groups = append(groups, wg)
+	}
+	wk.mu.Unlock()
+	for _, wg := range groups {
+		if err := wg.ix.AdoptOrder(payload.Order); err != nil {
+			http.Error(w, "adopt order: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	wk.mu.Lock()
+	wk.adopted = payload.Epoch
+	wk.mu.Unlock()
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// handleCommit is phase two: flip the committed epoch to the prepared one.
+func (wk *Worker) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req CommitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := wk.epoch.Load()
+	if req.Epoch == cur {
+		writeJSON(w, map[string]bool{"ok": true})
+		return
+	}
+	wk.mu.Lock()
+	adopted := wk.adopted
+	wk.mu.Unlock()
+	if req.Epoch != adopted {
+		writeError(w, http.StatusConflict, ErrorBody{
+			Error: fmt.Sprintf("commit epoch %d was never prepared (committed %d, prepared %d)", req.Epoch, cur, adopted),
+			Code:  "epoch_mismatch", Epoch: cur,
+		})
+		return
+	}
+	wk.epoch.Store(req.Epoch)
+	wk.mu.Lock()
+	wk.adopted = 0
+	wk.mu.Unlock()
+	writeJSON(w, map[string]bool{"ok": true})
+}

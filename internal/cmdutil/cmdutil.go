@@ -8,6 +8,7 @@ package cmdutil
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 
@@ -78,4 +79,29 @@ func (nw *NDJSONWriter) Write(v any) error {
 		nw.flusher.Flush()
 	}
 	return nil
+}
+
+// DecodeNDJSON is the client half of the NDJSON protocol: it decodes one
+// JSON value per line from r and hands each to fn as it arrives, so a
+// consumer processes a stream incrementally instead of buffering the whole
+// response. fn returning an error stops the decode and surfaces that error
+// (closing the body then aborts the producer). Lines may be up to 16MB, the
+// same cap ReadLines applies to catalog records.
+func DecodeNDJSON[T any](r io.Reader, fn func(T) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(line, &v); err != nil {
+			return err
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }

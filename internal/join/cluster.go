@@ -1,0 +1,225 @@
+package join
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/aujoin/aujoin/internal/core"
+	"github.com/aujoin/aujoin/internal/pebble"
+	"github.com/aujoin/aujoin/internal/strutil"
+)
+
+// This file holds the hooks the cluster layer builds on: a structured
+// fan-out error, inserts with caller-assigned stable IDs, export of the
+// live key-frequency table, and adoption of an externally built frozen
+// order (the worker side of the coordinator's order-sync protocol).
+
+// FanoutError reports a multi-branch fan-out that failed: which branches
+// (in-process shards, or cluster workers) failed, and with what. Unwrap
+// exposes the underlying errors, so errors.Is(err, context.Canceled) and
+// friends see through it.
+type FanoutError struct {
+	// Label names the branch kind in messages: "shard" or "worker".
+	Label string
+	// Total is the fan-out width the failures are reported against.
+	Total int
+	// Failed holds the indexes of the failing branches, ascending, and
+	// Errs their errors, parallel to Failed.
+	Failed []int
+	Errs   []error
+}
+
+func (e *FanoutError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "join: %d of %d %ss failed", len(e.Failed), e.Total, e.Label)
+	for i, w := range e.Failed {
+		sep := ": "
+		if i > 0 {
+			sep = "; "
+		}
+		fmt.Fprintf(&b, "%s%s %d: %v", sep, e.Label, w, e.Errs[i])
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-branch errors to errors.Is/errors.As.
+func (e *FanoutError) Unwrap() []error { return e.Errs }
+
+// newFanoutError folds a fan-out's per-branch error slice into nil (no
+// failure) or one *FanoutError. When any branch failed for a reason of its
+// own, sibling branches that merely observed the resulting cancellation are
+// collateral and dropped from the report; when every failure IS a
+// cancellation they are all kept (there is no primary cause to prefer).
+func newFanoutError(label string, errs []error) error {
+	real := false
+	for _, err := range errs {
+		if err != nil && err != context.Canceled {
+			real = true
+			break
+		}
+	}
+	fe := &FanoutError{Label: label, Total: len(errs)}
+	for w, err := range errs {
+		if err == nil || (real && err == context.Canceled) {
+			continue
+		}
+		fe.Failed = append(fe.Failed, w)
+		fe.Errs = append(fe.Errs, err)
+	}
+	if len(fe.Failed) == 0 {
+		return nil
+	}
+	return fe
+}
+
+// InsertBatchRecords appends records whose stable IDs the caller assigned —
+// the cluster coordinator allocates IDs centrally so every replica of a
+// group indexes byte-identical content under identical IDs. IDs must be
+// non-negative and unique within the batch; reusing a live ID is the
+// caller's protocol error (the routing hash would still send it to the
+// right shard, but the duplicate would shadow the original in position
+// maps), so replay protection belongs to the caller's sequencing layer.
+func (sx *ShardedIndex) InsertBatchRecords(ids []int, raw []string) error {
+	if len(ids) != len(raw) {
+		return fmt.Errorf("join: %d ids for %d records", len(ids), len(raw))
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		if id < 0 {
+			return fmt.Errorf("join: negative record id %d", id)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("join: duplicate record id %d in batch", id)
+		}
+		seen[id] = struct{}{}
+	}
+	sx.mu.Lock()
+	for _, id := range ids {
+		if id >= sx.nextID {
+			sx.nextID = id + 1
+		}
+	}
+	sx.mu.Unlock()
+
+	groups := make([][]strutil.Record, len(sx.shards))
+	for i, s := range raw {
+		w := shardOf(ids[i], len(sx.shards))
+		groups[w] = append(groups[w], strutil.NewRecord(ids[i], s))
+	}
+	sx.runShards(nonEmptyShards(len(groups), func(w int) bool { return len(groups[w]) > 0 }), func(w int) {
+		sx.shards[w].insertRecords(groups[w])
+	})
+	sx.maybeRefreeze()
+	return nil
+}
+
+// KeyFrequencies returns every pebble key over the index's current live
+// records with its document frequency, in finalize order (frequency
+// ascending, key ascending on ties) — the image an epoch-bump builder sums
+// across groups to construct the next global frozen order. The live set is
+// collected under every shard's writer lock (one atomic cut); the frequency
+// count itself runs after the locks drop, since records are immutable.
+func (sx *ShardedIndex) KeyFrequencies() ([]string, []int) {
+	sx.refreezeMu.Lock()
+	for _, sh := range sx.shards {
+		sh.mu.Lock()
+	}
+	var flat []strutil.Record
+	for _, sh := range sx.shards {
+		live, _ := sh.liveLocked()
+		flat = append(flat, live...)
+	}
+	for _, sh := range sx.shards {
+		sh.mu.Unlock()
+	}
+	sx.refreezeMu.Unlock()
+
+	order := sx.joiner.BuildOrder(flat)
+	return order.FrequencyTable()
+}
+
+// AdoptOrder replaces the index's pebble order with an externally built
+// frozen order — the worker side of a cluster epoch bump's prepare phase.
+// The (keys, freqs) image must be in finalize order, as produced by
+// KeyFrequencies (after cross-group summing on the builder). Every shard is
+// rebuilt under the adopted order while all writer locks are held; readers
+// never block — they are served the cached pre-adoption snapshot, exactly
+// as during a self-triggered global re-finalize. Keys present in live
+// records but missing from the image (a mutation that raced the builder's
+// frequency collection) are interned into the adopted order's dynamic
+// region first, so adoption is correct regardless of what the builder saw;
+// the interning is deterministic across replicas because replicas hold
+// identical records in identical positions. After adoption the index never
+// re-freezes on its own: order ownership has moved to the coordinator, and
+// local rebuilds compact shards under the adopted order.
+func (sx *ShardedIndex) AdoptOrder(keys []string, freqs []int) error {
+	order, err := pebble.RestoreOrder(keys, freqs, nil)
+	if err != nil {
+		return err
+	}
+	sx.refreezeMu.Lock()
+	defer sx.refreezeMu.Unlock()
+	for _, sh := range sx.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range sx.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	g := sx.gen.Load()
+	// Cache the pre-adoption state for readers arriving mid-rebuild (the
+	// views are one generation by construction: all writer locks are held).
+	pre := make([]*View, len(sx.shards))
+	for w, sh := range sx.shards {
+		pre[w] = sh.Snapshot()
+	}
+	sx.lastView.Store(newShardedView(sx, g, pre))
+	liveAll := make([][]strutil.Record, len(sx.shards))
+	prepAll := make([][]*core.PreparedRecord, len(sx.shards))
+	for w, sh := range sx.shards {
+		liveAll[w], prepAll[w] = sh.liveLocked()
+	}
+	// Defensive intern: any live key the image lacks joins the dynamic
+	// region before signatures are re-selected under the adopted order.
+	var pebs [][]pebble.Pebble
+	for w := range liveAll {
+		for _, rec := range liveAll[w] {
+			p, _ := sx.joiner.gen.Pebbles(rec.Tokens)
+			pebs = append(pebs, p)
+		}
+	}
+	order.InternDynamic(pebs...)
+	nextGen := 1
+	if g != nil {
+		nextGen = g.id + 1
+	}
+	next := &orderGen{order: order, sel: pebble.NewSelector(sx.joiner.gen, order, sx.opts.Theta), id: nextGen}
+	parallelFor(len(sx.shards), len(sx.shards), func(w int) {
+		// Shards now share an externally owned order: local rebuilds must
+		// compact under it rather than re-freeze a private one (a standalone
+		// single-shard index flips modes here).
+		sx.shards[w].sharedOrder = true
+		sx.shards[w].refreezeLocked(order, next.id, liveAll[w], prepAll[w])
+	})
+	sx.gen.Store(next)
+	sx.noRefreeze.Store(true)
+	sx.planner.Reanchor()
+	sx.lastView.Store(nil)
+	sx.refreezes++
+	return nil
+}
+
+// DisableRefreeze turns off self-triggered global re-finalizes: a cluster
+// worker's order is owned by the coordinator's epoch protocol, so the index
+// must never decide on its own to re-freeze (per-shard compaction rebuilds,
+// which keep the order, stay enabled).
+func (sx *ShardedIndex) DisableRefreeze() {
+	sx.refreezeMu.Lock()
+	sx.noRefreeze.Store(true)
+	sx.refreezeMu.Unlock()
+}

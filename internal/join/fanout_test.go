@@ -1,0 +1,70 @@
+package join
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/aujoin/aujoin/internal/pebble"
+)
+
+// TestFanoutStructuredError pins the partial-failure contract of the shard
+// fan-out: real shard failures surface as one *FanoutError naming every
+// failing shard with its own error, siblings that merely observed the
+// resulting internal cancellation are omitted as collateral, and a caller
+// whose own context was cancelled gets that cancellation back bare.
+func TestFanoutStructuredError(t *testing.T) {
+	j := NewJoiner(paperContext())
+	sx := j.BuildShardedIndex(denseCorpus(40, 3, 1), 4,
+		Options{Theta: 0.7, Tau: 2, Method: pebble.AUDP}, DynamicOptions{})
+	sv := sx.Snapshot()
+
+	boom1 := errors.New("disk on fire")
+	boom3 := errors.New("bad postings")
+	err := sv.fanout(context.Background(), func(ctx context.Context, w int) error {
+		switch w {
+		case 1:
+			return boom1
+		case 3:
+			return boom3
+		default:
+			<-ctx.Done() // sibling parked until the failure cancels it
+			return ctx.Err()
+		}
+	})
+	var fe *FanoutError
+	if !errors.As(err, &fe) {
+		t.Fatalf("fanout error = %T (%v), want *FanoutError", err, err)
+	}
+	if fe.Label != "shard" || fe.Total != 4 {
+		t.Errorf("FanoutError label/total = %q/%d, want shard/4", fe.Label, fe.Total)
+	}
+	if len(fe.Failed) != 2 || fe.Failed[0] != 1 || fe.Failed[1] != 3 {
+		t.Errorf("FanoutError.Failed = %v, want [1 3]", fe.Failed)
+	}
+	if !errors.Is(err, boom1) || !errors.Is(err, boom3) {
+		t.Errorf("FanoutError does not unwrap to the shard errors: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("collateral sibling cancellation leaked into the error: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "2 of 4 shards failed") ||
+		!strings.Contains(msg, "disk on fire") || !strings.Contains(msg, "bad postings") {
+		t.Errorf("FanoutError message %q does not name the failures", msg)
+	}
+
+	// Caller cancellation is a withdrawn request, not a shard failure.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = sv.fanout(ctx, func(ictx context.Context, w int) error { return ictx.Err() })
+	if err != context.Canceled {
+		t.Fatalf("cancelled fanout error = %v, want bare context.Canceled", err)
+	}
+
+	// All shards succeeding is not an error.
+	if err := sv.fanout(context.Background(), func(context.Context, int) error { return nil }); err != nil {
+		t.Fatalf("clean fanout returned %v", err)
+	}
+}

@@ -9,6 +9,12 @@ import "sync/atomic"
 // running, so asserting on it raced with unrelated goroutines and flaked.
 var pipelineGoroutines atomic.Int64
 
+// PipelineGoroutines returns the number of join-pipeline goroutines
+// currently in flight. The cluster layer's leak tests assert it settles to
+// zero after a cancelled scatter-gather, the same discipline the in-process
+// streaming tests apply.
+func PipelineGoroutines() int64 { return pipelineGoroutines.Load() }
+
 // goPipeline spawns fn on a goroutine tagged with the pipeline counter.
 func goPipeline(fn func()) {
 	pipelineGoroutines.Add(1)

@@ -211,7 +211,7 @@ func (j *Joiner) RestoreShardedIndex(snap *store.Snapshot, dopts DynamicOptions)
 	if dopts.CacheSize >= 0 {
 		sx.cache = core.NewPreparedCache(dopts.CacheSize)
 	}
-	sx.noRefreeze = dopts.RebuildFraction < 0
+	sx.noRefreeze.Store(dopts.RebuildFraction < 0)
 
 	// Re-tokenize and rehydrate the prepared records in parallel; both are
 	// deterministic functions of the raw text and the similarity context.

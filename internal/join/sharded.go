@@ -80,7 +80,7 @@ type ShardedIndex struct {
 	refreezeMu     sync.Mutex
 	refreezes      int             // guarded by refreezeMu
 	refreezePauses []time.Duration // guarded by refreezeMu; whole-refreeze writer stalls
-	noRefreeze     bool
+	noRefreeze     atomic.Bool     // set at build, or at runtime by AdoptOrder/DisableRefreeze
 	lastView       atomic.Pointer[ShardedView]
 
 	mu     sync.Mutex // guards nextID only; never held during shard work
@@ -132,7 +132,7 @@ func (j *Joiner) BuildShardedIndex(records []strutil.Record, shards int, opts Op
 		order = j.BuildOrder(records)
 		order.Finalize()
 	}
-	sx.noRefreeze = dopts.RebuildFraction < 0
+	sx.noRefreeze.Store(dopts.RebuildFraction < 0)
 	sx.shards = make([]*DynamicIndex, shards)
 	parallelFor(shards, shards, func(w int) {
 		sx.shards[w] = j.buildDynamic(parts[w], order, opts, dopts, sx.cache, sx.planner)
@@ -200,7 +200,7 @@ func (sx *ShardedIndex) InsertBatch(raw []string) []int {
 // source of new keys, so this is checked after each InsertBatch.
 func (sx *ShardedIndex) maybeRefreeze() {
 	g := sx.gen.Load()
-	if g == nil || sx.noRefreeze {
+	if g == nil || sx.noRefreeze.Load() {
 		return
 	}
 	frozen := g.order.FrozenKeys()
@@ -498,9 +498,12 @@ func (sv *ShardedView) Live() []strutil.Record {
 
 // fanout runs fn for every shard view concurrently under a shared
 // cancellable context: the first shard to return an error cancels its
-// siblings (errgroup-style propagation, without the dependency) and that
-// error is returned. Since the only error source is context cancellation,
-// one cancelled shard means the whole fan-out aborts promptly.
+// siblings (errgroup-style propagation, without the dependency). When the
+// caller's own context was cancelled, that cancellation is returned bare —
+// the shards did not fail, the request was withdrawn. Any other failure is
+// reported as one *FanoutError naming every failing shard (siblings that
+// merely observed the resulting internal cancellation are collateral, not
+// failures, and are omitted).
 func (sv *ShardedView) fanout(ctx context.Context, fn func(ctx context.Context, w int) error) error {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -510,12 +513,10 @@ func (sv *ShardedView) fanout(ctx context.Context, fn func(ctx context.Context, 
 			cancel()
 		}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	return nil
+	return newFanoutError("shard", errs)
 }
 
 // ProbeRecord runs the filter-and-verify pipeline for one tokenised query

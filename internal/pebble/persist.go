@@ -1,6 +1,35 @@
 package pebble
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
+
+// FrequencyTable returns every key registered through Add with its document
+// frequency, sorted exactly as Finalize interns them (frequency ascending,
+// key ascending on ties). The pair round-trips through RestoreOrder: feeding
+// it back as the frozen image reproduces the order Finalize would have
+// built. It reads only the Add-time frequency table, so it is valid on an
+// unfinalized order and never includes dynamically interned keys (their
+// global frequencies are unknown).
+func (o *Order) FrequencyTable() ([]string, []int) {
+	keys := make([]string, 0, len(o.freq))
+	for k := range o.freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		fi, fj := o.freq[keys[i]], o.freq[keys[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return keys[i] < keys[j]
+	})
+	freqs := make([]int, len(keys))
+	for i, k := range keys {
+		freqs[i] = o.freq[k]
+	}
+	return keys, freqs
+}
 
 // RestoreOrder reconstructs a finalized Order from its serialized image:
 // the frozen prefix in dense-ID order with the document frequencies
